@@ -1,0 +1,59 @@
+// Ablation: the lambda knob of the composite objective (§2).
+//
+// The paper writes the objective as  sum_q I(q) + lambda * comm  and fixes
+// lambda = 1 for its experiments.  This harness sweeps lambda to expose the
+// trade-off the knob controls: small lambda buys balance at any cut cost,
+// large lambda tolerates imbalance to save edges.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/init.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/250,
+                                              /*default_stall=*/0);
+  print_banner("Ablation — lambda (imbalance vs communication trade-off, §2)",
+               "Maini et al., SC'94, §2 (lambda fixed to 1 in the paper)",
+               settings);
+
+  const Mesh mesh = paper_mesh(167);
+  const PartId k = 4;
+  std::printf("graph 167, %d parts: %s\n\n", k, mesh.graph.summary().c_str());
+
+  TextTable table({"lambda", "best total cut", "imbalance", "max |size-n/k|",
+                   "fitness"});
+  for (const double lambda : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    auto cfg = harness_dpga_config(k, Objective::kTotalComm, settings);
+    cfg.ga.fitness.lambda = lambda;
+    cfg.ga.stall_generations = 0;
+    const auto cell = best_of_runs(
+        mesh.graph, cfg, random_init(mesh.graph, k, cfg.ga.population_size),
+        settings, static_cast<std::uint64_t>(lambda * 100));
+
+    // Recover the size deviation from the imbalance term (unit weights).
+    table.start_row();
+    table.append(format_double(lambda, 1));
+    table.append(cell.total_cut, 0);
+    table.append(cell.imbalance_sq, 1);
+    table.append(std::sqrt(cell.imbalance_sq), 1);
+    table.append(cell.best_fitness, 1);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Read: lambda sweeps the Pareto front between load balance and cut.\n"
+      "With unit weights a single displaced vertex costs ~2 units of\n"
+      "imbalance, so lambda = 1 (the paper's setting) keeps parts within a\n"
+      "vertex or two of ideal while still minimizing edges; lambda >> 1\n"
+      "sacrifices balance for cut.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: DPGA migration topology and interval (§3.4).  The paper fixes
+// 16 subpopulations on a 4-D hypercube with periodic best-individual
+// exchange; this harness varies both knobs and reports solution quality.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/init.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/150,
+                                              /*default_stall=*/0);
+  print_banner("Ablation — migration topology x interval (§3.4 DPGA)",
+               "Maini et al., SC'94, §3.4", settings);
+
+  const Mesh mesh = paper_mesh(167);
+  const PartId k = 4;
+  std::printf("graph 167, %d parts: %s\n\n", k, mesh.graph.summary().c_str());
+
+  TextTable table({"topology", "interval", "best cut", "mean cut", "sec"});
+  const TopologyKind topologies[] = {
+      TopologyKind::kIsolated, TopologyKind::kRing, TopologyKind::kTorus,
+      TopologyKind::kHypercube, TopologyKind::kComplete};
+  for (const TopologyKind topo : topologies) {
+    for (const int interval : {1, 5, 20}) {
+      if (topo == TopologyKind::kIsolated && interval != 5) continue;
+      auto cfg = harness_dpga_config(k, Objective::kTotalComm, settings);
+      cfg.topology = topo;
+      cfg.migration_interval = interval;
+      cfg.ga.stall_generations = 0;
+
+      const auto cell = best_of_runs(
+          mesh.graph, cfg,
+          random_init(mesh.graph, k, cfg.ga.population_size), settings,
+          static_cast<std::uint64_t>(static_cast<int>(topo) * 100 +
+                                     interval));
+
+      table.start_row();
+      table.append(topology_name(topo));
+      table.append(static_cast<long long>(interval));
+      table.append(cell.total_cut, 0);
+      table.append(cell.mean_total_cut, 1);
+      table.append(cell.seconds, 1);
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Shape check: any migration beats isolated islands; the hypercube at\n"
+      "a moderate interval (the paper's configuration) sits at or near the\n"
+      "best quality without complete-graph communication cost.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation: population seeding strategy (§3.5).  The paper seeds with IBP
+// (Table 1) and RSB (Tables 2/5); this harness compares random
+// initialization against seeding from each heuristic partitioner in the
+// library, plus the effect of the swap-perturbation strength.
+#include <cstdio>
+
+#include "baselines/rcb.hpp"
+#include "baselines/rgb.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/init.hpp"
+#include "sfc/ibp.hpp"
+#include "spectral/rsb.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/200,
+                                              /*default_stall=*/0);
+  print_banner("Ablation — population seeding strategies (§3.5)",
+               "Maini et al., SC'94, §3.5 / §4.1", settings);
+
+  const Mesh mesh = paper_mesh(243);
+  const PartId k = 8;
+  std::printf("graph 243, %d parts: %s\n\n", k, mesh.graph.summary().c_str());
+  Rng seed_rng(7);
+
+  struct Strategy {
+    const char* name;
+    Assignment seed;  // empty = random init
+  };
+  std::vector<Strategy> strategies;
+  strategies.push_back({"random (balanced deal)", {}});
+  strategies.push_back({"seeded: IBP", ibp_partition(mesh.graph, k)});
+  strategies.push_back(
+      {"seeded: RSB", rsb_partition(mesh.graph, k, seed_rng)});
+  strategies.push_back(
+      {"seeded: RCB", rcb_partition(mesh.graph, k, seed_rng)});
+  strategies.push_back(
+      {"seeded: RGB", rgb_partition(mesh.graph, k, seed_rng)});
+
+  TextTable table(
+      {"strategy", "seed cut", "best cut", "mean cut", "sec"});
+  std::uint64_t salt = 1;
+  for (const auto& strat : strategies) {
+    auto cfg = harness_dpga_config(k, Objective::kTotalComm, settings);
+    cfg.ga.stall_generations = 0;
+
+    InitFactory init;
+    double seed_cut = 0.0;
+    if (strat.seed.empty()) {
+      init = random_init(mesh.graph, k, cfg.ga.population_size);
+    } else {
+      seed_cut = compute_metrics(mesh.graph, strat.seed, k).total_cut();
+      init = seeded_init(strat.seed, cfg.ga.population_size);
+    }
+    const auto cell = best_of_runs(mesh.graph, cfg, init, settings, salt++);
+
+    table.start_row();
+    table.append(strat.name);
+    table.append(strat.seed.empty() ? std::string("-")
+                                    : format_double(seed_cut, 0));
+    table.append(cell.total_cut, 0);
+    table.append(cell.mean_total_cut, 1);
+    table.append(cell.seconds, 1);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Swap-fraction sweep around the RSB seed.
+  std::printf("perturbation strength (RSB seed, swap fraction sweep):\n");
+  TextTable sweep({"swap fraction", "best cut", "mean cut"});
+  const Assignment rsb = rsb_partition(mesh.graph, k, seed_rng);
+  for (const double f : {0.0, 0.05, 0.1, 0.25, 0.5}) {
+    auto cfg = harness_dpga_config(k, Objective::kTotalComm, settings);
+    cfg.ga.stall_generations = 0;
+    const auto cell =
+        best_of_runs(mesh.graph, cfg,
+                     seeded_init(rsb, cfg.ga.population_size, f), settings,
+                     static_cast<std::uint64_t>(f * 1000) + 77);
+    sweep.start_row();
+    sweep.append(format_double(f, 2));
+    sweep.append(cell.total_cut, 0);
+    sweep.append(cell.mean_total_cut, 1);
+  }
+  std::printf("%s\n", sweep.str().c_str());
+  std::printf(
+      "Shape check: heuristic seeding dominates random init at equal budget\n"
+      "(paper §4.1); moderate perturbation of the seed clones preserves the\n"
+      "seed's quality while giving the GA diversity to improve on it.\n");
+  return 0;
+}

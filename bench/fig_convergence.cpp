@@ -1,0 +1,132 @@
+// Convergence figure: best-so-far cut versus generation for the traditional
+// crossover operators (2-point, uniform) against the paper's KNUX and DKNUX,
+// averaged over 5 runs (the paper's figures average 5 runs).  This is the
+// harness behind the paper's headline claim that the knowledge-based
+// operators give "orders of magnitude improvement over traditional genetic
+// operators in solution quality and speed".
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/init.hpp"
+#include "sfc/ibp.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/300,
+                                              /*default_stall=*/0);
+  const VertexId nodes =
+      static_cast<VertexId>(args.integer("nodes", 144));
+  const PartId k = static_cast<PartId>(args.integer("parts", 4));
+  print_banner("Convergence figure — operator comparison (mean of runs)",
+               "Maini et al., SC'94, convergence figures / §1 claim",
+               settings);
+
+  const Mesh mesh = paper_mesh(nodes);
+  std::printf("graph %d, %d parts: %s\n\n", nodes, k,
+              mesh.graph.summary().c_str());
+
+  const CrossoverOp ops[] = {CrossoverOp::kTwoPoint, CrossoverOp::kUniform,
+                             CrossoverOp::kKnux, CrossoverOp::kDknux};
+
+  // Static KNUX follows §3.2: "an initial candidate solution I is first
+  // generated" — it gets the IBP solution as its (fixed) reference.  DKNUX
+  // starts from its population's best and re-targets every generation.
+  const Assignment ibp_reference = ibp_partition(mesh.graph, k);
+  std::vector<std::vector<double>> series;  // per op: mean best-cut series
+  std::vector<double> final_cut;
+  std::vector<double> final_fitness;
+
+  for (const CrossoverOp op : ops) {
+    std::vector<std::vector<double>> runs;
+    RunningStats fit_stats;
+    RunningStats cut_stats;
+    for (int run = 0; run < settings.runs; ++run) {
+      auto cfg = harness_dpga_config(k, Objective::kTotalComm, settings);
+      cfg.ga.crossover = op;
+      cfg.ga.stall_generations = 0;  // fixed budget for a fair curve
+      if (op == CrossoverOp::kKnux) cfg.ga.knux_reference = ibp_reference;
+      Rng rng(settings.base_seed ^ (static_cast<std::uint64_t>(run) << 16));
+      auto init = make_random_population(mesh.graph.num_vertices(), k,
+                                         cfg.ga.population_size, rng);
+      const auto res = run_dpga(mesh.graph, cfg, std::move(init), rng.split());
+      std::vector<double> cuts;
+      cuts.reserve(res.history.size());
+      for (const auto& h : res.history) cuts.push_back(h.best_total_cut);
+      runs.push_back(std::move(cuts));
+      fit_stats.add(res.best_fitness);
+      cut_stats.add(res.best_metrics.total_cut());
+    }
+    series.push_back(mean_series(runs));
+    final_cut.push_back(cut_stats.mean());
+    final_fitness.push_back(fit_stats.mean());
+  }
+
+  // Print the series at sampled generations (CSV-friendly block follows).
+  TextTable table({"generation", "2-point", "UX", "KNUX", "DKNUX"});
+  const std::size_t len = series[0].size();
+  const std::size_t step = std::max<std::size_t>(1, len / 15);
+  for (std::size_t g = 0; g < len; g += step) {
+    table.start_row();
+    table.append(static_cast<long long>(g));
+    for (const auto& s : series) table.append(s[g], 1);
+  }
+  table.start_row();
+  table.append(static_cast<long long>(len - 1));
+  for (const auto& s : series) table.append(s.back(), 1);
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("mean best cut after %d generations: 2-point %.1f  UX %.1f  "
+              "KNUX %.1f  DKNUX %.1f\n",
+              settings.max_generations, final_cut[0], final_cut[1],
+              final_cut[2], final_cut[3]);
+
+  // Speed view of the same claim: generations each operator needs to reach
+  // the quality 2-point ends with.
+  const double target = series[0].back();
+  std::printf("\ngenerations to reach 2-point's final quality (cut <= %.1f):\n",
+              target);
+  const char* names[] = {"2-point", "UX", "KNUX", "DKNUX"};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    std::size_t gen = len;
+    for (std::size_t g = 0; g < len; ++g) {
+      if (series[i][g] <= target) {
+        gen = g;
+        break;
+      }
+    }
+    if (gen == len) {
+      std::printf("  %-8s never\n", names[i]);
+    } else {
+      std::printf("  %-8s %4zu  (%.1fx faster than 2-point)\n", names[i], gen,
+                  gen == 0 ? static_cast<double>(len)
+                           : static_cast<double>(len - 1) /
+                                 static_cast<double>(gen));
+    }
+  }
+  std::printf(
+      "\nShape check: KNUX and DKNUX converge dramatically faster and to\n"
+      "far better cuts than 2-point/UX at the same budget — the paper's\n"
+      "'orders of magnitude' claim.  KNUX's curve drops to (roughly) the\n"
+      "quality of its fixed IBP reference almost immediately and then\n"
+      "flattens — §3.3's observation that KNUX quality is bounded by the\n"
+      "heuristic estimate, which is exactly what DKNUX's dynamic reference\n"
+      "removes (no heuristic needed, keeps improving).\n");
+
+  // Raw CSV for replotting.
+  std::printf("\nCSV: generation,two_point,ux,knux,dknux\n");
+  for (std::size_t g = 0; g < len; g += step) {
+    std::printf("CSV: %zu,%.2f,%.2f,%.2f,%.2f\n", g, series[0][g],
+                series[1][g], series[2][g], series[3][g]);
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+// google-benchmark microbenchmarks for gapart's hot kernels: fitness
+// evaluation, incremental moves, the crossover operators, the spectral
+// stack, space-filling-curve indexing and mesh generation.  These are the
+// per-operation costs behind the experiment harnesses' wall times.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/crossover.hpp"
+#include "core/hill_climb.hpp"
+#include "core/init.hpp"
+#include "core/mutation.hpp"
+#include "graph/coarsen.hpp"
+#include "graph/delaunay.hpp"
+#include "graph/mesh.hpp"
+#include "graph/partition.hpp"
+#include "sfc/ibp.hpp"
+#include "sfc/indexing.hpp"
+#include "spectral/fiedler.hpp"
+#include "spectral/laplacian.hpp"
+#include "spectral/rsb.hpp"
+
+namespace {
+
+using namespace gapart;
+
+const Mesh& mesh_of(std::int64_t nodes) {
+  static std::map<std::int64_t, Mesh> cache;
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    Rng rng(static_cast<std::uint64_t>(nodes) * 77 + 1);
+    it = cache
+             .emplace(nodes, generate_mesh(Domain(DomainShape::kRectangle),
+                                           static_cast<VertexId>(nodes), rng))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_FitnessEvaluation(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(state.range(0));
+  Rng rng(3);
+  const auto a = random_balanced_assignment(mesh.graph.num_vertices(), 8, rng);
+  const FitnessParams params{Objective::kTotalComm, 1.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_fitness(mesh.graph, a, 8, params));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FitnessEvaluation)->Arg(144)->Arg(309)->Arg(2000);
+
+void BM_PartitionStateMove(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(state.range(0));
+  Rng rng(5);
+  PartitionState ps(mesh.graph,
+                    random_balanced_assignment(mesh.graph.num_vertices(), 8,
+                                               rng),
+                    8);
+  const VertexId n = mesh.graph.num_vertices();
+  for (auto _ : state) {
+    const auto v = static_cast<VertexId>(rng.uniform_int(n));
+    const auto to = static_cast<PartId>(rng.uniform_int(8));
+    ps.move(v, to);
+    benchmark::DoNotOptimize(ps.sum_part_cut());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionStateMove)->Arg(309)->Arg(2000);
+
+void BM_MoveGain(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(309);
+  Rng rng(7);
+  PartitionState ps(mesh.graph,
+                    random_balanced_assignment(mesh.graph.num_vertices(), 8,
+                                               rng),
+                    8);
+  const FitnessParams params{
+      state.range(0) == 0 ? Objective::kTotalComm : Objective::kWorstComm,
+      1.0};
+  const VertexId n = mesh.graph.num_vertices();
+  for (auto _ : state) {
+    const auto v = static_cast<VertexId>(rng.uniform_int(n));
+    const auto to = static_cast<PartId>(rng.uniform_int(8));
+    benchmark::DoNotOptimize(ps.move_gain(v, to, params));
+  }
+}
+BENCHMARK(BM_MoveGain)->Arg(0)->Arg(1);
+
+template <CrossoverOp Op>
+void BM_Crossover(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(state.range(0));
+  Rng rng(9);
+  const VertexId n = mesh.graph.num_vertices();
+  const auto a = random_balanced_assignment(n, 8, rng);
+  const auto b = random_balanced_assignment(n, 8, rng);
+  const auto ref = random_balanced_assignment(n, 8, rng);
+  CrossoverContext ctx;
+  ctx.graph = &mesh.graph;
+  ctx.reference = &ref;
+  Assignment c1;
+  Assignment c2;
+  for (auto _ : state) {
+    apply_crossover(Op, ctx, a, b, rng, c1, c2);
+    benchmark::DoNotOptimize(c1.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Crossover<CrossoverOp::kTwoPoint>)->Arg(309);
+BENCHMARK(BM_Crossover<CrossoverOp::kUniform>)->Arg(309);
+BENCHMARK(BM_Crossover<CrossoverOp::kKnux>)->Arg(309);
+
+void BM_PointMutation(benchmark::State& state) {
+  Rng rng(11);
+  auto a = random_balanced_assignment(309, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point_mutation(a, 8, 0.01, rng));
+  }
+}
+BENCHMARK(BM_PointMutation);
+
+void BM_HillClimbPass(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(309);
+  Rng rng(13);
+  HillClimbOptions opt;
+  opt.max_passes = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto a = random_balanced_assignment(mesh.graph.num_vertices(), 8, rng);
+    state.ResumeTiming();
+    hill_climb(mesh.graph, a, 8, opt);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_HillClimbPass);
+
+void BM_LaplacianMatvec(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(state.range(0));
+  const auto n = static_cast<std::size_t>(mesh.graph.num_vertices());
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  deflate_constant(x);
+  for (auto _ : state) {
+    apply_laplacian(mesh.graph, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LaplacianMatvec)->Arg(309)->Arg(2000);
+
+void BM_FiedlerLanczos(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(state.range(0));
+  Rng rng(17);
+  FiedlerOptions opt;
+  opt.dense_threshold = 4;  // force Lanczos
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fiedler_vector(mesh.graph, rng, opt));
+  }
+}
+BENCHMARK(BM_FiedlerLanczos)->Arg(309)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_RsbPartition(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(state.range(0));
+  Rng rng(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsb_partition(mesh.graph, 8, rng));
+  }
+}
+BENCHMARK(BM_RsbPartition)->Arg(309)->Unit(benchmark::kMillisecond);
+
+void BM_IbpPartition(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibp_partition(mesh.graph, 8));
+  }
+}
+BENCHMARK(BM_IbpPartition)->Arg(309)->Arg(2000);
+
+void BM_MortonIndex(benchmark::State& state) {
+  Rng rng(23);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += morton_index(rng.next_u64() & 1023, rng.next_u64() & 1023, 10);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_MortonIndex);
+
+void BM_HilbertIndex(benchmark::State& state) {
+  Rng rng(29);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += hilbert_index(rng.next_u64() & 1023, rng.next_u64() & 1023, 10);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_HilbertIndex);
+
+void BM_DelaunayTriangulate(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<Point2> pts;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delaunay_triangulate(pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DelaunayTriangulate)->Arg(144)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CoarsenOnce(benchmark::State& state) {
+  const Mesh& mesh = mesh_of(2000);
+  Rng rng(37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsen_once(mesh.graph, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_CoarsenOnce)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Table 2 of the paper: "Improving the Solution found through Recursive
+// Spectral Bisection, using Fitness Function 1."  The GA population is
+// seeded with the RSB solution; cells are total inter-part edges of the best
+// of 5 runs, against the RSB solution itself.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "spectral/rsb.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+struct PaperRow {
+  VertexId nodes;
+  double dknux[3];
+  double rsb[3];
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {139, {28, 65, 100}, {30, 69, 113}},
+    {213, {41, 77, 138}, {41, 82, 151}},
+    {243, {43, 88, 141}, {47, 95, 154}},
+    {279, {36, 78, 139}, {37, 88, 155}},
+};
+constexpr PartId kParts[] = {2, 4, 8};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/400,
+                                              /*default_stall=*/150);
+  print_banner(
+      "Table 2 — GA (DKNUX) refining RSB solutions, Fitness 1 (total cut)",
+      "Maini et al., SC'94, Table 2", settings);
+
+  TextTable table({"graph", "parts", "DKNUX paper/ours", "RSB paper/ours",
+                   "improvement", "sec"});
+  for (const auto& row : kPaperRows) {
+    const Mesh mesh = paper_mesh(row.nodes);
+    std::printf("graph %d: %s\n", row.nodes, mesh.graph.summary().c_str());
+    for (int pi = 0; pi < 3; ++pi) {
+      const PartId k = kParts[pi];
+      Rng rng(settings.base_seed + static_cast<std::uint64_t>(row.nodes));
+
+      const Assignment rsb = rsb_partition(mesh.graph, k, rng);
+      const double rsb_cut = compute_metrics(mesh.graph, rsb, k).total_cut();
+
+      const auto cfg =
+          harness_dpga_config(k, Objective::kTotalComm, settings);
+      const auto cell = best_of_runs(
+          mesh.graph, cfg, seeded_init(rsb, cfg.ga.population_size), settings,
+          static_cast<std::uint64_t>(row.nodes * 100 + k));
+
+      table.start_row();
+      table.append(std::to_string(row.nodes) + " nodes");
+      table.append(static_cast<long long>(k));
+      table.append(paper_vs(row.dknux[pi], cell.total_cut));
+      table.append(paper_vs(row.rsb[pi], rsb_cut));
+      const double gain = rsb_cut - cell.total_cut;
+      table.append(format_double(gain, 0) + " edges");
+      table.append(cell.seconds, 1);
+    }
+    table.add_rule();
+  }
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf(
+      "Shape check: the RSB-seeded GA never returns anything worse than the\n"
+      "RSB solution it started from, and usually strictly improves it — the\n"
+      "paper's Table 2 shows the same relation on its meshes.\n");
+  return 0;
+}

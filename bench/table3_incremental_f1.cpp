@@ -1,0 +1,99 @@
+// Table 3 of the paper: "Incremental Graph Partitioning, using Fitness
+// Function 1."  A base mesh is partitioned, grown by adding nodes in a
+// random local area (§4.2), and the grown mesh is repartitioned by the GA
+// seeded from the previous partition — compared against RSB partitioning the
+// grown graph from scratch.  A third column measures the deterministic
+// majority-assignment strawman named in the paper's conclusion.
+#include <cstdio>
+
+#include "baselines/greedy_incremental.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "spectral/rsb.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+struct PaperRow {
+  VertexId base;
+  VertexId extra;
+  double dknux[3];
+  double rsb[3];
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {118, 21, {31, 61, 103}, {30, 69, 113}},
+    {118, 41, {31, 66, 120}, {33, 75, 128}},
+    {183, 30, {37, 72, 133}, {41, 82, 151}},
+    {183, 60, {44, 83, 160}, {47, 95, 154}},
+};
+constexpr PartId kParts[] = {2, 4, 8};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/600,
+                                              /*default_stall=*/200,
+                                              /*default_hill_climb=*/true);
+  print_banner(
+      "Table 3 — Incremental partitioning (DKNUX + §3.6) vs from-scratch "
+      "RSB, Fitness 1",
+      "Maini et al., SC'94, Table 3 (+ §5 greedy strawman)", settings);
+
+  TextTable table({"graph", "parts", "DKNUX paper/ours", "RSB paper/ours",
+                   "greedy cut", "greedy imb", "sec"});
+  for (const auto& row : kPaperRows) {
+    const Mesh base = paper_mesh(row.base);
+    const Mesh grown = paper_incremental_mesh(base, row.base, row.extra);
+    std::printf("graph %d+%d: %s\n", row.base, row.extra,
+                grown.graph.summary().c_str());
+    for (int pi = 0; pi < 3; ++pi) {
+      const PartId k = kParts[pi];
+      Rng rng(settings.base_seed + static_cast<std::uint64_t>(row.base) +
+              static_cast<std::uint64_t>(row.extra));
+
+      // Previous partition: RSB of the base mesh (the "partition it" step).
+      const Assignment previous = rsb_partition(base.graph, k, rng);
+
+      // Baseline 1: RSB on the grown graph from scratch.
+      const Assignment rsb_grown = rsb_partition(grown.graph, k, rng);
+      const double rsb_cut =
+          compute_metrics(grown.graph, rsb_grown, k).total_cut();
+
+      // Baseline 2 (§5): deterministic majority assignment of new nodes.
+      const Assignment greedy =
+          greedy_incremental_assign(grown.graph, previous, k);
+      const auto greedy_m = compute_metrics(grown.graph, greedy, k);
+
+      // The contribution: GA seeded from the previous partition.
+      const auto cfg =
+          harness_dpga_config(k, Objective::kTotalComm, settings);
+      const auto cell = best_of_runs(
+          grown.graph, cfg,
+          incremental_init(grown.graph, previous, k, cfg.ga.population_size),
+          settings,
+          static_cast<std::uint64_t>(row.base * 1000 + row.extra * 10 + k));
+
+      table.start_row();
+      table.append(std::to_string(row.base) + "+" +
+                   std::to_string(row.extra));
+      table.append(static_cast<long long>(k));
+      table.append(paper_vs(row.dknux[pi], cell.total_cut));
+      table.append(paper_vs(row.rsb[pi], rsb_cut));
+      table.append(greedy_m.total_cut(), 0);
+      table.append(greedy_m.imbalance_sq, 0);
+      table.append(cell.seconds, 1);
+    }
+    table.add_rule();
+  }
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf(
+      "Shape check: incremental DKNUX is competitive with (usually better\n"
+      "than) from-scratch RSB; the greedy strawman may post a low cut but\n"
+      "pays with severe imbalance (its 'greedy imb' column), which is why\n"
+      "the paper dismisses it.\n");
+  return 0;
+}

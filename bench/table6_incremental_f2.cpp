@@ -1,0 +1,96 @@
+// Table 6 of the paper: "Incremental Partitioning with Fitness Function 2".
+// Same workload model as Table 3 (local mesh growth, GA seeded from the
+// previous partition) but minimizing the worst-case cut max_q C(q).
+#include <cstdio>
+
+#include "baselines/greedy_incremental.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "spectral/rsb.hpp"
+
+namespace {
+
+using namespace gapart;
+using namespace gapart::bench;
+
+struct PaperRow {
+  VertexId base;
+  VertexId extra;
+  double dknux[2];  // parts 4, 8
+  double rsb[2];    // negative = not reported in the paper
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {78, 10, {27, 25}, {33, 27}},   {78, 20, {29, 27}, {-1, -1}},
+    {118, 21, {33, 29}, {38, 34}},  {118, 41, {34, 35}, {40, 39}},
+    {183, 30, {41, 40}, {46, 45}},  {183, 60, {46, 45}, {51, 47}},
+    {249, 30, {42, 44}, {51, 47}},  {249, 60, {46, 56}, {46, 52}},
+};
+constexpr PartId kParts[] = {4, 8};
+
+std::string paper_cell(double paper_value, double measured) {
+  if (paper_value < 0) return "n/a / " + format_double(measured, 0);
+  return paper_vs(paper_value, measured);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto settings = RunSettings::from_cli(args, /*default_gens=*/600,
+                                              /*default_stall=*/200,
+                                              /*default_hill_climb=*/true);
+  print_banner(
+      "Table 6 — Incremental partitioning (DKNUX + §3.6) on worst-case cut, "
+      "Fitness 2",
+      "Maini et al., SC'94, Table 6 (+ §5 greedy strawman)", settings);
+
+  TextTable table({"graph", "parts", "worst cut DKNUX paper/ours",
+                   "worst cut RSB paper/ours", "greedy worst", "greedy imb",
+                   "sec"});
+  for (const auto& row : kPaperRows) {
+    const Mesh base = paper_mesh(row.base);
+    const Mesh grown = paper_incremental_mesh(base, row.base, row.extra);
+    std::printf("graph %d+%d: %s\n", row.base, row.extra,
+                grown.graph.summary().c_str());
+    for (int pi = 0; pi < 2; ++pi) {
+      const PartId k = kParts[pi];
+      Rng rng(settings.base_seed + static_cast<std::uint64_t>(row.base) +
+              static_cast<std::uint64_t>(row.extra));
+
+      const Assignment previous = rsb_partition(base.graph, k, rng);
+      const Assignment rsb_grown = rsb_partition(grown.graph, k, rng);
+      const double rsb_worst =
+          compute_metrics(grown.graph, rsb_grown, k).max_part_cut;
+
+      const Assignment greedy =
+          greedy_incremental_assign(grown.graph, previous, k);
+      const auto greedy_m = compute_metrics(grown.graph, greedy, k);
+
+      const auto cfg =
+          harness_dpga_config(k, Objective::kWorstComm, settings);
+      const auto cell = best_of_runs(
+          grown.graph, cfg,
+          incremental_init(grown.graph, previous, k, cfg.ga.population_size),
+          settings,
+          static_cast<std::uint64_t>(row.base * 1000 + row.extra * 10 + k));
+
+      table.start_row();
+      table.append(std::to_string(row.base) + "+" +
+                   std::to_string(row.extra));
+      table.append(static_cast<long long>(k));
+      table.append(paper_cell(row.dknux[pi], cell.max_part_cut));
+      table.append(paper_cell(row.rsb[pi], rsb_worst));
+      table.append(greedy_m.max_part_cut, 0);
+      table.append(greedy_m.imbalance_sq, 0);
+      table.append(cell.seconds, 1);
+    }
+    table.add_rule();
+  }
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf(
+      "Shape check (paper Table 6): the incrementally-seeded Fitness-2 GA\n"
+      "posts lower worst-case cuts than from-scratch RSB on most rows; the\n"
+      "greedy strawman's imbalance column shows why it is not a contender.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Operator anatomy — a didactic walk through the paper's §3.2/§3.3 on a
+// graph small enough to print: shows the KNUX bias vector for a concrete
+// parent pair and reference solution, then traces how DKNUX's reference
+// (and with it the bias landscape) evolves during a short run.
+//
+//   $ ./operator_anatomy
+#include <cstdio>
+
+#include "gapart.hpp"
+
+using namespace gapart;
+
+int main() {
+  // A 4x4 grid: small enough to show every vertex.
+  const Graph g = make_grid(4, 4);
+  std::printf("graph: 4x4 grid, vertex v at (row v/4, col v%%4)\n\n");
+
+  // Reference solution I: left half vs right half (the "heuristic
+  // estimate" of §3.2).
+  Assignment reference(16);
+  for (VertexId v = 0; v < 16; ++v) {
+    reference[static_cast<std::size_t>(v)] = (v % 4) < 2 ? 0 : 1;
+  }
+  // Parents: a = horizontal split (top/bottom), b = interleaved columns.
+  Assignment a(16);
+  Assignment b(16);
+  for (VertexId v = 0; v < 16; ++v) {
+    a[static_cast<std::size_t>(v)] = v < 8 ? 0 : 1;
+    b[static_cast<std::size_t>(v)] = static_cast<PartId>(v % 2);
+  }
+
+  std::printf("reference I (vertical split): ");
+  for (PartId p : reference) std::printf("%d", p);
+  std::printf("\nparent a    (horizontal):     ");
+  for (PartId p : a) std::printf("%d", p);
+  std::printf("\nparent b    (interleaved):    ");
+  for (PartId p : b) std::printf("%d", p);
+
+  std::printf("\n\nKNUX bias p_i = P(child inherits a_i), per vertex:\n");
+  std::printf("  v  a_i b_i  #(i,a,I) #(i,b,I)  p_i\n");
+  for (VertexId v = 0; v < 16; ++v) {
+    const auto ai = a[static_cast<std::size_t>(v)];
+    const auto bi = b[static_cast<std::size_t>(v)];
+    int ca = 0;
+    int cb = 0;
+    for (VertexId u : g.neighbors(v)) {
+      if (reference[static_cast<std::size_t>(u)] == ai) ++ca;
+      if (reference[static_cast<std::size_t>(u)] == bi) ++cb;
+    }
+    if (ai == bi) {
+      std::printf("  %2d   %d   %d      (equal genes: copied verbatim)\n", v,
+                  ai, bi);
+    } else {
+      std::printf("  %2d   %d   %d      %d        %d      %.2f\n", v, ai, bi,
+                  ca, cb, knux_bias(g, reference, v, ai, bi));
+    }
+  }
+
+  // Trace DKNUX's reference across a short run on the same graph.
+  std::printf("\nDKNUX reference trace (best-so-far drives the bias):\n");
+  GaConfig cfg;
+  cfg.num_parts = 2;
+  cfg.population_size = 40;
+  cfg.crossover = CrossoverOp::kDknux;
+  cfg.max_generations = 0;
+  Rng rng(11);
+  auto init = make_random_population(16, 2, cfg.population_size, rng);
+  GaEngine engine(g, cfg, std::move(init), rng.split());
+  const FitnessParams params;
+  for (int gen = 0; gen <= 12; ++gen) {
+    if (gen > 0) engine.step();
+    const auto m = compute_metrics(g, engine.knux_reference(), 2);
+    std::printf("  gen %2d  reference=", gen);
+    for (PartId p : engine.knux_reference()) std::printf("%d", p);
+    std::printf("  cut=%.0f fitness=%.0f\n", m.total_cut(),
+                fitness_from_metrics(m, params));
+  }
+  std::printf(
+      "\nRead: the bias pulls every child towards whichever assignment the\n"
+      "best-so-far solution gives the vertex's NEIGHBOURS — locality\n"
+      "knowledge the traditional operators cannot see.  As the reference\n"
+      "improves, the pull re-aims at better and better solutions (§3.3).\n");
+  return 0;
+}

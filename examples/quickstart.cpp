@@ -1,0 +1,65 @@
+// Quickstart: partition a small finite-element-style mesh with the paper's
+// genetic algorithm and compare against recursive spectral bisection.
+//
+//   $ ./quickstart [--nodes=144] [--parts=4] [--gens=300]
+//
+// Walks through the core API surface: mesh generation, classical baselines,
+// the DPGA with the DKNUX operator, and partition metrics.
+#include <cstdio>
+
+#include "gapart.hpp"
+
+using namespace gapart;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto nodes = static_cast<VertexId>(args.integer("nodes", 144));
+  const auto parts = static_cast<PartId>(args.integer("parts", 4));
+  const int gens = args.integer("gens", 300);
+
+  // 1. A workload: jittered points on a disc, Delaunay-triangulated.
+  Rng rng(args.integer("seed", 7) > 0
+              ? static_cast<std::uint64_t>(args.integer("seed", 7))
+              : 7);
+  const Domain domain(DomainShape::kDisc);
+  const Mesh mesh = generate_mesh(domain, nodes, rng);
+  std::printf("mesh: %s\n\n", mesh.graph.summary().c_str());
+
+  // 2. A classical baseline: recursive spectral bisection.
+  const Assignment rsb = rsb_partition(mesh.graph, parts, rng);
+  const auto rsb_metrics = compute_metrics(mesh.graph, rsb, parts);
+  std::printf("RSB          : total cut %4.0f   worst part cut %4.0f   "
+              "imbalance %4.1f\n",
+              rsb_metrics.total_cut(), rsb_metrics.max_part_cut,
+              rsb_metrics.imbalance_sq);
+
+  // 3. The paper's GA: 320 individuals on 16 hypercube-connected islands,
+  //    DKNUX crossover, Fitness 1 (total communication), random start.
+  DpgaConfig config = paper_dpga_config(parts, Objective::kTotalComm);
+  config.ga.max_generations = gens;
+  auto initial = make_random_population(mesh.graph.num_vertices(), parts,
+                                        config.ga.population_size, rng);
+  const DpgaResult ga =
+      run_dpga(mesh.graph, config, std::move(initial), rng.split());
+  const auto& m = ga.best_metrics;
+  std::printf("GA (DKNUX)   : total cut %4.0f   worst part cut %4.0f   "
+              "imbalance %4.1f   (%d generations, %lld evaluations, %.2fs)\n",
+              m.total_cut(), m.max_part_cut, m.imbalance_sq, ga.generations,
+              static_cast<long long>(ga.evaluations), ga.wall_seconds);
+
+  // 4. Refinement mode (§4.1): seed the population with the RSB solution.
+  auto seeded = make_seeded_population(rsb, config.ga.population_size,
+                                       /*swap_fraction=*/0.1, rng);
+  const DpgaResult refined =
+      run_dpga(mesh.graph, config, std::move(seeded), rng.split());
+  std::printf("GA (RSB seed): total cut %4.0f   worst part cut %4.0f   "
+              "imbalance %4.1f\n",
+              refined.best_metrics.total_cut(),
+              refined.best_metrics.max_part_cut,
+              refined.best_metrics.imbalance_sq);
+
+  std::printf(
+      "\nThe seeded GA is never worse than its seed; with enough budget it\n"
+      "strictly improves on RSB — the paper's Table 1/2 observation.\n");
+  return 0;
+}

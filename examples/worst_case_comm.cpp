@@ -1,0 +1,74 @@
+// Worst-case communication optimization — the paper's §4.3 headline
+// capability: genetic algorithms can directly minimize
+//     sum_q I(q) + max_q C(q),
+// a non-differentiable objective that gradient-based partitioners cannot
+// touch.  In a bulk-synchronous solver the slowest processor sets the pace,
+// so the WORST part's communication volume — not the total — bounds the
+// step time.
+//
+// This example partitions a mesh for both objectives and shows the
+// trade-off: Fitness1 minimizes total traffic, Fitness2 flattens the
+// per-part communication profile.
+//
+//   $ ./worst_case_comm [--nodes=213] [--parts=8] [--gens=400]
+#include <cstdio>
+
+#include "gapart.hpp"
+
+using namespace gapart;
+
+namespace {
+
+void print_profile(const char* name, const Graph& g, const Assignment& a,
+                   PartId parts) {
+  const auto m = compute_metrics(g, a, parts);
+  std::printf("%-22s total cut %5.0f   worst part cut %4.0f   imbalance %4.1f\n",
+              name, m.total_cut(), m.max_part_cut, m.imbalance_sq);
+  std::printf("%-22s per-part C(q):", "");
+  for (PartId q = 0; q < parts; ++q) {
+    std::printf(" %4.0f", m.part_cut[static_cast<std::size_t>(q)]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto nodes = static_cast<VertexId>(args.integer("nodes", 213));
+  const auto parts = static_cast<PartId>(args.integer("parts", 8));
+  const int gens = args.integer("gens", 400);
+
+  const Mesh mesh = paper_mesh(nodes);
+  Rng rng(0xCC0);
+  std::printf("mesh: %s, %d parts\n\n", mesh.graph.summary().c_str(), parts);
+
+  // Baseline: RSB (oblivious to the worst-part objective).
+  const Assignment rsb = rsb_partition(mesh.graph, parts, rng);
+  print_profile("RSB", mesh.graph, rsb, parts);
+  std::printf("\n");
+
+  // GA minimizing total communication (Fitness 1), seeded with RSB.
+  DpgaConfig cfg1 = paper_dpga_config(parts, Objective::kTotalComm);
+  cfg1.ga.max_generations = gens;
+  auto seeds = make_seeded_population(rsb, cfg1.ga.population_size, 0.1, rng);
+  const auto total_opt = run_dpga(mesh.graph, cfg1, seeds, rng.split());
+  print_profile("GA fitness1 (total)", mesh.graph, total_opt.best, parts);
+  std::printf("\n");
+
+  // GA minimizing the worst part (Fitness 2), seeded with RSB.
+  DpgaConfig cfg2 = paper_dpga_config(parts, Objective::kWorstComm);
+  cfg2.ga.max_generations = gens;
+  const auto worst_opt = run_dpga(mesh.graph, cfg2, seeds, rng.split());
+  print_profile("GA fitness2 (worst)", mesh.graph, worst_opt.best, parts);
+
+  const auto m1 = compute_metrics(mesh.graph, total_opt.best, parts);
+  const auto m2 = compute_metrics(mesh.graph, worst_opt.best, parts);
+  std::printf(
+      "\nRead: the fitness2 run trades a slightly higher total cut\n"
+      "(%.0f vs %.0f) for a flatter profile — its worst part (%.0f) beats\n"
+      "both RSB and the fitness1 run (%.0f), which is what bounds the\n"
+      "communication phase of a bulk-synchronous step.\n",
+      m2.total_cut(), m1.total_cut(), m2.max_part_cut, m1.max_part_cut);
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "baselines/greedy_incremental.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+Assignment greedy_incremental_assign(const Graph& grown,
+                                     const Assignment& previous,
+                                     PartId num_parts) {
+  const VertexId n = grown.num_vertices();
+  const auto n_old = static_cast<VertexId>(previous.size());
+  GAPART_REQUIRE(n_old <= n, "previous assignment larger than grown graph");
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  for (PartId p : previous) {
+    GAPART_REQUIRE(p >= 0 && p < num_parts, "previous assignment part ", p,
+                   " out of range");
+  }
+
+  Assignment out(static_cast<std::size_t>(n), -1);
+  std::copy(previous.begin(), previous.end(), out.begin());
+
+  std::vector<double> part_weight(static_cast<std::size_t>(num_parts), 0.0);
+  for (VertexId v = 0; v < n_old; ++v) {
+    part_weight[static_cast<std::size_t>(out[static_cast<std::size_t>(v)])] +=
+        grown.vertex_weight(v);
+  }
+
+  auto assigned_neighbor_count = [&](VertexId v) {
+    int c = 0;
+    for (VertexId u : grown.neighbors(v)) {
+      if (out[static_cast<std::size_t>(u)] >= 0) ++c;
+    }
+    return c;
+  };
+
+  std::vector<VertexId> pending;
+  for (VertexId v = n_old; v < n; ++v) pending.push_back(v);
+
+  while (!pending.empty()) {
+    // Most-constrained-first: the pending vertex with the most assigned
+    // neighbours (stable tie-break on id for determinism).
+    std::size_t pick = 0;
+    int pick_count = -1;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const int c = assigned_neighbor_count(pending[i]);
+      if (c > pick_count) {
+        pick_count = c;
+        pick = i;
+      }
+    }
+    const VertexId v = pending[pick];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    // Majority vote among assigned neighbours (edge-weighted).
+    std::vector<double> votes(static_cast<std::size_t>(num_parts), 0.0);
+    const auto nbrs = grown.neighbors(v);
+    const auto wgts = grown.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const PartId p = out[static_cast<std::size_t>(nbrs[i])];
+      if (p >= 0) votes[static_cast<std::size_t>(p)] += wgts[i];
+    }
+
+    PartId choice = 0;
+    for (PartId q = 1; q < num_parts; ++q) {
+      const auto uq = static_cast<std::size_t>(q);
+      const auto uc = static_cast<std::size_t>(choice);
+      if (votes[uq] > votes[uc] ||
+          (votes[uq] == votes[uc] && part_weight[uq] < part_weight[uc])) {
+        choice = q;
+      }
+    }
+    out[static_cast<std::size_t>(v)] = choice;
+    part_weight[static_cast<std::size_t>(choice)] += grown.vertex_weight(v);
+  }
+  return out;
+}
+
+}  // namespace gapart

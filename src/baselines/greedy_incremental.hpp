@@ -1,0 +1,21 @@
+// The deterministic incremental-assignment strawman named in the paper's
+// conclusion: "a simple deterministic algorithm that assigns new nodes to
+// the part to which most of its nearest neighbors belong".  The paper argues
+// its GA beats this; the incremental benches measure exactly that claim.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// Extends `previous` (an assignment of the first |previous| vertices of
+/// `grown`) to all of `grown`: old vertices keep their part; new vertices
+/// are processed most-constrained-first and take the majority part among
+/// their already-assigned neighbours, ties (and isolated vertices) broken by
+/// the lightest part, then lowest part id.
+Assignment greedy_incremental_assign(const Graph& grown,
+                                     const Assignment& previous,
+                                     PartId num_parts);
+
+}  // namespace gapart

@@ -1,0 +1,89 @@
+#include "baselines/kl.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+namespace {
+
+struct Move {
+  VertexId vertex = -1;
+  PartId to = -1;
+  double gain = 0.0;
+};
+
+/// Best (vertex, part) move among unlocked boundary vertices; gain may be
+/// negative.  Returns vertex == -1 when no candidate exists.
+Move best_move(const PartitionState& state, const std::vector<char>& locked,
+               const FitnessParams& params) {
+  Move best;
+  bool found = false;
+  const Graph& g = state.graph();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (locked[static_cast<std::size_t>(v)] || !state.is_boundary(v)) continue;
+    for (PartId to : state.neighbor_parts(v)) {
+      const double gain = state.move_gain(v, to, params);
+      if (!found || gain > best.gain) {
+        best = {v, to, gain};
+        found = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KlResult kl_refine(PartitionState& state, const KlOptions& options) {
+  GAPART_REQUIRE(options.max_passes >= 1, "need at least one pass");
+  const Graph& g = state.graph();
+  KlResult result;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++result.passes;
+    std::vector<char> locked(static_cast<std::size_t>(g.num_vertices()), 0);
+
+    // Trial sequence: apply best moves (possibly negative), remember the
+    // prefix with the highest cumulative gain.
+    struct Applied {
+      VertexId vertex;
+      PartId from;
+    };
+    std::vector<Applied> trail;
+    double cumulative = 0.0;
+    double best_cumulative = 0.0;
+    std::size_t best_prefix = 0;
+
+    const int cap = options.max_moves_per_pass > 0
+                        ? options.max_moves_per_pass
+                        : g.num_vertices();
+    for (int step = 0; step < cap; ++step) {
+      const Move mv = best_move(state, locked, options.fitness);
+      if (mv.vertex < 0) break;
+      trail.push_back({mv.vertex, state.part_of(mv.vertex)});
+      state.move(mv.vertex, mv.to);
+      locked[static_cast<std::size_t>(mv.vertex)] = 1;
+      cumulative += mv.gain;
+      if (cumulative > best_cumulative + 1e-12) {
+        best_cumulative = cumulative;
+        best_prefix = trail.size();
+      }
+    }
+
+    // Roll back to the best prefix.
+    while (trail.size() > best_prefix) {
+      state.move(trail.back().vertex, trail.back().from);
+      trail.pop_back();
+    }
+
+    result.moves_applied += static_cast<int>(best_prefix);
+    result.fitness_gain += best_cumulative;
+    if (best_prefix == 0) break;  // pass produced nothing; converged
+  }
+  return result;
+}
+
+}  // namespace gapart

@@ -1,0 +1,46 @@
+#include "baselines/rcb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "graph/recursive_split.hpp"
+
+namespace gapart {
+
+Assignment rcb_partition(const Graph& g, PartId num_parts, Rng& rng) {
+  GAPART_REQUIRE(g.has_coordinates(),
+                 "RCB requires vertex coordinates; this graph has none");
+  return recursive_split_partition(
+      g, num_parts, rng, [](const Graph& sub, Rng&) {
+        const VertexId n = sub.num_vertices();
+        std::vector<VertexId> order(static_cast<std::size_t>(n));
+        std::iota(order.begin(), order.end(), 0);
+        if (n <= 1) return order;
+
+        // Pick the axis with the larger spread.
+        double lox = sub.coordinate(0).x;
+        double hix = lox;
+        double loy = sub.coordinate(0).y;
+        double hiy = loy;
+        for (VertexId v = 1; v < n; ++v) {
+          const Point2 p = sub.coordinate(v);
+          lox = std::min(lox, p.x);
+          hix = std::max(hix, p.x);
+          loy = std::min(loy, p.y);
+          hiy = std::max(hiy, p.y);
+        }
+        const bool split_x = (hix - lox) >= (hiy - loy);
+        std::sort(order.begin(), order.end(),
+                  [&sub, split_x](VertexId a, VertexId b) {
+                    const Point2 pa = sub.coordinate(a);
+                    const Point2 pb = sub.coordinate(b);
+                    const double ka = split_x ? pa.x : pa.y;
+                    const double kb = split_x ? pb.x : pb.y;
+                    return ka != kb ? ka < kb : a < b;
+                  });
+        return order;
+      });
+}
+
+}  // namespace gapart

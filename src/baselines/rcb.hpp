@@ -1,0 +1,15 @@
+// Recursive Coordinate Bisection — one of the classical geometric heuristics
+// enumerated in the paper's introduction.  Each level splits the current
+// vertex set at the weighted median along its widest coordinate axis.
+// Requires vertex coordinates.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+Assignment rcb_partition(const Graph& g, PartId num_parts, Rng& rng);
+
+}  // namespace gapart

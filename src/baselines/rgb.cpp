@@ -1,0 +1,14 @@
+#include "baselines/rgb.hpp"
+
+#include "graph/recursive_split.hpp"
+
+namespace gapart {
+
+Assignment rgb_partition(const Graph& g, PartId num_parts, Rng& rng) {
+  return recursive_split_partition(g, num_parts, rng,
+                                   [](const Graph& sub, Rng&) {
+                                     return component_packed_bfs_order(sub);
+                                   });
+}
+
+}  // namespace gapart

@@ -1,0 +1,15 @@
+// Recursive Graph Bisection — the purely combinatorial classical heuristic
+// from the paper's introduction: BFS levelization from a pseudo-peripheral
+// vertex orders the vertices, and the level structure is split at the
+// weighted median.  Needs no geometry and no spectra.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+Assignment rgb_partition(const Graph& g, PartId num_parts, Rng& rng);
+
+}  // namespace gapart

@@ -1,0 +1,19 @@
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gapart {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "gapart assertion failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  if (!msg.empty()) {
+    std::fprintf(stderr, "  %s\n", msg.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gapart

@@ -1,0 +1,53 @@
+// Contract checking and error reporting used across gapart.
+//
+// GAPART_ASSERT is an always-on internal invariant check (these algorithms
+// are cheap relative to the checks, and silent corruption of a partition is
+// far worse than an abort).  API-boundary validation throws gapart::Error so
+// callers can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gapart {
+
+/// Exception thrown on invalid arguments / malformed inputs at API boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+
+namespace detail {
+inline std::string format_assert_msg() { return {}; }
+
+template <typename... Args>
+std::string format_assert_msg(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace gapart
+
+#define GAPART_ASSERT(expr, ...)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::gapart::assert_fail(#expr, __FILE__, __LINE__,                  \
+                            ::gapart::detail::format_assert_msg(__VA_ARGS__)); \
+    }                                                                   \
+  } while (false)
+
+/// Throws gapart::Error with a formatted message when `expr` is false.
+#define GAPART_REQUIRE(expr, ...)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      throw ::gapart::Error(                                            \
+          ::gapart::detail::format_assert_msg("requirement failed: ",   \
+                                              #expr, " — ", __VA_ARGS__)); \
+    }                                                                   \
+  } while (false)

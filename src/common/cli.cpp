@@ -1,0 +1,90 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        named_[arg.substr(2)] = {"", false};
+      } else {
+        named_[arg.substr(2, eq - 2)] = {arg.substr(eq + 1), false};
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  auto it = named_.find(name);
+  if (it == named_.end()) return false;
+  it->second.second = true;
+  return true;
+}
+
+bool CliArgs::flag(const std::string& name, bool def) const {
+  auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  it->second.second = true;
+  const std::string& v = it->second.first;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw Error("flag --" + name + " has non-boolean value '" + v + "'");
+}
+
+std::string CliArgs::str(const std::string& name,
+                         const std::string& def) const {
+  auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  it->second.second = true;
+  return it->second.first;
+}
+
+int CliArgs::integer(const std::string& name, int def) const {
+  auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  it->second.second = true;
+  try {
+    return std::stoi(it->second.first);
+  } catch (const std::exception&) {
+    throw Error("flag --" + name + " expects an integer, got '" +
+                it->second.first + "'");
+  }
+}
+
+double CliArgs::real(const std::string& name, double def) const {
+  auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  it->second.second = true;
+  try {
+    return std::stod(it->second.first);
+  } catch (const std::exception&) {
+    throw Error("flag --" + name + " expects a number, got '" +
+                it->second.first + "'");
+  }
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : named_) {
+    if (!value.second) out.push_back(name);
+  }
+  return out;
+}
+
+bool quick_mode_enabled() {
+  const char* v = std::getenv("GAPART_QUICK");
+  return v != nullptr && v[0] != '\0';
+}
+
+}  // namespace gapart

@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing shared by the bench harnesses and
+// examples.  Flags use `--name=value` or boolean `--name` form; anything else
+// is a positional argument.
+//
+// All bench binaries additionally honour the GAPART_QUICK environment
+// variable (set to any non-empty value) which the harnesses map to reduced
+// generation counts, so the full `for b in build/bench/*; do $b; done` sweep
+// can be smoke-tested cheaply.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gapart {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& name) const;
+
+  /// Boolean flag: present without a value, or with value in
+  /// {1,true,yes,on} / {0,false,no,off}.
+  bool flag(const std::string& name, bool def = false) const;
+
+  std::string str(const std::string& name, const std::string& def) const;
+  int integer(const std::string& name, int def) const;
+  double real(const std::string& name, double def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names that were provided but never queried — handy for catching typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  mutable std::map<std::string, std::pair<std::string, bool>> named_;
+  std::vector<std::string> positional_;
+};
+
+/// True when the GAPART_QUICK environment variable is set non-empty.
+bool quick_mode_enabled();
+
+}  // namespace gapart

@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GAPART_REQUIRE(!header_.empty(), "a table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GAPART_REQUIRE(cells.size() == header_.size(), "row has ", cells.size(),
+                 " cells, table has ", header_.size(), " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::start_row() { rows_.emplace_back(); }
+
+void TextTable::append(std::string cell) {
+  GAPART_REQUIRE(!rows_.empty(), "start_row() before append()");
+  GAPART_REQUIRE(rows_.back().size() < header_.size(),
+                 "row already has all ", header_.size(), " cells");
+  rows_.back().push_back(std::move(cell));
+}
+
+void TextTable::append(double value, int precision) {
+  append(format_double(value, precision));
+}
+
+void TextTable::append(long long value) { append(std::to_string(value)); }
+
+void TextTable::add_rule() { rows_.push_back({kRuleMarker}); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kRuleMarker) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[c])) << cell << "  ";
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kRuleMarker) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit_row(row);
+    }
+  }
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str(); }
+
+}  // namespace gapart

@@ -1,0 +1,48 @@
+// Plain-text table rendering for the experiment harnesses: every bench binary
+// prints paper-style tables (rows = graphs, columns = part counts) so the
+// output can be compared side by side with the tables in the paper.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gapart {
+
+/// A fixed-column text table.  Cells are strings; numeric convenience setters
+/// format with a fixed precision.  Rendering pads every column to its widest
+/// cell and draws an ASCII rule under the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Appends a full row; must have exactly columns() cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Starts a new empty row; subsequent set()/append() fill it.
+  void start_row();
+  void append(std::string cell);
+  void append(double value, int precision = 2);
+  void append(long long value);
+
+  /// Adds a separator rule drawn as dashes across the full width.
+  void add_rule();
+
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+ private:
+  static constexpr const char* kRuleMarker = "\x01rule";
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point.
+std::string format_double(double value, int precision = 2);
+
+}  // namespace gapart

@@ -1,0 +1,49 @@
+#include "core/contracted_ga.hpp"
+
+#include <algorithm>
+
+#include "baselines/kl.hpp"
+#include "common/assert.hpp"
+#include "core/init.hpp"
+#include "graph/coarsen.hpp"
+#include "graph/partition.hpp"
+
+namespace gapart {
+
+ContractedGaResult contracted_ga_partition(const Graph& g,
+                                           const ContractedGaOptions& options,
+                                           Rng& rng) {
+  const PartId k = options.dpga.ga.num_parts;
+  GAPART_REQUIRE(g.num_vertices() >= k, "fewer vertices than parts");
+
+  const VertexId target = std::max<VertexId>(
+      k * options.coarse_vertices_per_part, 2 * k);
+  const auto hierarchy = coarsen_to(g, target, rng);
+  const Graph& coarsest = hierarchy.coarsest(g);
+
+  ContractedGaResult result;
+  result.coarse_vertices = coarsest.num_vertices();
+  result.levels = static_cast<int>(hierarchy.levels.size());
+
+  auto initial = make_random_population(coarsest.num_vertices(), k,
+                                        options.dpga.ga.population_size, rng);
+  result.ga = run_dpga(coarsest, options.dpga, std::move(initial), rng.split());
+  Assignment assignment = result.ga.best;
+
+  KlOptions kl;
+  kl.fitness = options.dpga.ga.fitness;
+  kl.max_passes = options.kl_passes_per_level;
+  for (std::size_t li = hierarchy.levels.size(); li-- > 0;) {
+    const auto& level = hierarchy.levels[li];
+    assignment = project_assignment(assignment, level.fine_to_coarse);
+    const Graph& fine = li == 0 ? g : hierarchy.levels[li - 1].graph;
+    PartitionState state(fine, assignment, k);
+    kl_refine(state, kl);
+    assignment = state.assignment();
+  }
+
+  result.assignment = std::move(assignment);
+  return result;
+}
+
+}  // namespace gapart

@@ -1,0 +1,172 @@
+#include "core/crossover.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+const char* crossover_name(CrossoverOp op) {
+  switch (op) {
+    case CrossoverOp::kOnePoint:
+      return "1-point";
+    case CrossoverOp::kTwoPoint:
+      return "2-point";
+    case CrossoverOp::kKPoint:
+      return "k-point";
+    case CrossoverOp::kUniform:
+      return "UX";
+    case CrossoverOp::kKnux:
+      return "KNUX";
+    case CrossoverOp::kDknux:
+      return "DKNUX";
+  }
+  return "unknown";
+}
+
+CrossoverOp parse_crossover(const std::string& name) {
+  if (name == "1point") return CrossoverOp::kOnePoint;
+  if (name == "2point") return CrossoverOp::kTwoPoint;
+  if (name == "kpoint") return CrossoverOp::kKPoint;
+  if (name == "ux" || name == "uniform") return CrossoverOp::kUniform;
+  if (name == "knux") return CrossoverOp::kKnux;
+  if (name == "dknux") return CrossoverOp::kDknux;
+  throw Error("unknown crossover operator '" + name +
+              "' (expected 1point|2point|kpoint|ux|knux|dknux)");
+}
+
+void k_point_crossover(const Assignment& a, const Assignment& b, int k,
+                       Rng& rng, Assignment& child1, Assignment& child2) {
+  GAPART_REQUIRE(a.size() == b.size(), "parent length mismatch");
+  const auto n = a.size();
+  GAPART_REQUIRE(k >= 1, "k-point crossover needs k >= 1");
+  child1.resize(n);
+  child2.resize(n);
+  if (n <= 1) {
+    child1 = a;
+    child2 = b;
+    return;
+  }
+
+  // Distinct cut sites in [1, n-1]; a cut before position i means the source
+  // parent flips starting at gene i.
+  const int max_cuts = static_cast<int>(n) - 1;
+  const int cuts = std::min(k, max_cuts);
+  std::vector<std::size_t> sites;
+  sites.reserve(static_cast<std::size_t>(cuts));
+  while (static_cast<int>(sites.size()) < cuts) {
+    const auto s = static_cast<std::size_t>(
+        1 + rng.uniform_int(static_cast<int>(n) - 1));
+    if (std::find(sites.begin(), sites.end(), s) == sites.end()) {
+      sites.push_back(s);
+    }
+  }
+  std::sort(sites.begin(), sites.end());
+
+  bool from_a = true;
+  std::size_t next_cut = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (next_cut < sites.size() && sites[next_cut] == i) {
+      from_a = !from_a;
+      ++next_cut;
+    }
+    child1[i] = from_a ? a[i] : b[i];
+    child2[i] = from_a ? b[i] : a[i];
+  }
+}
+
+void uniform_crossover(const Assignment& a, const Assignment& b, Rng& rng,
+                       Assignment& child1, Assignment& child2) {
+  GAPART_REQUIRE(a.size() == b.size(), "parent length mismatch");
+  const auto n = a.size();
+  child1.resize(n);
+  child2.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.5)) {
+      child1[i] = a[i];
+      child2[i] = b[i];
+    } else {
+      child1[i] = b[i];
+      child2[i] = a[i];
+    }
+  }
+}
+
+double knux_bias(const Graph& g, const Assignment& reference, VertexId i,
+                 PartId a_allele, PartId b_allele) {
+  int count_a = 0;
+  int count_b = 0;
+  for (VertexId j : g.neighbors(i)) {
+    const PartId rj = reference[static_cast<std::size_t>(j)];
+    if (rj == a_allele) ++count_a;
+    if (rj == b_allele) ++count_b;
+  }
+  if (count_a == 0 && count_b == 0) return 0.5;
+  return static_cast<double>(count_a) /
+         static_cast<double>(count_a + count_b);
+}
+
+void knux_crossover(const Assignment& a, const Assignment& b, const Graph& g,
+                    const Assignment& reference, Rng& rng, Assignment& child1,
+                    Assignment& child2, bool complementary) {
+  GAPART_REQUIRE(a.size() == b.size(), "parent length mismatch");
+  GAPART_REQUIRE(a.size() == static_cast<std::size_t>(g.num_vertices()),
+                 "chromosome length != |V|");
+  GAPART_REQUIRE(reference.size() == a.size(),
+                 "KNUX reference length != chromosome length");
+  const auto n = a.size();
+  child1.resize(n);
+  child2.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) {
+      child1[i] = a[i];
+      child2[i] = a[i];
+      continue;
+    }
+    const double p =
+        knux_bias(g, reference, static_cast<VertexId>(i), a[i], b[i]);
+    const bool take_a = rng.bernoulli(p);
+    child1[i] = take_a ? a[i] : b[i];
+    if (complementary) {
+      // Uniform-crossover pairing: the sibling takes the other allele, so
+      // no allele is lost from the population at crossover.
+      child2[i] = take_a ? b[i] : a[i];
+    } else {
+      // Independent biased draw: both children pull towards the reference.
+      child2[i] = rng.bernoulli(p) ? a[i] : b[i];
+    }
+  }
+}
+
+void apply_crossover(CrossoverOp op, const CrossoverContext& ctx,
+                     const Assignment& a, const Assignment& b, Rng& rng,
+                     Assignment& child1, Assignment& child2) {
+  switch (op) {
+    case CrossoverOp::kOnePoint:
+      k_point_crossover(a, b, 1, rng, child1, child2);
+      return;
+    case CrossoverOp::kTwoPoint:
+      k_point_crossover(a, b, 2, rng, child1, child2);
+      return;
+    case CrossoverOp::kKPoint:
+      k_point_crossover(a, b, ctx.k_points, rng, child1, child2);
+      return;
+    case CrossoverOp::kUniform:
+      uniform_crossover(a, b, rng, child1, child2);
+      return;
+    case CrossoverOp::kKnux:
+    case CrossoverOp::kDknux:
+      GAPART_REQUIRE(ctx.graph != nullptr, crossover_name(op),
+                     " needs a graph in the crossover context");
+      GAPART_REQUIRE(ctx.reference != nullptr, crossover_name(op),
+                     " needs a reference solution in the crossover context");
+      knux_crossover(a, b, *ctx.graph, *ctx.reference, rng, child1, child2,
+                     ctx.knux_complementary);
+      return;
+  }
+  GAPART_ASSERT(false, "unhandled crossover op");
+}
+
+}  // namespace gapart

@@ -1,0 +1,35 @@
+// Fitness evaluation bridge between the GA and the partition metrics.
+#pragma once
+
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// Evaluates chromosomes against one graph / part count / objective.
+/// Copyable view (does not own the graph).
+class FitnessFunction {
+ public:
+  FitnessFunction(const Graph& g, PartId num_parts, FitnessParams params)
+      : g_(&g), num_parts_(num_parts), params_(params) {}
+
+  const Graph& graph() const { return *g_; }
+  PartId num_parts() const { return num_parts_; }
+  const FitnessParams& params() const { return params_; }
+
+  /// O(V + E).  Higher is better (the paper maximizes fitness).
+  double operator()(const Assignment& genes) const {
+    return evaluate_fitness(*g_, genes, num_parts_, params_);
+  }
+
+  PartitionMetrics metrics(const Assignment& genes) const {
+    return compute_metrics(*g_, genes, num_parts_);
+  }
+
+ private:
+  const Graph* g_;
+  PartId num_parts_;
+  FitnessParams params_;
+};
+
+}  // namespace gapart

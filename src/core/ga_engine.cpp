@@ -1,0 +1,221 @@
+#include "core/ga_engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/mutation.hpp"
+
+namespace gapart {
+
+GaEngine::GaEngine(const Graph& g, const GaConfig& config,
+                   std::vector<Assignment> initial, Rng rng)
+    : config_(config),
+      fitness_fn_(g, config.num_parts, config.fitness),
+      rng_(rng) {
+  GAPART_REQUIRE(config_.population_size >= 2,
+                 "population must hold at least 2 individuals");
+  GAPART_REQUIRE(config_.num_parts >= 1, "need at least one part");
+  GAPART_REQUIRE(config_.crossover_rate >= 0.0 &&
+                     config_.crossover_rate <= 1.0,
+                 "crossover rate out of [0,1]");
+  GAPART_REQUIRE(config_.mutation_rate >= 0.0 && config_.mutation_rate <= 1.0,
+                 "mutation rate out of [0,1]");
+  GAPART_REQUIRE(config_.elite_count >= 0 &&
+                     config_.elite_count < config_.population_size,
+                 "elite count must be in [0, population)");
+  GAPART_REQUIRE(!initial.empty(), "initial population must not be empty");
+  for (const auto& genes : initial) {
+    GAPART_REQUIRE(is_valid_assignment(g, genes, config_.num_parts),
+                   "initial chromosome invalid for ", config_.num_parts,
+                   " parts");
+  }
+
+  population_.reserve(static_cast<std::size_t>(config_.population_size));
+  for (int i = 0; i < config_.population_size; ++i) {
+    Individual ind;
+    ind.genes = initial[static_cast<std::size_t>(i) % initial.size()];
+    ind.fitness = evaluate(ind.genes);
+    ind.evaluated = true;
+    population_.push_back(std::move(ind));
+  }
+
+  best_ever_ = *std::max_element(
+      population_.begin(), population_.end(),
+      [](const Individual& a, const Individual& b) {
+        return a.fitness < b.fitness;
+      });
+
+  // Initial KNUX reference: an explicitly supplied heuristic estimate
+  // (§3.2), or the best member of the seed population (for seeded runs this
+  // is the seed itself).  DKNUX keeps updating it; static KNUX keeps it
+  // fixed unless overridden via set_knux_reference().
+  if (config_.knux_reference.has_value()) {
+    GAPART_REQUIRE(
+        is_valid_assignment(g, *config_.knux_reference, config_.num_parts),
+        "configured KNUX reference invalid for ", config_.num_parts,
+        " parts");
+    knux_reference_ = *config_.knux_reference;
+  } else {
+    knux_reference_ = best_ever_.genes;
+  }
+
+  record_stats();
+}
+
+double GaEngine::evaluate(const Assignment& genes) {
+  ++evaluations_;
+  return fitness_fn_(genes);
+}
+
+void GaEngine::set_knux_reference(Assignment reference) {
+  GAPART_REQUIRE(is_valid_assignment(fitness_fn_.graph(), reference,
+                                     config_.num_parts),
+                 "reference invalid for ", config_.num_parts, " parts");
+  knux_reference_ = std::move(reference);
+}
+
+void GaEngine::inject(const Assignment& migrant) {
+  GAPART_REQUIRE(is_valid_assignment(fitness_fn_.graph(), migrant,
+                                     config_.num_parts),
+                 "migrant invalid for ", config_.num_parts, " parts");
+  Individual ind;
+  ind.genes = migrant;
+  ind.fitness = evaluate(ind.genes);
+  ind.evaluated = true;
+  if (ind.fitness > best_ever_.fitness) {
+    best_ever_ = ind;
+    last_improvement_generation_ = generation_;
+  }
+  population_[worst_index()] = std::move(ind);
+}
+
+std::size_t GaEngine::worst_index() const {
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < population_.size(); ++i) {
+    if (population_[i].fitness < population_[worst].fitness) worst = i;
+  }
+  return worst;
+}
+
+void GaEngine::step() {
+  const Graph& g = fitness_fn_.graph();
+
+  CrossoverContext ctx;
+  ctx.graph = &g;
+  ctx.reference = &knux_reference_;
+  ctx.k_points = config_.k_points;
+  ctx.knux_complementary = config_.knux_complementary;
+
+  const Selector selector(population_, config_.selection,
+                          config_.tournament_size);
+
+  std::vector<Individual> next;
+  next.reserve(static_cast<std::size_t>(config_.population_size));
+
+  // Elitism: carry over the elite_count best individuals unchanged.
+  if (config_.elite_count > 0) {
+    std::vector<std::size_t> order(population_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + config_.elite_count, order.end(),
+                      [this](std::size_t a, std::size_t b) {
+                        return population_[a].fitness > population_[b].fitness;
+                      });
+    for (int e = 0; e < config_.elite_count; ++e) {
+      next.push_back(population_[order[static_cast<std::size_t>(e)]]);
+    }
+  }
+
+  Assignment child1;
+  Assignment child2;
+  while (static_cast<int>(next.size()) < config_.population_size) {
+    const std::size_t ia = selector.draw(rng_);
+    const std::size_t ib = selector.draw(rng_);
+    const Individual& pa = population_[ia];
+    const Individual& pb = population_[ib];
+
+    if (rng_.bernoulli(config_.crossover_rate)) {
+      apply_crossover(config_.crossover, ctx, pa.genes, pb.genes, rng_,
+                      child1, child2);
+    } else {
+      child1 = pa.genes;
+      child2 = pb.genes;
+    }
+
+    for (Assignment* child : {&child1, &child2}) {
+      if (static_cast<int>(next.size()) >= config_.population_size) break;
+      point_mutation(*child, config_.num_parts, config_.mutation_rate, rng_);
+      if (config_.hill_climb_offspring &&
+          rng_.bernoulli(config_.hill_climb_fraction)) {
+        HillClimbOptions hc;
+        hc.fitness = config_.fitness;
+        hc.max_passes = config_.hill_climb_passes;
+        hill_climb(g, *child, config_.num_parts, hc);
+      }
+      Individual ind;
+      ind.genes = *child;
+      ind.fitness = evaluate(ind.genes);
+      ind.evaluated = true;
+      next.push_back(std::move(ind));
+    }
+  }
+
+  population_ = std::move(next);
+  ++generation_;
+
+  for (const auto& ind : population_) {
+    if (ind.fitness > best_ever_.fitness) {
+      best_ever_ = ind;
+      last_improvement_generation_ = generation_;
+    }
+  }
+
+  // DKNUX: the reference tracks the best solution in the search history.
+  if (config_.crossover == CrossoverOp::kDknux) {
+    knux_reference_ = best_ever_.genes;
+  }
+
+  record_stats();
+}
+
+void GaEngine::record_stats() {
+  GenerationStats s;
+  s.generation = generation_;
+  s.best_fitness = best_ever_.fitness;
+  double sum = 0.0;
+  for (const auto& ind : population_) sum += ind.fitness;
+  s.mean_fitness = sum / static_cast<double>(population_.size());
+  const auto m = fitness_fn_.metrics(best_ever_.genes);
+  s.best_total_cut = m.total_cut();
+  s.best_max_part_cut = m.max_part_cut;
+  history_.push_back(s);
+}
+
+bool GaEngine::stalled() const {
+  return config_.stall_generations > 0 &&
+         generation_ - last_improvement_generation_ >=
+             config_.stall_generations;
+}
+
+GaResult GaEngine::result() const {
+  GaResult r;
+  r.best = best_ever_.genes;
+  r.best_fitness = best_ever_.fitness;
+  r.best_metrics = fitness_fn_.metrics(best_ever_.genes);
+  r.history = history_;
+  r.generations = generation_;
+  r.evaluations = evaluations_;
+  r.stalled = stalled();
+  return r;
+}
+
+GaResult run_ga(const Graph& g, const GaConfig& config,
+                std::vector<Assignment> initial, Rng rng) {
+  GaEngine engine(g, config, std::move(initial), rng);
+  while (engine.generation() < config.max_generations && !engine.stalled()) {
+    engine.step();
+  }
+  return engine.result();
+}
+
+}  // namespace gapart

@@ -1,0 +1,141 @@
+// Single-population genetic algorithm for graph partitioning.
+//
+// Generational model with elitism.  Per generation: parents are drawn by the
+// configured selection scheme; with probability p_c they recombine under the
+// configured crossover operator (two children), otherwise they are cloned;
+// children undergo per-gene point mutation (rate p_m) and — optionally —
+// the boundary hill climbing of §3.6.  For DKNUX the engine updates the
+// operator's reference solution to the best individual found so far at every
+// generation boundary (§3.3).
+//
+// The engine exposes a step() interface so the distributed-population model
+// (core/dpga.hpp) can drive many engines in lockstep and migrate individuals
+// between them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/crossover.hpp"
+#include "core/fitness.hpp"
+#include "core/hill_climb.hpp"
+#include "core/individual.hpp"
+#include "core/selection.hpp"
+#include "graph/partition.hpp"
+
+namespace gapart {
+
+struct GaConfig {
+  PartId num_parts = 2;
+  int population_size = 320;    ///< paper: total population 320
+  double crossover_rate = 0.7;  ///< paper: p_c = 0.7
+  double mutation_rate = 0.01;  ///< paper: p_m = 0.01 (per gene)
+  CrossoverOp crossover = CrossoverOp::kDknux;
+  int k_points = 4;  ///< cut count when crossover == kKPoint
+  /// KNUX/DKNUX sibling policy (see CrossoverContext::knux_complementary).
+  bool knux_complementary = false;
+  /// Optional explicit initial reference solution I for KNUX/DKNUX (§3.2:
+  /// "an initial candidate solution I is first generated", e.g. an IBP
+  /// result).  When absent, the best member of the initial population is
+  /// used.  DKNUX replaces it with the best-so-far as the search proceeds.
+  std::optional<Assignment> knux_reference;
+  SelectionScheme selection = SelectionScheme::kTournament;
+  int tournament_size = 2;
+  int elite_count = 2;  ///< individuals copied unchanged each generation
+  FitnessParams fitness;
+
+  /// Stopping: hard generation cap, plus optional stall window (0 = off)
+  /// counting generations without best-fitness improvement.
+  int max_generations = 300;
+  int stall_generations = 0;
+
+  /// §3.6 hill climbing on offspring.
+  bool hill_climb_offspring = false;
+  double hill_climb_fraction = 0.25;  ///< probability a child is climbed
+  int hill_climb_passes = 1;
+};
+
+/// Per-generation statistics (drives the convergence figures).
+struct GenerationStats {
+  int generation = 0;
+  double best_fitness = 0.0;       ///< best-ever at this generation
+  double mean_fitness = 0.0;       ///< current population mean
+  double best_total_cut = 0.0;     ///< sum C(q)/2 of best-ever
+  double best_max_part_cut = 0.0;  ///< max C(q) of best-ever
+};
+
+struct GaResult {
+  Assignment best;
+  double best_fitness = 0.0;
+  PartitionMetrics best_metrics;
+  std::vector<GenerationStats> history;
+  int generations = 0;
+  std::int64_t evaluations = 0;
+  bool stalled = false;  ///< true when the stall window triggered the stop
+};
+
+class GaEngine {
+ public:
+  /// `initial` chromosomes fill the population: cycled if fewer than
+  /// population_size, truncated if more.  Must not be empty.
+  GaEngine(const Graph& g, const GaConfig& config,
+           std::vector<Assignment> initial, Rng rng);
+
+  const GaConfig& config() const { return config_; }
+  const Graph& graph() const { return fitness_fn_.graph(); }
+  int generation() const { return generation_; }
+  std::int64_t evaluations() const { return evaluations_; }
+
+  const std::vector<Individual>& population() const { return population_; }
+
+  /// Best individual discovered over the whole run (not only the current
+  /// population).
+  const Individual& best() const { return best_ever_; }
+
+  /// KNUX/DKNUX reference solution I (§3.2/§3.3).
+  const Assignment& knux_reference() const { return knux_reference_; }
+
+  /// Overrides the reference (e.g. an IBP solution for static KNUX).
+  void set_knux_reference(Assignment reference);
+
+  /// Replaces the worst individual with `migrant` (DPGA migration).
+  void inject(const Assignment& migrant);
+
+  /// Runs one generation.
+  void step();
+
+  /// True when the configured stall window has elapsed without improvement.
+  bool stalled() const;
+
+  /// Statistics of the current state (appended to history each step()).
+  const std::vector<GenerationStats>& history() const { return history_; }
+
+  /// Packages the engine's outcome.
+  GaResult result() const;
+
+ private:
+  double evaluate(const Assignment& genes);
+  void record_stats();
+  std::size_t worst_index() const;
+
+  GaConfig config_;
+  FitnessFunction fitness_fn_;
+  Rng rng_;
+  std::vector<Individual> population_;
+  Individual best_ever_;
+  Assignment knux_reference_;
+  int generation_ = 0;
+  int last_improvement_generation_ = 0;
+  std::int64_t evaluations_ = 0;
+  std::vector<GenerationStats> history_;
+};
+
+/// Convenience driver: constructs an engine and steps until max_generations
+/// or the stall window fires.
+GaResult run_ga(const Graph& g, const GaConfig& config,
+                std::vector<Assignment> initial, Rng rng);
+
+}  // namespace gapart

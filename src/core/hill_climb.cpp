@@ -1,0 +1,48 @@
+#include "core/hill_climb.hpp"
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+HillClimbResult hill_climb(PartitionState& state,
+                           const HillClimbOptions& options) {
+  GAPART_REQUIRE(options.max_passes >= 1, "need at least one pass");
+  HillClimbResult result;
+  const Graph& g = state.graph();
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++result.passes;
+    int moves_this_pass = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!state.is_boundary(v)) continue;
+      // Best neighbouring part for v under the objective.
+      PartId best_to = -1;
+      double best_gain = options.min_gain;
+      for (PartId to : state.neighbor_parts(v)) {
+        const double gain = state.move_gain(v, to, options.fitness);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_to = to;
+        }
+      }
+      if (best_to >= 0) {
+        state.move(v, best_to);
+        ++moves_this_pass;
+        result.fitness_gain += best_gain;
+      }
+    }
+    result.moves += moves_this_pass;
+    if (moves_this_pass == 0) break;  // local optimum reached
+  }
+  return result;
+}
+
+HillClimbResult hill_climb(const Graph& g, Assignment& genes, PartId num_parts,
+                           const HillClimbOptions& options) {
+  PartitionState state(g, std::move(genes), num_parts);
+  const HillClimbResult result = hill_climb(state, options);
+  genes = state.assignment();
+  return result;
+}
+
+}  // namespace gapart

@@ -1,0 +1,34 @@
+// Hill climbing on offspring (paper §3.6): only boundary vertices are
+// examined, and a vertex migrates to a neighbouring part whenever that
+// strictly improves fitness.  Passes repeat until a fixed point or the pass
+// budget is exhausted.
+#pragma once
+
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+struct HillClimbOptions {
+  FitnessParams fitness;
+  int max_passes = 4;
+  /// Minimum fitness improvement for a move to be taken.
+  double min_gain = 1e-9;
+};
+
+struct HillClimbResult {
+  int passes = 0;
+  int moves = 0;
+  double fitness_gain = 0.0;
+};
+
+/// Climbs `state` to a local optimum (or until max_passes).  Monotone:
+/// fitness never decreases.
+HillClimbResult hill_climb(PartitionState& state,
+                           const HillClimbOptions& options = {});
+
+/// Convenience overload operating on a chromosome.
+HillClimbResult hill_climb(const Graph& g, Assignment& genes, PartId num_parts,
+                           const HillClimbOptions& options = {});
+
+}  // namespace gapart

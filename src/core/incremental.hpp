@@ -1,0 +1,32 @@
+// Incremental graph partitioning (paper §3.5 / §4.2).
+//
+// When a partitioned graph grows — new vertices appended, adjacency possibly
+// perturbed locally — the previous partition seeds the GA population: old
+// vertices keep their parts, new vertices are dealt randomly to the lightest
+// parts, and the population is filled with balance-preserving perturbations
+// of that extension.  The GA (DKNUX by default) then repartitions the grown
+// graph, exploiting all the information in the previous solution.
+#pragma once
+
+#include "core/dpga.hpp"
+#include "core/presets.hpp"
+
+namespace gapart {
+
+struct IncrementalGaOptions {
+  DpgaConfig dpga;
+  /// Swap-perturbation strength for the non-seed population members.
+  double swap_fraction = 0.08;
+
+  IncrementalGaOptions()
+      : dpga(paper_dpga_config(2, Objective::kTotalComm)) {}
+};
+
+/// Repartitions `grown` (whose first |previous| vertices carry over from the
+/// old graph) into options.dpga.ga.num_parts parts, seeded from `previous`.
+DpgaResult incremental_repartition(const Graph& grown,
+                                   const Assignment& previous,
+                                   const IncrementalGaOptions& options,
+                                   Rng& rng);
+
+}  // namespace gapart

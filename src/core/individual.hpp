@@ -1,0 +1,18 @@
+// GA individual: the paper's vector chromosome plus cached fitness.
+#pragma once
+
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// One candidate solution.  genes[v] = part of vertex v (the paper's §3.1
+/// representation).  fitness is valid only when `evaluated` is set; the
+/// engine maintains the invariant that every individual in a living
+/// population is evaluated.
+struct Individual {
+  Assignment genes;
+  double fitness = 0.0;
+  bool evaluated = false;
+};
+
+}  // namespace gapart

@@ -1,0 +1,147 @@
+#include "core/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "core/mutation.hpp"
+
+namespace gapart {
+
+Assignment random_uniform_assignment(VertexId num_vertices, PartId num_parts,
+                                     Rng& rng) {
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  Assignment a(static_cast<std::size_t>(num_vertices));
+  for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(num_parts));
+  return a;
+}
+
+Assignment random_balanced_assignment(VertexId num_vertices, PartId num_parts,
+                                      Rng& rng) {
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  std::vector<VertexId> order(static_cast<std::size_t>(num_vertices));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Assignment a(static_cast<std::size_t>(num_vertices));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    a[static_cast<std::size_t>(order[i])] =
+        static_cast<PartId>(i % static_cast<std::size_t>(num_parts));
+  }
+  return a;
+}
+
+Assignment incremental_seed_assignment(const Graph& grown,
+                                       const Assignment& previous,
+                                       PartId num_parts, Rng& rng) {
+  const VertexId n = grown.num_vertices();
+  const auto n_old = static_cast<VertexId>(previous.size());
+  GAPART_REQUIRE(n_old <= n, "previous assignment larger than grown graph");
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+
+  Assignment out(static_cast<std::size_t>(n));
+  std::copy(previous.begin(), previous.end(), out.begin());
+
+  std::vector<double> part_weight(static_cast<std::size_t>(num_parts), 0.0);
+  for (VertexId v = 0; v < n_old; ++v) {
+    part_weight[static_cast<std::size_t>(previous[static_cast<std::size_t>(v)])] +=
+        grown.vertex_weight(v);
+  }
+
+  // Deal new vertices in random order, each to a random choice among the
+  // currently lightest parts ("randomly assigning new graph nodes ... while
+  // ensuring that balance is maintained").
+  std::vector<VertexId> fresh;
+  for (VertexId v = n_old; v < n; ++v) fresh.push_back(v);
+  rng.shuffle(fresh);
+  for (VertexId v : fresh) {
+    double lightest = part_weight[0];
+    for (PartId q = 1; q < num_parts; ++q) {
+      lightest = std::min(lightest, part_weight[static_cast<std::size_t>(q)]);
+    }
+    std::vector<PartId> candidates;
+    for (PartId q = 0; q < num_parts; ++q) {
+      if (part_weight[static_cast<std::size_t>(q)] <= lightest + 1e-12) {
+        candidates.push_back(q);
+      }
+    }
+    const PartId choice = candidates[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<int>(candidates.size())))];
+    out[static_cast<std::size_t>(v)] = choice;
+    part_weight[static_cast<std::size_t>(choice)] += grown.vertex_weight(v);
+  }
+  return out;
+}
+
+std::vector<Assignment> make_random_population(VertexId num_vertices,
+                                               PartId num_parts, int size,
+                                               Rng& rng) {
+  GAPART_REQUIRE(size >= 1, "population size must be >= 1");
+  std::vector<Assignment> pop;
+  pop.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    pop.push_back(random_balanced_assignment(num_vertices, num_parts, rng));
+  }
+  return pop;
+}
+
+std::vector<Assignment> make_seeded_population(const Assignment& seed,
+                                               int size, double swap_fraction,
+                                               Rng& rng) {
+  GAPART_REQUIRE(size >= 1, "population size must be >= 1");
+  GAPART_REQUIRE(swap_fraction >= 0.0, "swap fraction must be >= 0");
+  std::vector<Assignment> pop;
+  pop.reserve(static_cast<std::size_t>(size));
+  pop.push_back(seed);
+  const int swaps = static_cast<int>(
+      std::ceil(swap_fraction * static_cast<double>(seed.size())));
+  for (int i = 1; i < size; ++i) {
+    Assignment clone = seed;
+    perturb_by_swaps(clone, swaps, rng);
+    pop.push_back(std::move(clone));
+  }
+  return pop;
+}
+
+std::vector<Assignment> make_mixed_population(
+    const std::vector<Assignment>& seeds, int size, double swap_fraction,
+    Rng& rng) {
+  GAPART_REQUIRE(!seeds.empty(), "need at least one seed");
+  GAPART_REQUIRE(size >= 1, "population size must be >= 1");
+  for (const auto& s : seeds) {
+    GAPART_REQUIRE(s.size() == seeds.front().size(),
+                   "seeds disagree on chromosome length");
+  }
+  std::vector<Assignment> pop;
+  pop.reserve(static_cast<std::size_t>(size));
+  const int swaps = static_cast<int>(
+      std::ceil(swap_fraction * static_cast<double>(seeds.front().size())));
+  for (int i = 0; i < size; ++i) {
+    Assignment clone = seeds[static_cast<std::size_t>(i) % seeds.size()];
+    // The first pass over the seeds is verbatim; later clones are perturbed.
+    if (static_cast<std::size_t>(i) >= seeds.size()) {
+      perturb_by_swaps(clone, swaps, rng);
+    }
+    pop.push_back(std::move(clone));
+  }
+  return pop;
+}
+
+std::vector<Assignment> make_incremental_population(
+    const Graph& grown, const Assignment& previous, PartId num_parts,
+    int size, double swap_fraction, Rng& rng) {
+  GAPART_REQUIRE(size >= 1, "population size must be >= 1");
+  std::vector<Assignment> pop;
+  pop.reserve(static_cast<std::size_t>(size));
+  const int swaps = static_cast<int>(std::ceil(
+      swap_fraction * static_cast<double>(grown.num_vertices())));
+  for (int i = 0; i < size; ++i) {
+    Assignment a =
+        incremental_seed_assignment(grown, previous, num_parts, rng);
+    if (i > 0) perturb_by_swaps(a, swaps, rng);
+    pop.push_back(std::move(a));
+  }
+  return pop;
+}
+
+}  // namespace gapart

@@ -1,0 +1,61 @@
+// Population initialization strategies (paper §3.5).
+//
+// Random initialization deals shuffled vertices round-robin so the starting
+// population is balanced (the quadratic imbalance term dominates otherwise).
+// Seeded initialization plants a heuristic solution — IBP, RSB, or, in the
+// incremental case, the previous partition extended to the new vertices —
+// and fills the rest of the population with balance-preserving perturbations
+// of it.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// Uniform random part per vertex (unbalanced; kept for ablation).
+Assignment random_uniform_assignment(VertexId num_vertices, PartId num_parts,
+                                     Rng& rng);
+
+/// Shuffle vertices, deal round-robin: all part sizes within one vertex.
+Assignment random_balanced_assignment(VertexId num_vertices, PartId num_parts,
+                                      Rng& rng);
+
+/// Extends `previous` (assignment of the first |previous| vertices of
+/// `grown`) to the full graph: old vertices keep their part; new vertices
+/// are dealt randomly to the currently lightest parts, maintaining balance
+/// (paper §3.5, incremental case).
+Assignment incremental_seed_assignment(const Graph& grown,
+                                       const Assignment& previous,
+                                       PartId num_parts, Rng& rng);
+
+/// size chromosomes: shuffled-deal random balanced assignments.
+std::vector<Assignment> make_random_population(VertexId num_vertices,
+                                               PartId num_parts, int size,
+                                               Rng& rng);
+
+/// size chromosomes: the seed itself plus size-1 swap-perturbed clones
+/// (each clone gets ceil(swap_fraction * |V|) balance-preserving swaps).
+std::vector<Assignment> make_seeded_population(const Assignment& seed,
+                                               int size, double swap_fraction,
+                                               Rng& rng);
+
+/// size chromosomes for the incremental problem: each is an independent
+/// balanced extension of `previous`, then swap-perturbed (the first one is
+/// left unperturbed).
+std::vector<Assignment> make_incremental_population(
+    const Graph& grown, const Assignment& previous, PartId num_parts,
+    int size, double swap_fraction, Rng& rng);
+
+/// size chromosomes from SEVERAL heuristic seeds (e.g. IBP + RSB + RCB):
+/// every seed appears once verbatim, the rest of the population cycles
+/// through swap-perturbed clones of the seeds.  Generalizes §3.5's "seeded
+/// with a pre-estimated heuristic solution" to a portfolio of heuristics.
+std::vector<Assignment> make_mixed_population(
+    const std::vector<Assignment>& seeds, int size, double swap_fraction,
+    Rng& rng);
+
+}  // namespace gapart

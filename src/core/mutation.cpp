@@ -1,0 +1,62 @@
+#include "core/mutation.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+int point_mutation(Assignment& genes, PartId num_parts, double rate,
+                   Rng& rng) {
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  GAPART_REQUIRE(rate >= 0.0 && rate <= 1.0, "mutation rate out of [0,1]");
+  if (num_parts == 1) return 0;
+  int changed = 0;
+  for (auto& gene : genes) {
+    if (!rng.bernoulli(rate)) continue;
+    // Uniform over the other num_parts-1 parts.
+    PartId p = static_cast<PartId>(rng.uniform_int(num_parts - 1));
+    if (p >= gene) ++p;
+    gene = p;
+    ++changed;
+  }
+  return changed;
+}
+
+int boundary_mutation(Assignment& genes, const Graph& g, PartId num_parts,
+                      double rate, Rng& rng) {
+  GAPART_REQUIRE(static_cast<VertexId>(genes.size()) == g.num_vertices(),
+                 "chromosome length != |V|");
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  if (num_parts == 1) return 0;
+  int changed = 0;
+  std::vector<PartId> options;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId own = genes[static_cast<std::size_t>(v)];
+    options.clear();
+    for (VertexId u : g.neighbors(v)) {
+      const PartId q = genes[static_cast<std::size_t>(u)];
+      if (q != own) options.push_back(q);
+    }
+    if (options.empty()) continue;  // interior vertex
+    if (!rng.bernoulli(rate)) continue;
+    genes[static_cast<std::size_t>(v)] =
+        options[static_cast<std::size_t>(rng.uniform_int(
+            static_cast<int>(options.size())))];
+    ++changed;
+  }
+  return changed;
+}
+
+void perturb_by_swaps(Assignment& genes, int num_swaps, Rng& rng) {
+  const auto n = static_cast<int>(genes.size());
+  if (n < 2) return;
+  for (int s = 0; s < num_swaps; ++s) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(n));
+    const auto j = static_cast<std::size_t>(rng.uniform_int(n));
+    if (genes[i] == genes[j]) continue;  // swap would be a no-op
+    std::swap(genes[i], genes[j]);
+  }
+}
+
+}  // namespace gapart

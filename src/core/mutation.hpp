@@ -1,0 +1,30 @@
+// Mutation operators.
+//
+// point_mutation is the paper's operator (per-gene rate p_m = 0.01):
+// a mutated gene is reassigned to a uniformly random *different* part, so
+// the configured rate is the effective rate.  boundary_mutation is a
+// locality-aware extension (ablated in the benches): it only relocates
+// boundary vertices, and only into parts they already touch.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// Each gene flips with probability `rate` to a random other part.
+/// Returns the number of genes changed.  num_parts == 1 is a no-op.
+int point_mutation(Assignment& genes, PartId num_parts, double rate, Rng& rng);
+
+/// Each *boundary* gene flips with probability `rate` into a random
+/// neighbouring part.  Returns the number of genes changed.
+int boundary_mutation(Assignment& genes, const Graph& g, PartId num_parts,
+                      double rate, Rng& rng);
+
+/// Swaps the parts of `num_swaps` random vertex pairs drawn from different
+/// parts, preserving all part sizes exactly.  Used to diversify seeded
+/// populations (§3.5) without destroying their balance.
+void perturb_by_swaps(Assignment& genes, int num_swaps, Rng& rng);
+
+}  // namespace gapart

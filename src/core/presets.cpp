@@ -1,0 +1,32 @@
+#include "core/presets.hpp"
+
+namespace gapart {
+
+GaConfig paper_ga_config(PartId num_parts, Objective objective) {
+  GaConfig cfg;
+  cfg.num_parts = num_parts;
+  cfg.population_size = 320;
+  cfg.crossover_rate = 0.7;
+  cfg.mutation_rate = 0.01;
+  cfg.crossover = CrossoverOp::kDknux;
+  cfg.selection = SelectionScheme::kTournament;
+  cfg.tournament_size = 2;
+  cfg.elite_count = 2;
+  cfg.fitness.objective = objective;
+  cfg.fitness.lambda = 1.0;
+  cfg.max_generations = 300;
+  cfg.stall_generations = 100;
+  return cfg;
+}
+
+DpgaConfig paper_dpga_config(PartId num_parts, Objective objective) {
+  DpgaConfig cfg;
+  cfg.num_islands = 16;
+  cfg.topology = TopologyKind::kHypercube;
+  cfg.migration_interval = 5;
+  cfg.migrants_per_exchange = 1;
+  cfg.ga = paper_ga_config(num_parts, objective);
+  return cfg;
+}
+
+}  // namespace gapart

@@ -1,0 +1,18 @@
+// The paper's experimental GA settings (§4), packaged so every bench, test
+// and example agrees on them: total population 320, crossover rate 0.7,
+// mutation rate 0.01, DKNUX, and — for the distributed runs — 16
+// subpopulations configured as a 4-dimensional hypercube.
+#pragma once
+
+#include "core/dpga.hpp"
+#include "core/ga_engine.hpp"
+
+namespace gapart {
+
+/// Single-population configuration with the paper's parameters.
+GaConfig paper_ga_config(PartId num_parts, Objective objective);
+
+/// 16-island hypercube DPGA over a total population of 320.
+DpgaConfig paper_dpga_config(PartId num_parts, Objective objective);
+
+}  // namespace gapart

@@ -1,0 +1,112 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+const char* selection_name(SelectionScheme s) {
+  switch (s) {
+    case SelectionScheme::kTournament:
+      return "tournament";
+    case SelectionScheme::kRoulette:
+      return "roulette";
+    case SelectionScheme::kRank:
+      return "rank";
+  }
+  return "unknown";
+}
+
+SelectionScheme parse_selection(const std::string& name) {
+  if (name == "tournament") return SelectionScheme::kTournament;
+  if (name == "roulette") return SelectionScheme::kRoulette;
+  if (name == "rank") return SelectionScheme::kRank;
+  throw Error("unknown selection scheme '" + name +
+              "' (expected tournament|roulette|rank)");
+}
+
+Selector::Selector(const std::vector<Individual>& population,
+                   SelectionScheme scheme, int tournament_size)
+    : population_(&population),
+      scheme_(scheme),
+      tournament_size_(tournament_size) {
+  GAPART_REQUIRE(!population.empty(), "cannot select from empty population");
+  GAPART_REQUIRE(tournament_size >= 1, "tournament size must be >= 1");
+  for (const auto& ind : population) {
+    GAPART_ASSERT(ind.evaluated, "selection over unevaluated individual");
+  }
+
+  if (scheme_ == SelectionScheme::kRoulette) {
+    // Fitness values are <= 0; shift so the worst individual still gets a
+    // small positive slice (10% of the mean shifted weight) and better
+    // individuals proportionally more.
+    double min_fit = population.front().fitness;
+    for (const auto& ind : population) min_fit = std::min(min_fit, ind.fitness);
+    double sum_shifted = 0.0;
+    for (const auto& ind : population) sum_shifted += ind.fitness - min_fit;
+    const double floor_weight =
+        sum_shifted > 0.0
+            ? 0.1 * sum_shifted / static_cast<double>(population.size())
+            : 1.0;
+    cumulative_.reserve(population.size());
+    double acc = 0.0;
+    for (const auto& ind : population) {
+      acc += (ind.fitness - min_fit) + floor_weight;
+      cumulative_.push_back(acc);
+    }
+  } else if (scheme_ == SelectionScheme::kRank) {
+    ranked_.resize(population.size());
+    std::iota(ranked_.begin(), ranked_.end(), 0);
+    std::sort(ranked_.begin(), ranked_.end(),
+              [&population](std::size_t a, std::size_t b) {
+                return population[a].fitness > population[b].fitness;
+              });
+    // Linear ranking with selection pressure 2.0: weight of rank r (0 =
+    // best) is proportional to (N - r).
+    cumulative_.reserve(population.size());
+    double acc = 0.0;
+    for (std::size_t r = 0; r < population.size(); ++r) {
+      acc += static_cast<double>(population.size() - r);
+      cumulative_.push_back(acc);
+    }
+  }
+}
+
+std::size_t Selector::draw(Rng& rng) const {
+  const auto& pop = *population_;
+  switch (scheme_) {
+    case SelectionScheme::kTournament: {
+      std::size_t best =
+          static_cast<std::size_t>(rng.uniform_int(static_cast<int>(pop.size())));
+      for (int t = 1; t < tournament_size_; ++t) {
+        const auto challenger = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<int>(pop.size())));
+        if (pop[challenger].fitness > pop[best].fitness) best = challenger;
+      }
+      return best;
+    }
+    case SelectionScheme::kRoulette: {
+      const double x = rng.uniform(0.0, cumulative_.back());
+      const auto it =
+          std::upper_bound(cumulative_.begin(), cumulative_.end(), x);
+      return static_cast<std::size_t>(
+          std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                                   static_cast<std::ptrdiff_t>(pop.size()) - 1));
+    }
+    case SelectionScheme::kRank: {
+      const double x = rng.uniform(0.0, cumulative_.back());
+      const auto it =
+          std::upper_bound(cumulative_.begin(), cumulative_.end(), x);
+      const auto rank = static_cast<std::size_t>(
+          std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                                   static_cast<std::ptrdiff_t>(pop.size()) - 1));
+      return ranked_[rank];
+    }
+  }
+  GAPART_ASSERT(false, "unhandled selection scheme");
+  return 0;
+}
+
+}  // namespace gapart

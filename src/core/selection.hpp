@@ -1,0 +1,44 @@
+// Parent selection schemes.
+//
+// The paper does not name its selection mechanism; tournament selection is
+// the default (robust to the negative fitness scale of the partitioning
+// objectives), with fitness-proportionate (roulette, min-shifted) and linear
+// ranking provided for ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/individual.hpp"
+
+namespace gapart {
+
+enum class SelectionScheme {
+  kTournament,
+  kRoulette,
+  kRank,
+};
+
+const char* selection_name(SelectionScheme s);
+SelectionScheme parse_selection(const std::string& name);
+
+/// Per-generation selection context: build once from the evaluated
+/// population, then draw() repeatedly.
+class Selector {
+ public:
+  Selector(const std::vector<Individual>& population, SelectionScheme scheme,
+           int tournament_size);
+
+  std::size_t draw(Rng& rng) const;
+
+ private:
+  const std::vector<Individual>* population_;
+  SelectionScheme scheme_;
+  int tournament_size_;
+  /// Roulette: cumulative min-shifted fitness; Rank: indices best-first.
+  std::vector<double> cumulative_;
+  std::vector<std::size_t> ranked_;
+};
+
+}  // namespace gapart

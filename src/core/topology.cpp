@@ -1,0 +1,99 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+const char* topology_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kHypercube:
+      return "hypercube";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kTorus:
+      return "torus";
+    case TopologyKind::kComplete:
+      return "complete";
+    case TopologyKind::kIsolated:
+      return "isolated";
+  }
+  return "unknown";
+}
+
+TopologyKind parse_topology(const std::string& name) {
+  if (name == "hypercube") return TopologyKind::kHypercube;
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "torus") return TopologyKind::kTorus;
+  if (name == "complete") return TopologyKind::kComplete;
+  if (name == "isolated") return TopologyKind::kIsolated;
+  throw Error("unknown topology '" + name +
+              "' (expected hypercube|ring|torus|complete|isolated)");
+}
+
+std::vector<std::vector<int>> build_topology(TopologyKind kind,
+                                             int num_islands) {
+  GAPART_REQUIRE(num_islands >= 1, "need at least one island");
+  std::vector<std::vector<int>> nbrs(static_cast<std::size_t>(num_islands));
+  if (num_islands == 1) return nbrs;
+
+  switch (kind) {
+    case TopologyKind::kIsolated:
+      break;
+    case TopologyKind::kHypercube: {
+      GAPART_REQUIRE((num_islands & (num_islands - 1)) == 0,
+                     "hypercube needs a power-of-two island count, got ",
+                     num_islands);
+      for (int i = 0; i < num_islands; ++i) {
+        for (int bit = 1; bit < num_islands; bit <<= 1) {
+          nbrs[static_cast<std::size_t>(i)].push_back(i ^ bit);
+        }
+      }
+      break;
+    }
+    case TopologyKind::kRing: {
+      for (int i = 0; i < num_islands; ++i) {
+        const int prev = (i + num_islands - 1) % num_islands;
+        const int next = (i + 1) % num_islands;
+        nbrs[static_cast<std::size_t>(i)].push_back(prev);
+        if (next != prev) nbrs[static_cast<std::size_t>(i)].push_back(next);
+      }
+      break;
+    }
+    case TopologyKind::kTorus: {
+      // Near-square factorization rows x cols = num_islands.
+      int rows = static_cast<int>(std::sqrt(static_cast<double>(num_islands)));
+      while (rows > 1 && num_islands % rows != 0) --rows;
+      const int cols = num_islands / rows;
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          const int i = r * cols + c;
+          auto& out = nbrs[static_cast<std::size_t>(i)];
+          out.push_back(r * cols + (c + 1) % cols);
+          out.push_back(r * cols + (c + cols - 1) % cols);
+          out.push_back(((r + 1) % rows) * cols + c);
+          out.push_back(((r + rows - 1) % rows) * cols + c);
+        }
+      }
+      break;
+    }
+    case TopologyKind::kComplete: {
+      for (int i = 0; i < num_islands; ++i) {
+        for (int j = 0; j < num_islands; ++j) {
+          if (i != j) nbrs[static_cast<std::size_t>(i)].push_back(j);
+        }
+      }
+      break;
+    }
+  }
+
+  for (auto& out : nbrs) {
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return nbrs;
+}
+
+}  // namespace gapart

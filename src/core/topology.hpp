@@ -1,0 +1,29 @@
+// Migration topologies for the distributed-population GA.
+//
+// The paper runs 16 subpopulations "configured as a four dimensional
+// hypercube"; ring, 2-D torus and complete graphs are provided for the
+// migration-topology ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gapart {
+
+enum class TopologyKind {
+  kHypercube,  ///< islands must be a power of two
+  kRing,
+  kTorus,  ///< islands arranged near-square
+  kComplete,
+  kIsolated,  ///< no migration links (ablation control)
+};
+
+const char* topology_name(TopologyKind k);
+TopologyKind parse_topology(const std::string& name);
+
+/// neighbors[i] = sorted list of islands island i sends its migrants to.
+/// All topologies here are symmetric.
+std::vector<std::vector<int>> build_topology(TopologyKind kind,
+                                             int num_islands);
+
+}  // namespace gapart

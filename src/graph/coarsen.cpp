@@ -1,0 +1,122 @@
+#include "graph/coarsen.hpp"
+
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+CoarseLevel coarsen_once(const Graph& g, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> match(static_cast<std::size_t>(n), -1);
+
+  // Visit vertices in random order; match each unmatched vertex with its
+  // heaviest-edge unmatched neighbour (ties: first encountered).
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  for (VertexId v : order) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    VertexId best = -1;
+    double best_w = -1.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (match[static_cast<std::size_t>(u)] != -1) continue;
+      if (wgts[i] > best_w) {
+        best_w = wgts[i];
+        best = u;
+      }
+    }
+    if (best != -1) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    }
+  }
+
+  // Number coarse vertices.
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  VertexId coarse_n = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[static_cast<std::size_t>(v)] != -1) continue;
+    const VertexId m = match[static_cast<std::size_t>(v)];
+    level.fine_to_coarse[static_cast<std::size_t>(v)] = coarse_n;
+    level.fine_to_coarse[static_cast<std::size_t>(m)] = coarse_n;
+    ++coarse_n;
+  }
+
+  GraphBuilder b(coarse_n);
+  std::vector<double> cw(static_cast<std::size_t>(coarse_n), 0.0);
+  std::vector<double> cx(static_cast<std::size_t>(coarse_n), 0.0);
+  std::vector<double> cy(static_cast<std::size_t>(coarse_n), 0.0);
+  std::vector<int> members(static_cast<std::size_t>(coarse_n), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(
+        level.fine_to_coarse[static_cast<std::size_t>(v)]);
+    cw[c] += g.vertex_weight(v);
+    if (g.has_coordinates()) {
+      cx[c] += g.coordinate(v).x;
+      cy[c] += g.coordinate(v).y;
+    }
+    ++members[c];
+  }
+  for (VertexId c = 0; c < coarse_n; ++c) {
+    b.set_vertex_weight(c, cw[static_cast<std::size_t>(c)]);
+    if (g.has_coordinates()) {
+      const auto m = static_cast<double>(members[static_cast<std::size_t>(c)]);
+      b.set_coordinate(c, {cx[static_cast<std::size_t>(c)] / m,
+                           cy[static_cast<std::size_t>(c)] / m});
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId cu = level.fine_to_coarse[static_cast<std::size_t>(nbrs[i])];
+      // Add once per fine edge (v < nbr); builder merges parallels.
+      if (v < nbrs[i] && cv != cu) b.add_edge(cv, cu, wgts[i]);
+    }
+  }
+
+  level.graph = b.build();
+  return level;
+}
+
+CoarsenHierarchy coarsen_to(const Graph& g, VertexId target_vertices,
+                            Rng& rng) {
+  GAPART_REQUIRE(target_vertices >= 2, "coarsen target must be >= 2");
+  CoarsenHierarchy h;
+  const Graph* current = &g;
+  while (current->num_vertices() > target_vertices) {
+    CoarseLevel level = coarsen_once(*current, rng);
+    const VertexId before = current->num_vertices();
+    const VertexId after = level.graph.num_vertices();
+    if (after >= before || static_cast<double>(after) >
+                               0.9 * static_cast<double>(before)) {
+      break;  // matching stalled (e.g. star-like graphs)
+    }
+    h.levels.push_back(std::move(level));
+    current = &h.levels.back().graph;
+  }
+  return h;
+}
+
+Assignment project_assignment(const Assignment& coarse,
+                              const std::vector<VertexId>& fine_to_coarse) {
+  Assignment fine(fine_to_coarse.size());
+  for (std::size_t v = 0; v < fine_to_coarse.size(); ++v) {
+    const auto c = static_cast<std::size_t>(fine_to_coarse[v]);
+    GAPART_ASSERT(c < coarse.size());
+    fine[v] = coarse[c];
+  }
+  return fine;
+}
+
+}  // namespace gapart

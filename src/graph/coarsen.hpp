@@ -1,0 +1,46 @@
+// Graph contraction by heavy-edge matching.
+//
+// The paper's conclusion prescribes "a prior graph contraction step" before
+// GA-partitioning very large graphs; this module implements it (and also
+// feeds the multilevel spectral partitioner).  A randomized heavy-edge
+// maximal matching collapses matched pairs into coarse vertices; vertex
+// weights add, parallel coarse edges merge with summed weights, so every
+// coarse cut equals the corresponding fine cut.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// One level of coarsening.
+struct CoarseLevel {
+  Graph graph;                         ///< the coarse graph
+  std::vector<VertexId> fine_to_coarse;  ///< per fine vertex: coarse id
+};
+
+/// Contracts `g` once via randomized heavy-edge matching.
+CoarseLevel coarsen_once(const Graph& g, Rng& rng);
+
+/// A full coarsening hierarchy: levels[0] coarsens the input, levels.back()
+/// is the coarsest.  Stops when the coarse graph has <= target_vertices or
+/// shrinkage stalls (< 10% reduction).
+struct CoarsenHierarchy {
+  std::vector<CoarseLevel> levels;
+
+  const Graph& coarsest(const Graph& original) const {
+    return levels.empty() ? original : levels.back().graph;
+  }
+};
+
+CoarsenHierarchy coarsen_to(const Graph& g, VertexId target_vertices,
+                            Rng& rng);
+
+/// Lifts an assignment of the coarse graph back to the fine graph.
+Assignment project_assignment(const Assignment& coarse,
+                              const std::vector<VertexId>& fine_to_coarse);
+
+}  // namespace gapart

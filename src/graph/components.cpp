@@ -1,0 +1,100 @@
+#include "graph/components.hpp"
+
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+std::vector<VertexId> Components::sizes() const {
+  std::vector<VertexId> out(static_cast<std::size_t>(count), 0);
+  for (VertexId c : label) ++out[static_cast<std::size_t>(c)];
+  return out;
+}
+
+Components connected_components(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  Components comp;
+  comp.label.assign(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp.label[static_cast<std::size_t>(s)] != -1) continue;
+    const VertexId c = comp.count++;
+    stack.push_back(s);
+    comp.label[static_cast<std::size_t>(s)] = c;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : g.neighbors(v)) {
+        if (comp.label[static_cast<std::size_t>(u)] == -1) {
+          comp.label[static_cast<std::size_t>(u)] = c;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, VertexId source,
+                                        const std::vector<char>& mask) {
+  const VertexId n = g.num_vertices();
+  GAPART_REQUIRE(source >= 0 && source < n, "bfs source out of range");
+  GAPART_REQUIRE(mask.empty() || static_cast<VertexId>(mask.size()) == n,
+                 "mask size mismatch");
+  auto allowed = [&](VertexId v) {
+    return mask.empty() || mask[static_cast<std::size_t>(v)];
+  };
+  GAPART_REQUIRE(allowed(source), "bfs source excluded by mask");
+
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(n), -1);
+  std::queue<VertexId> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.neighbors(v)) {
+      if (!allowed(u) || dist[static_cast<std::size_t>(u)] != -1) continue;
+      dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+      q.push(u);
+    }
+  }
+  return dist;
+}
+
+VertexId farthest_vertex(const Graph& g, VertexId source,
+                         const std::vector<char>& mask) {
+  const auto dist = bfs_distances(g, source, mask);
+  VertexId best = source;
+  std::int32_t best_d = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::int32_t d = dist[static_cast<std::size_t>(v)];
+    if (d > best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+VertexId pseudo_peripheral_vertex(const Graph& g,
+                                  const std::vector<char>& mask) {
+  GAPART_REQUIRE(g.num_vertices() > 0, "empty graph");
+  VertexId start = 0;
+  if (!mask.empty()) {
+    while (start < g.num_vertices() && !mask[static_cast<std::size_t>(start)]) {
+      ++start;
+    }
+    GAPART_REQUIRE(start < g.num_vertices(), "mask excludes every vertex");
+  }
+  const VertexId a = farthest_vertex(g, start, mask);
+  return farthest_vertex(g, a, mask);
+}
+
+}  // namespace gapart

@@ -1,0 +1,39 @@
+// Connectivity utilities: connected components and BFS levelization.
+// Used for mesh repair, recursive graph bisection, and sanity checks.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+struct Components {
+  /// label[v] in [0, count): component of vertex v, numbered by discovery.
+  std::vector<VertexId> label;
+  VertexId count = 0;
+
+  /// Sizes indexed by component label.
+  std::vector<VertexId> sizes() const;
+};
+
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// BFS hop distances from `source` restricted to vertices with mask[v]==true
+/// (empty mask = all vertices).  Unreachable vertices get -1.
+std::vector<std::int32_t> bfs_distances(const Graph& g, VertexId source,
+                                        const std::vector<char>& mask = {});
+
+/// A vertex with maximum BFS distance from `source` (a pseudo-peripheral
+/// endpoint after iterating); ties broken by smallest id.
+VertexId farthest_vertex(const Graph& g, VertexId source,
+                         const std::vector<char>& mask = {});
+
+/// Two-sweep pseudo-peripheral vertex heuristic (start of RGB levelization).
+VertexId pseudo_peripheral_vertex(const Graph& g,
+                                  const std::vector<char>& mask = {});
+
+}  // namespace gapart

@@ -1,0 +1,203 @@
+#include "graph/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+double orient2d(Point2 a, Point2 b, Point2 c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool in_circumcircle(Point2 a, Point2 b, Point2 c, Point2 d) {
+  // Standard in-circle determinant for a CCW triangle.  The inputs here are
+  // jittered mesh points, so double precision with a relative epsilon is
+  // sufficient (no exact predicates needed).
+  const double adx = a.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdx = b.x - d.x;
+  const double bdy = b.y - d.y;
+  const double cdx = c.x - d.x;
+  const double cdy = c.y - d.y;
+
+  const double ad2 = adx * adx + ady * ady;
+  const double bd2 = bdx * bdx + bdy * bdy;
+  const double cd2 = cdx * cdx + cdy * cdy;
+
+  const double det = adx * (bdy * cd2 - bd2 * cdy) -
+                     ady * (bdx * cd2 - bd2 * cdx) +
+                     ad2 * (bdx * cdy - bdy * cdx);
+  // Scale-aware tolerance: treat near-cocircular as "outside" so the cavity
+  // stays minimal and the algorithm terminates cleanly.
+  const double mag = (ad2 + bd2 + cd2) * (std::abs(adx) + std::abs(ady) +
+                                          std::abs(bdx) + std::abs(bdy) +
+                                          std::abs(cdx) + std::abs(cdy));
+  const double eps = 1e-12 * std::max(mag, 1e-300);
+  return det > eps;
+}
+
+namespace {
+
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+};
+
+Triangle make_ccw(VertexId a, VertexId b, VertexId c,
+                  const std::vector<Point2>& pts) {
+  if (orient2d(pts[static_cast<std::size_t>(a)],
+               pts[static_cast<std::size_t>(b)],
+               pts[static_cast<std::size_t>(c)]) < 0.0) {
+    std::swap(b, c);
+  }
+  return {a, b, c};
+}
+
+}  // namespace
+
+std::vector<Triangle> delaunay_triangulate(const std::vector<Point2>& points) {
+  const auto n = static_cast<VertexId>(points.size());
+  GAPART_REQUIRE(n >= 3, "triangulation needs at least 3 points, got ", n);
+
+  // Reject duplicates: they make the cavity boundary ill-defined.
+  {
+    std::vector<Point2> sorted = points;
+    std::sort(sorted.begin(), sorted.end(), [](Point2 a, Point2 b) {
+      return a.x != b.x ? a.x < b.x : a.y < b.y;
+    });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      GAPART_REQUIRE(!(sorted[i] == sorted[i - 1]),
+                     "duplicate point in triangulation input");
+    }
+  }
+
+  // Working point array: input points plus 3 super-triangle vertices.
+  std::vector<Point2> pts = points;
+  double lox = std::numeric_limits<double>::infinity();
+  double loy = lox;
+  double hix = -lox;
+  double hiy = -lox;
+  for (const auto& p : points) {
+    lox = std::min(lox, p.x);
+    loy = std::min(loy, p.y);
+    hix = std::max(hix, p.x);
+    hiy = std::max(hiy, p.y);
+  }
+  const double cx = 0.5 * (lox + hix);
+  const double cy = 0.5 * (loy + hiy);
+  const double span = std::max({hix - lox, hiy - loy, 1e-9});
+  const double m = 64.0 * span;  // generously outside every circumcircle
+  const VertexId s0 = n;
+  const VertexId s1 = n + 1;
+  const VertexId s2 = n + 2;
+  pts.push_back({cx - m, cy - m});
+  pts.push_back({cx + m, cy - m});
+  pts.push_back({cx, cy + m});
+
+  std::vector<Triangle> tris;
+  tris.push_back(make_ccw(s0, s1, s2, pts));
+
+  std::vector<Edge> boundary;
+  std::vector<Triangle> keep;
+  for (VertexId p = 0; p < n; ++p) {
+    const Point2 pp = pts[static_cast<std::size_t>(p)];
+
+    boundary.clear();
+    keep.clear();
+    keep.reserve(tris.size());
+    for (const Triangle& t : tris) {
+      if (in_circumcircle(pts[static_cast<std::size_t>(t.a)],
+                          pts[static_cast<std::size_t>(t.b)],
+                          pts[static_cast<std::size_t>(t.c)], pp)) {
+        boundary.push_back({t.a, t.b});
+        boundary.push_back({t.b, t.c});
+        boundary.push_back({t.c, t.a});
+      } else {
+        keep.push_back(t);
+      }
+    }
+
+    if (boundary.empty()) {
+      // Tolerance put the point "outside" every circumcircle (can only
+      // happen for a point coincident with the boundary under the epsilon);
+      // force insertion via the triangle that contains it.
+      bool inserted = false;
+      for (std::size_t ti = 0; ti < keep.size() && !inserted; ++ti) {
+        const Triangle t = keep[ti];
+        const Point2 a = pts[static_cast<std::size_t>(t.a)];
+        const Point2 b = pts[static_cast<std::size_t>(t.b)];
+        const Point2 c = pts[static_cast<std::size_t>(t.c)];
+        if (orient2d(a, b, pp) >= 0 && orient2d(b, c, pp) >= 0 &&
+            orient2d(c, a, pp) >= 0) {
+          keep.erase(keep.begin() + static_cast<std::ptrdiff_t>(ti));
+          boundary.push_back({t.a, t.b});
+          boundary.push_back({t.b, t.c});
+          boundary.push_back({t.c, t.a});
+          inserted = true;
+        }
+      }
+      GAPART_ASSERT(inserted, "point ", p, " not locatable in triangulation");
+    }
+
+    // The cavity boundary consists of edges that appear exactly once among
+    // the removed triangles (interior edges appear twice, once per
+    // orientation).
+    auto canonical = [](Edge e) {
+      if (e.u > e.v) std::swap(e.u, e.v);
+      return e;
+    };
+    std::vector<Edge> canon(boundary.size());
+    for (std::size_t i = 0; i < boundary.size(); ++i) {
+      canon[i] = canonical(boundary[i]);
+    }
+    tris = std::move(keep);
+    for (std::size_t i = 0; i < boundary.size(); ++i) {
+      int count = 0;
+      for (std::size_t j = 0; j < boundary.size(); ++j) {
+        if (canon[i] == canon[j]) ++count;
+      }
+      if (count == 1) {
+        tris.push_back(make_ccw(boundary[i].u, boundary[i].v, p, pts));
+      }
+    }
+  }
+
+  // Drop triangles touching the super-triangle.
+  std::vector<Triangle> result;
+  result.reserve(tris.size());
+  for (const Triangle& t : tris) {
+    if (t.a < n && t.b < n && t.c < n) result.push_back(t);
+  }
+  return result;
+}
+
+std::vector<std::pair<VertexId, VertexId>> triangulation_edges(
+    const std::vector<Triangle>& triangles) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(triangles.size() * 3);
+  auto push = [&edges](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    edges.emplace_back(u, v);
+  };
+  for (const Triangle& t : triangles) {
+    push(t.a, t.b);
+    push(t.b, t.c);
+    push(t.c, t.a);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace gapart

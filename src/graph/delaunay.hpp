@@ -1,0 +1,44 @@
+// Bowyer–Watson Delaunay triangulation of 2-D point sets.
+//
+// This powers the synthetic finite-element-style meshes that stand in for
+// the paper's (unpublished) test graphs: jittered point sets are triangulated
+// and the triangle edges become the computational graph.  The implementation
+// is the classic incremental algorithm with a super-triangle; it is O(n^2)
+// worst case, which is ample for the mesh sizes used here (<= tens of
+// thousands of points).
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// Triangle over point indices, stored counter-clockwise.
+struct Triangle {
+  VertexId a = -1;
+  VertexId b = -1;
+  VertexId c = -1;
+
+  friend bool operator==(const Triangle& x, const Triangle& y) {
+    return x.a == y.a && x.b == y.b && x.c == y.c;
+  }
+};
+
+/// Twice the signed area of triangle (a, b, c); positive when CCW.
+double orient2d(Point2 a, Point2 b, Point2 c);
+
+/// True when point d lies strictly inside the circumcircle of CCW triangle
+/// (a, b, c).
+bool in_circumcircle(Point2 a, Point2 b, Point2 c, Point2 d);
+
+/// Delaunay triangulation of `points`.  Requires at least 3 points not all
+/// collinear; duplicate points are rejected.  Returned triangles index into
+/// `points` and are counter-clockwise.
+std::vector<Triangle> delaunay_triangulate(const std::vector<Point2>& points);
+
+/// Undirected edge list (u < v, deduplicated) of a triangulation.
+std::vector<std::pair<VertexId, VertexId>> triangulation_edges(
+    const std::vector<Triangle>& triangles);
+
+}  // namespace gapart

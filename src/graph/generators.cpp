@@ -1,0 +1,195 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "graph/components.hpp"
+
+namespace gapart {
+
+Graph make_path(VertexId n) {
+  GAPART_REQUIRE(n >= 1, "path needs at least one vertex");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  std::vector<Point2> coords(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    coords[static_cast<std::size_t>(v)] = {static_cast<double>(v), 0.0};
+  }
+  b.set_coordinates(std::move(coords));
+  return b.build();
+}
+
+Graph make_cycle(VertexId n) {
+  GAPART_REQUIRE(n >= 3, "cycle needs at least three vertices");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  std::vector<Point2> coords(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(v) / static_cast<double>(n);
+    coords[static_cast<std::size_t>(v)] = {std::cos(theta), std::sin(theta)};
+  }
+  b.set_coordinates(std::move(coords));
+  return b.build();
+}
+
+Graph make_complete(VertexId n) {
+  GAPART_REQUIRE(n >= 1, "complete graph needs at least one vertex");
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph make_star(VertexId n) {
+  GAPART_REQUIRE(n >= 2, "star needs at least two vertices");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph make_grid(VertexId rows, VertexId cols) {
+  GAPART_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  std::vector<Point2> coords(static_cast<std::size_t>(rows * cols));
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+      coords[static_cast<std::size_t>(id(r, c))] = {static_cast<double>(c),
+                                                    static_cast<double>(r)};
+    }
+  }
+  b.set_coordinates(std::move(coords));
+  return b.build();
+}
+
+Graph make_torus(VertexId rows, VertexId cols) {
+  GAPART_REQUIRE(rows >= 3 && cols >= 3,
+                 "torus needs dimensions >= 3 to avoid duplicate edges");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_two_cliques(VertexId k) {
+  GAPART_REQUIRE(k >= 2, "clique size must be at least 2");
+  GraphBuilder b(2 * k);
+  for (VertexId u = 0; u < k; ++u) {
+    for (VertexId v = u + 1; v < k; ++v) {
+      b.add_edge(u, v);
+      b.add_edge(k + u, k + v);
+    }
+  }
+  b.add_edge(k - 1, k);
+  return b.build();
+}
+
+Graph make_clique_chain(VertexId m, VertexId k) {
+  GAPART_REQUIRE(m >= 1 && k >= 2, "need at least one clique of size >= 2");
+  GraphBuilder b(m * k);
+  for (VertexId c = 0; c < m; ++c) {
+    const VertexId base = c * k;
+    for (VertexId u = 0; u < k; ++u) {
+      for (VertexId v = u + 1; v < k; ++v) b.add_edge(base + u, base + v);
+    }
+    if (c + 1 < m) b.add_edge(base + k - 1, base + k);
+  }
+  return b.build();
+}
+
+Graph make_random_graph(VertexId n, double p, Rng& rng) {
+  GAPART_REQUIRE(n >= 1, "random graph needs at least one vertex");
+  GAPART_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+namespace {
+
+std::vector<Point2> random_unit_square_points(VertexId n, Rng& rng) {
+  std::vector<Point2> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  return pts;
+}
+
+void add_radius_edges(GraphBuilder& b, const std::vector<Point2>& pts,
+                      double radius) {
+  const double r2 = radius * radius;
+  const auto n = static_cast<VertexId>(pts.size());
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (squared_distance(pts[static_cast<std::size_t>(u)],
+                           pts[static_cast<std::size_t>(v)]) <= r2) {
+        b.add_edge(u, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Graph make_random_geometric(VertexId n, double radius, Rng& rng) {
+  GAPART_REQUIRE(n >= 1, "geometric graph needs at least one vertex");
+  GAPART_REQUIRE(radius > 0.0, "radius must be positive");
+  auto pts = random_unit_square_points(n, rng);
+  GraphBuilder b(n);
+  add_radius_edges(b, pts, radius);
+  b.set_coordinates(std::move(pts));
+  return b.build();
+}
+
+Graph make_connected_geometric(VertexId n, double radius, Rng& rng) {
+  GAPART_REQUIRE(n >= 1, "geometric graph needs at least one vertex");
+  auto pts = random_unit_square_points(n, rng);
+  GraphBuilder b(n);
+  add_radius_edges(b, pts, radius);
+  b.set_coordinates(pts);
+
+  // Stitch components together with the geometrically closest cross pair so
+  // locality is preserved.
+  Graph g = b.build();
+  auto comp = connected_components(g);
+  while (comp.count > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    VertexId bu = 0;
+    VertexId bv = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (comp.label[static_cast<std::size_t>(u)] ==
+            comp.label[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        const double d = squared_distance(pts[static_cast<std::size_t>(u)],
+                                          pts[static_cast<std::size_t>(v)]);
+        if (d < best) {
+          best = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    b.add_edge(bu, bv);
+    g = b.build();
+    comp = connected_components(g);
+  }
+  return g;
+}
+
+}  // namespace gapart

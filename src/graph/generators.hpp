@@ -1,0 +1,53 @@
+// Classic synthetic graph families.
+//
+// These serve three purposes: analytically known spectra for validating the
+// eigensolvers (path, cycle, complete, star), constructed optima for
+// validating the GA end-to-end (two cliques joined by a bridge), and simple
+// structured workloads (grids, tori, random geometric graphs) for benches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace gapart {
+
+/// Path graph P_n: 0-1-2-...-(n-1).  Coordinates on the x-axis.
+Graph make_path(VertexId n);
+
+/// Cycle graph C_n.  Coordinates on the unit circle.
+Graph make_cycle(VertexId n);
+
+/// Complete graph K_n.
+Graph make_complete(VertexId n);
+
+/// Star graph: vertex 0 joined to 1..n-1.
+Graph make_star(VertexId n);
+
+/// rows x cols 4-neighbour grid with unit spacing coordinates.
+Graph make_grid(VertexId rows, VertexId cols);
+
+/// rows x cols 4-neighbour torus (grid with wraparound).
+Graph make_torus(VertexId rows, VertexId cols);
+
+/// Two cliques of size k each, joined by a single bridge edge between vertex
+/// k-1 and vertex k.  The optimal bisection cuts exactly the bridge.
+Graph make_two_cliques(VertexId k);
+
+/// A chain of `m` cliques of size k, consecutive cliques joined by one edge.
+/// Optimal m-way partition cuts exactly the m-1 joining edges.
+Graph make_clique_chain(VertexId m, VertexId k);
+
+/// Erdos–Renyi G(n, p) random graph.
+Graph make_random_graph(VertexId n, double p, Rng& rng);
+
+/// Random geometric graph: n points uniform in the unit square, edges between
+/// pairs closer than `radius`.  Has coordinates.
+Graph make_random_geometric(VertexId n, double radius, Rng& rng);
+
+/// Connected variant of make_random_geometric: nearest-neighbour edges are
+/// added between components until the graph is connected.
+Graph make_connected_geometric(VertexId n, double radius, Rng& rng);
+
+}  // namespace gapart

@@ -1,0 +1,138 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::optional<double> Graph::edge_weight(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return std::nullopt;
+  const auto offset = static_cast<std::size_t>(it - nbrs.begin());
+  return edge_weights(u)[offset];
+}
+
+double Graph::weighted_degree(VertexId v) const {
+  const auto w = edge_weights(v);
+  return std::accumulate(w.begin(), w.end(), 0.0);
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "|V|=" << num_vertices() << " |E|=" << num_edges();
+  if (num_vertices() > 0) {
+    std::int32_t dmin = degree(0);
+    std::int32_t dmax = degree(0);
+    for (VertexId v = 1; v < num_vertices(); ++v) {
+      dmin = std::min(dmin, degree(v));
+      dmax = std::max(dmax, degree(v));
+    }
+    os << " deg=[" << dmin << "," << dmax << "]";
+  }
+  os << (unit_weights_ ? " unit-weights" : " weighted");
+  if (has_coordinates()) os << " with-coords";
+  return os.str();
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : num_vertices_(num_vertices),
+      vwgt_(static_cast<std::size_t>(num_vertices), 1.0),
+      coords_(static_cast<std::size_t>(num_vertices)) {
+  GAPART_REQUIRE(num_vertices >= 0, "negative vertex count ", num_vertices);
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v, double weight) {
+  GAPART_REQUIRE(u >= 0 && u < num_vertices_, "edge endpoint ", u,
+                 " out of range [0,", num_vertices_, ")");
+  GAPART_REQUIRE(v >= 0 && v < num_vertices_, "edge endpoint ", v,
+                 " out of range [0,", num_vertices_, ")");
+  GAPART_REQUIRE(weight > 0.0, "edge weight must be positive, got ", weight);
+  if (u == v) return;  // self-loops carry no cut information
+  edges_.push_back({u, v, weight});
+}
+
+void GraphBuilder::set_vertex_weight(VertexId v, double weight) {
+  GAPART_REQUIRE(v >= 0 && v < num_vertices_, "vertex ", v, " out of range");
+  GAPART_REQUIRE(weight > 0.0, "vertex weight must be positive, got ", weight);
+  vwgt_[static_cast<std::size_t>(v)] = weight;
+}
+
+void GraphBuilder::set_coordinate(VertexId v, Point2 p) {
+  GAPART_REQUIRE(v >= 0 && v < num_vertices_, "vertex ", v, " out of range");
+  coords_[static_cast<std::size_t>(v)] = p;
+  has_coords_ = true;
+}
+
+void GraphBuilder::set_coordinates(std::vector<Point2> coords) {
+  GAPART_REQUIRE(static_cast<VertexId>(coords.size()) == num_vertices_,
+                 "coordinate count ", coords.size(), " != vertex count ",
+                 num_vertices_);
+  coords_ = std::move(coords);
+  has_coords_ = num_vertices_ > 0;
+}
+
+Graph GraphBuilder::build() {
+  const auto n = static_cast<std::size_t>(num_vertices_);
+
+  // Symmetrize: store each undirected edge in both directions, then sort and
+  // merge duplicates per row.
+  std::vector<GraphBuilder::RawEdge> directed;
+  directed.reserve(edges_.size() * 2);
+  for (const auto& e : edges_) {
+    directed.push_back({e.u, e.v, e.w});
+    directed.push_back({e.v, e.u, e.w});
+  }
+  std::sort(directed.begin(), directed.end(),
+            [](const RawEdge& a, const RawEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+
+  Graph g;
+  g.xadj_.assign(n + 1, 0);
+  g.adjncy_.clear();
+  g.ewgt_.clear();
+  g.adjncy_.reserve(directed.size());
+  g.ewgt_.reserve(directed.size());
+
+  std::size_t i = 0;
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    while (i < directed.size() && directed[i].u == u) {
+      const VertexId v = directed[i].v;
+      double w = 0.0;
+      while (i < directed.size() && directed[i].u == u && directed[i].v == v) {
+        w += directed[i].w;
+        ++i;
+      }
+      g.adjncy_.push_back(v);
+      g.ewgt_.push_back(w);
+    }
+    g.xadj_[static_cast<std::size_t>(u) + 1] =
+        static_cast<std::int32_t>(g.adjncy_.size());
+  }
+  GAPART_ASSERT(i == directed.size());
+
+  // Copy (not move) so the builder stays usable: callers may add more edges
+  // and build() again (e.g. connectivity stitching loops).
+  g.vwgt_ = vwgt_;
+  g.total_vwgt_ = std::accumulate(g.vwgt_.begin(), g.vwgt_.end(), 0.0);
+  if (has_coords_) g.coords_ = coords_;
+
+  g.unit_weights_ =
+      std::all_of(g.vwgt_.begin(), g.vwgt_.end(),
+                  [](double w) { return w == 1.0; }) &&
+      std::all_of(g.ewgt_.begin(), g.ewgt_.end(),
+                  [](double w) { return w == 1.0; });
+  return g;
+}
+
+}  // namespace gapart

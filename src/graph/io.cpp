@@ -1,0 +1,190 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+namespace {
+
+std::string next_data_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') return line;
+  }
+  return {};
+}
+
+/// Like next_data_line but keeps empty lines: a vertex with no neighbours is
+/// written as an empty line, which must stay aligned with its vertex id.
+std::string next_vertex_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] != '%') return line;
+  }
+  return {};  // EOF: treated as a vertex with no neighbours
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  GAPART_REQUIRE(os.good(), "cannot open '", path, "' for writing");
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  GAPART_REQUIRE(is.good(), "cannot open '", path, "' for reading");
+  return is;
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& g) {
+  const bool weighted = !g.unit_weights();
+  os << g.num_vertices() << ' ' << g.num_edges();
+  if (weighted) os << " 11";
+  os << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    if (weighted) os << g.vertex_weight(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (weighted || i > 0) os << ' ';
+      os << (nbrs[i] + 1);
+      if (weighted) os << ' ' << wgts[i];
+    }
+    os << '\n';
+  }
+}
+
+void write_graph_file(const std::string& path, const Graph& g) {
+  auto os = open_out(path);
+  write_graph(os, g);
+}
+
+Graph read_graph(std::istream& is) {
+  const std::string header = next_data_line(is);
+  GAPART_REQUIRE(!header.empty(), "missing graph header line");
+  std::istringstream hs(header);
+  long long n = 0;
+  long long m = 0;
+  std::string fmt = "00";
+  hs >> n >> m;
+  GAPART_REQUIRE(!hs.fail(), "malformed graph header '", header, "'");
+  hs >> fmt;
+  const bool has_vwgt = fmt.size() >= 2 && fmt[fmt.size() - 2] == '1';
+  const bool has_ewgt = !fmt.empty() && fmt.back() == '1';
+  GAPART_REQUIRE(n >= 0 && m >= 0, "negative counts in header");
+
+  GraphBuilder b(static_cast<VertexId>(n));
+  for (long long v = 0; v < n; ++v) {
+    std::string line = next_vertex_line(is);
+    std::istringstream ls(line);
+    if (has_vwgt) {
+      double w = 1.0;
+      ls >> w;
+      GAPART_REQUIRE(!ls.fail(), "missing vertex weight on line ", v + 1);
+      b.set_vertex_weight(static_cast<VertexId>(v), w);
+    }
+    long long u = 0;
+    while (ls >> u) {
+      GAPART_REQUIRE(u >= 1 && u <= n, "neighbour ", u, " out of range");
+      double w = 1.0;
+      if (has_ewgt) {
+        ls >> w;
+        GAPART_REQUIRE(!ls.fail(), "missing edge weight on line ", v + 1);
+      }
+      // Each undirected edge appears on both endpoint lines; add from the
+      // lower side only.
+      if (u - 1 > v) {
+        b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(u - 1), w);
+      }
+    }
+  }
+  Graph g = b.build();
+  GAPART_REQUIRE(g.num_edges() == m, "header claims ", m, " edges, file has ",
+                 g.num_edges());
+  return g;
+}
+
+Graph read_graph_file(const std::string& path) {
+  auto is = open_in(path);
+  return read_graph(is);
+}
+
+void write_coordinates(std::ostream& os, const Graph& g) {
+  GAPART_REQUIRE(g.has_coordinates(), "graph has no coordinates");
+  for (const auto& p : g.coordinates()) {
+    os << p.x << ' ' << p.y << '\n';
+  }
+}
+
+void write_coordinates_file(const std::string& path, const Graph& g) {
+  auto os = open_out(path);
+  write_coordinates(os, g);
+}
+
+Graph attach_coordinates(const Graph& g, std::istream& is) {
+  std::vector<Point2> coords;
+  coords.reserve(static_cast<std::size_t>(g.num_vertices()));
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    Point2 p;
+    ls >> p.x >> p.y;
+    GAPART_REQUIRE(!ls.fail(), "malformed coordinate line '", line, "'");
+    coords.push_back(p);
+  }
+  GAPART_REQUIRE(static_cast<VertexId>(coords.size()) == g.num_vertices(),
+                 "coordinate count ", coords.size(), " != |V| ",
+                 g.num_vertices());
+
+  // Rebuild with coordinates attached.
+  GraphBuilder b(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    b.set_vertex_weight(v, g.vertex_weight(v));
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v) b.add_edge(v, nbrs[i], wgts[i]);
+    }
+  }
+  b.set_coordinates(std::move(coords));
+  return b.build();
+}
+
+void write_partition(std::ostream& os, const Assignment& a) {
+  for (PartId p : a) os << p << '\n';
+}
+
+void write_partition_file(const std::string& path, const Assignment& a) {
+  auto os = open_out(path);
+  write_partition(os, a);
+}
+
+Assignment read_partition(std::istream& is) {
+  Assignment a;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long p = 0;
+    ls >> p;
+    GAPART_REQUIRE(!ls.fail(), "malformed partition line '", line, "'");
+    GAPART_REQUIRE(p >= 0, "negative part id ", p);
+    a.push_back(static_cast<PartId>(p));
+  }
+  return a;
+}
+
+Assignment read_partition_file(const std::string& path) {
+  auto is = open_in(path);
+  return read_partition(is);
+}
+
+}  // namespace gapart

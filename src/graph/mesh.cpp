@@ -1,0 +1,324 @@
+#include "graph/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "graph/components.hpp"
+
+namespace gapart {
+
+namespace {
+
+constexpr Point2 kCenter{0.5, 0.5};
+constexpr double kDiscRadius = 0.5;
+constexpr double kEllipseA = 0.5;
+constexpr double kEllipseB = 0.25;
+constexpr double kAnnulusOuter = 0.5;
+constexpr double kAnnulusInner = 0.22;
+
+}  // namespace
+
+const char* domain_name(DomainShape s) {
+  switch (s) {
+    case DomainShape::kRectangle:
+      return "rectangle";
+    case DomainShape::kDisc:
+      return "disc";
+    case DomainShape::kEllipse:
+      return "ellipse";
+    case DomainShape::kAnnulus:
+      return "annulus";
+    case DomainShape::kLShape:
+      return "l-shape";
+  }
+  return "unknown";
+}
+
+bool Domain::contains(Point2 p) const {
+  switch (shape_) {
+    case DomainShape::kRectangle:
+      return p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0;
+    case DomainShape::kDisc:
+      return squared_distance(p, kCenter) <= kDiscRadius * kDiscRadius;
+    case DomainShape::kEllipse: {
+      const double dx = (p.x - kCenter.x) / kEllipseA;
+      const double dy = (p.y - kCenter.y) / kEllipseB;
+      return dx * dx + dy * dy <= 1.0;
+    }
+    case DomainShape::kAnnulus: {
+      const double d2 = squared_distance(p, kCenter);
+      return d2 <= kAnnulusOuter * kAnnulusOuter &&
+             d2 >= kAnnulusInner * kAnnulusInner;
+    }
+    case DomainShape::kLShape:
+      if (p.x < 0.0 || p.x > 1.0 || p.y < 0.0 || p.y > 1.0) return false;
+      return !(p.x > 0.5 && p.y > 0.5);
+  }
+  return false;
+}
+
+Point2 Domain::bbox_lo() const {
+  if (shape_ == DomainShape::kEllipse) return {0.0, kCenter.y - kEllipseB};
+  return {0.0, 0.0};
+}
+
+Point2 Domain::bbox_hi() const {
+  if (shape_ == DomainShape::kEllipse) return {1.0, kCenter.y + kEllipseB};
+  return {1.0, 1.0};
+}
+
+double Domain::area() const {
+  switch (shape_) {
+    case DomainShape::kRectangle:
+      return 1.0;
+    case DomainShape::kDisc:
+      return std::numbers::pi * kDiscRadius * kDiscRadius;
+    case DomainShape::kEllipse:
+      return std::numbers::pi * kEllipseA * kEllipseB;
+    case DomainShape::kAnnulus:
+      return std::numbers::pi *
+             (kAnnulusOuter * kAnnulusOuter - kAnnulusInner * kAnnulusInner);
+    case DomainShape::kLShape:
+      return 0.75;
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Draws a uniform point inside the domain by rejection from the bbox.
+Point2 sample_in_domain(const Domain& domain, Rng& rng) {
+  const Point2 lo = domain.bbox_lo();
+  const Point2 hi = domain.bbox_hi();
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const Point2 p{rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y)};
+    if (domain.contains(p)) return p;
+  }
+  GAPART_ASSERT(false, "domain rejection sampling failed");
+  return {};
+}
+
+double min_squared_distance(const std::vector<Point2>& pts, Point2 p) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& q : pts) best = std::min(best, squared_distance(p, q));
+  return best;
+}
+
+/// Adds nearest cross-component edges until the graph is connected; keeps
+/// geometric locality by always picking the globally closest pair.
+Graph stitch_connected(GraphBuilder& b, const std::vector<Point2>& pts) {
+  Graph g = b.build();
+  auto comp = connected_components(g);
+  const auto n = static_cast<VertexId>(pts.size());
+  while (comp.count > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    VertexId bu = 0;
+    VertexId bv = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (comp.label[static_cast<std::size_t>(u)] ==
+            comp.label[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        const double d = squared_distance(pts[static_cast<std::size_t>(u)],
+                                          pts[static_cast<std::size_t>(v)]);
+        if (d < best) {
+          best = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    b.add_edge(bu, bv);
+    g = b.build();
+    comp = connected_components(g);
+  }
+  return g;
+}
+
+}  // namespace
+
+Mesh triangulate_on_domain(std::vector<Point2> points, const Domain& domain) {
+  GAPART_REQUIRE(points.size() >= 3, "mesh needs at least 3 points");
+  Mesh mesh;
+  mesh.points = std::move(points);
+
+  auto tris = delaunay_triangulate(mesh.points);
+
+  // Filter triangles whose centroid leaves the domain: removes the fill
+  // across concavities (L-shape) and holes (annulus).
+  mesh.triangles.clear();
+  mesh.triangles.reserve(tris.size());
+  for (const Triangle& t : tris) {
+    const Point2 a = mesh.points[static_cast<std::size_t>(t.a)];
+    const Point2 b = mesh.points[static_cast<std::size_t>(t.b)];
+    const Point2 c = mesh.points[static_cast<std::size_t>(t.c)];
+    const Point2 centroid{(a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0};
+    if (domain.contains(centroid)) mesh.triangles.push_back(t);
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(mesh.points.size()));
+  for (const auto& [u, v] : triangulation_edges(mesh.triangles)) {
+    builder.add_edge(u, v);
+  }
+  builder.set_coordinates(mesh.points);
+  mesh.graph = stitch_connected(builder, mesh.points);
+  return mesh;
+}
+
+Mesh generate_mesh(const Domain& domain, VertexId num_nodes, Rng& rng,
+                   const MeshOptions& options) {
+  GAPART_REQUIRE(num_nodes >= 4, "mesh needs at least 4 nodes, got ",
+                 num_nodes);
+  GAPART_REQUIRE(options.jitter >= 0.0 && options.jitter < 0.5,
+                 "jitter must lie in [0, 0.5)");
+
+  const double h = std::sqrt(domain.area() / static_cast<double>(num_nodes));
+  const Point2 lo = domain.bbox_lo();
+  const Point2 hi = domain.bbox_hi();
+
+  std::vector<Point2> pts;
+  for (double y = lo.y + 0.5 * h; y < hi.y; y += h) {
+    for (double x = lo.x + 0.5 * h; x < hi.x; x += h) {
+      const Point2 p{x + rng.uniform(-options.jitter * h, options.jitter * h),
+                     y + rng.uniform(-options.jitter * h, options.jitter * h)};
+      if (domain.contains(p)) pts.push_back(p);
+    }
+  }
+
+  // Trim or fill to the exact requested count.
+  while (static_cast<VertexId>(pts.size()) > num_nodes) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<int>(pts.size())));
+    pts[i] = pts.back();
+    pts.pop_back();
+  }
+  const double min_sep2 = (0.35 * h) * (0.35 * h);
+  while (static_cast<VertexId>(pts.size()) < num_nodes) {
+    Point2 p = sample_in_domain(domain, rng);
+    for (int attempt = 0;
+         attempt < 200 && min_squared_distance(pts, p) < min_sep2; ++attempt) {
+      p = sample_in_domain(domain, rng);
+    }
+    pts.push_back(p);
+  }
+
+  return triangulate_on_domain(std::move(pts), domain);
+}
+
+Mesh densify_mesh(const Mesh& base, const Domain& domain, VertexId extra_nodes,
+                  Rng& rng, double radius_fraction) {
+  GAPART_REQUIRE(extra_nodes >= 1, "densify needs at least one new node");
+  GAPART_REQUIRE(!base.points.empty(), "base mesh is empty");
+  GAPART_REQUIRE(radius_fraction > 0.0 && radius_fraction <= 1.0,
+                 "radius_fraction must lie in (0, 1]");
+
+  // Paper §4.2: nodes are added "in a local area chosen randomly within the
+  // graph" — centre the refinement disc on a random existing vertex.
+  const auto center_idx = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<int>(base.points.size())));
+  const Point2 center = base.points[center_idx];
+  const Point2 lo = domain.bbox_lo();
+  const Point2 hi = domain.bbox_hi();
+  const double radius =
+      radius_fraction * std::max(hi.x - lo.x, hi.y - lo.y);
+
+  const auto total =
+      static_cast<std::size_t>(base.points.size()) +
+      static_cast<std::size_t>(extra_nodes);
+  const double h_local = std::sqrt(domain.area() / static_cast<double>(total));
+  const double min_sep2 = (0.3 * h_local) * (0.3 * h_local);
+
+  std::vector<Point2> pts = base.points;
+  pts.reserve(total);
+  while (pts.size() < total) {
+    Point2 p{};
+    bool accepted = false;
+    for (int attempt = 0; attempt < 400 && !accepted; ++attempt) {
+      // Uniform in the disc via rejection from its bounding square.
+      const Point2 cand{center.x + rng.uniform(-radius, radius),
+                        center.y + rng.uniform(-radius, radius)};
+      if (squared_distance(cand, center) > radius * radius) continue;
+      if (!domain.contains(cand)) continue;
+      if (min_squared_distance(pts, cand) < min_sep2) continue;
+      p = cand;
+      accepted = true;
+    }
+    if (!accepted) {
+      // Dense disc: fall back to any in-domain point in the disc.
+      for (int attempt = 0; attempt < 100000 && !accepted; ++attempt) {
+        const Point2 cand{center.x + rng.uniform(-radius, radius),
+                          center.y + rng.uniform(-radius, radius)};
+        if (squared_distance(cand, center) <= radius * radius &&
+            domain.contains(cand) &&
+            min_squared_distance(pts, cand) > 0.0) {
+          p = cand;
+          accepted = true;
+        }
+      }
+    }
+    GAPART_ASSERT(accepted, "could not place refinement point");
+    pts.push_back(p);
+  }
+
+  return triangulate_on_domain(std::move(pts), domain);
+}
+
+Domain paper_domain(VertexId num_nodes) {
+  // Fixed size -> shape mapping so every bench/test regenerates the same
+  // workload for a given table row.
+  switch (num_nodes) {
+    case 78:
+      return Domain(DomainShape::kDisc);
+    case 88:
+      return Domain(DomainShape::kRectangle);
+    case 98:
+      return Domain(DomainShape::kEllipse);
+    case 118:
+      return Domain(DomainShape::kRectangle);
+    case 139:
+      return Domain(DomainShape::kDisc);
+    case 144:
+      return Domain(DomainShape::kRectangle);
+    case 167:
+      return Domain(DomainShape::kAnnulus);
+    case 183:
+      return Domain(DomainShape::kRectangle);
+    case 213:
+      return Domain(DomainShape::kEllipse);
+    case 243:
+      return Domain(DomainShape::kDisc);
+    case 249:
+      return Domain(DomainShape::kLShape);
+    case 279:
+      return Domain(DomainShape::kRectangle);
+    case 309:
+      return Domain(DomainShape::kLShape);
+    default:
+      return Domain(DomainShape::kRectangle);
+  }
+}
+
+Mesh paper_mesh(VertexId num_nodes) {
+  Rng rng(std::uint64_t{0x9a7e0000} + static_cast<std::uint64_t>(num_nodes));
+  const Domain domain = paper_domain(num_nodes);
+  Mesh mesh = generate_mesh(domain, num_nodes, rng);
+  GAPART_ASSERT(mesh.graph.num_vertices() == num_nodes);
+  return mesh;
+}
+
+Mesh paper_incremental_mesh(const Mesh& base, VertexId base_nodes,
+                            VertexId extra_nodes) {
+  Rng rng(std::uint64_t{0x16c0000} +
+          std::uint64_t{1000} * static_cast<std::uint64_t>(base_nodes) +
+          static_cast<std::uint64_t>(extra_nodes));
+  const Domain domain = paper_domain(base_nodes);
+  Mesh grown = densify_mesh(base, domain, extra_nodes, rng);
+  GAPART_ASSERT(grown.graph.num_vertices() == base_nodes + extra_nodes);
+  return grown;
+}
+
+}  // namespace gapart

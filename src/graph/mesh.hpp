@@ -1,0 +1,94 @@
+// Finite-element-style synthetic meshes.
+//
+// The paper evaluates on small FE-type graphs (78–309 nodes) that were never
+// published; this module regenerates equivalent workloads: a jittered point
+// set sampled on a parametric 2-D domain is Delaunay-triangulated, triangles
+// outside the domain (in concavities/holes) are filtered, and the triangle
+// edges become the computational graph.  Exact node counts are guaranteed so
+// each table row of the paper can be regenerated with its exact |V|.
+//
+// Incremental graph partitioning workloads (paper §4.2: "adding some number
+// of nodes in a local area chosen randomly") are produced by densify(): new
+// points are sampled inside a random disc of the domain and the mesh is
+// re-triangulated with the original vertex identities preserved as a prefix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/delaunay.hpp"
+#include "graph/graph.hpp"
+
+namespace gapart {
+
+/// Supported domain shapes.  Canonical sizes (diameter ~ 1) are built in.
+enum class DomainShape {
+  kRectangle,  ///< unit square
+  kDisc,       ///< disc of radius 0.5
+  kEllipse,    ///< 2:1 ellipse
+  kAnnulus,    ///< ring, outer radius 0.5, inner radius 0.22
+  kLShape,     ///< unit square minus upper-right quadrant
+};
+
+const char* domain_name(DomainShape s);
+
+/// A 2-D region given by an inside test and a bounding box.
+class Domain {
+ public:
+  explicit Domain(DomainShape shape) : shape_(shape) {}
+
+  DomainShape shape() const { return shape_; }
+  bool contains(Point2 p) const;
+  Point2 bbox_lo() const;
+  Point2 bbox_hi() const;
+  double area() const;
+
+ private:
+  DomainShape shape_;
+};
+
+/// A generated mesh: points, Delaunay triangles (filtered to the domain) and
+/// the node-adjacency Graph (with coordinates attached).
+struct Mesh {
+  std::vector<Point2> points;
+  std::vector<Triangle> triangles;
+  Graph graph;
+};
+
+struct MeshOptions {
+  /// Jitter amplitude as a fraction of the sample spacing (0 = structured).
+  double jitter = 0.35;
+};
+
+/// Generates a mesh with exactly `num_nodes` vertices on `domain`.
+/// Deterministic for a given rng state.  The resulting graph is connected.
+Mesh generate_mesh(const Domain& domain, VertexId num_nodes, Rng& rng,
+                   const MeshOptions& options = {});
+
+/// Grows `base` by exactly `extra_nodes` new vertices placed inside a random
+/// disc of the domain (local refinement), then re-triangulates.  Vertices
+/// 0..|base|-1 keep their identity and coordinates; new vertices follow.
+/// `radius_fraction` scales the refinement disc relative to the domain size.
+Mesh densify_mesh(const Mesh& base, const Domain& domain, VertexId extra_nodes,
+                  Rng& rng, double radius_fraction = 0.22);
+
+/// Rebuilds the Graph (and filtered triangle set) for an arbitrary point set
+/// on `domain`; shared by generate_mesh and densify_mesh.
+Mesh triangulate_on_domain(std::vector<Point2> points, const Domain& domain);
+
+/// The named mesh workloads used by the paper's tables.  Every distinct base
+/// size in Tables 1–6 maps to a fixed (shape, seed) pair so all benches and
+/// tests agree on the graphs.  Valid sizes: 78, 88, 98, 118, 139, 144, 167,
+/// 183, 213, 243, 249, 279, 309 (others are generated on a default shape).
+Mesh paper_mesh(VertexId num_nodes);
+
+/// The incremental workload "base plus extra" from Tables 3 and 6: grows
+/// paper_mesh(base_nodes) by extra_nodes with a deterministic seed.
+Mesh paper_incremental_mesh(const Mesh& base, VertexId base_nodes,
+                            VertexId extra_nodes);
+
+/// Domain used by paper_mesh for the given size (exposed for tooling).
+Domain paper_domain(VertexId num_nodes);
+
+}  // namespace gapart

@@ -1,0 +1,241 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+const char* objective_name(Objective o) {
+  switch (o) {
+    case Objective::kTotalComm:
+      return "fitness1 (total communication)";
+    case Objective::kWorstComm:
+      return "fitness2 (worst-case communication)";
+  }
+  return "unknown";
+}
+
+bool is_valid_assignment(const Graph& g, const Assignment& a,
+                         PartId num_parts) {
+  if (static_cast<VertexId>(a.size()) != g.num_vertices()) return false;
+  return std::all_of(a.begin(), a.end(),
+                     [num_parts](PartId p) { return p >= 0 && p < num_parts; });
+}
+
+PartitionMetrics compute_metrics(const Graph& g, const Assignment& a,
+                                 PartId num_parts) {
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  GAPART_REQUIRE(is_valid_assignment(g, a, num_parts),
+                 "invalid assignment for ", num_parts, " parts");
+  PartitionMetrics m;
+  m.part_weight.assign(static_cast<std::size_t>(num_parts), 0.0);
+  m.part_cut.assign(static_cast<std::size_t>(num_parts), 0.0);
+
+  const VertexId n = g.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto q = static_cast<std::size_t>(a[static_cast<std::size_t>(v)]);
+    m.part_weight[q] += g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (a[static_cast<std::size_t>(nbrs[i])] !=
+          a[static_cast<std::size_t>(v)]) {
+        m.part_cut[q] += wgts[i];
+      }
+    }
+  }
+
+  const double mean = g.total_vertex_weight() / static_cast<double>(num_parts);
+  for (PartId q = 0; q < num_parts; ++q) {
+    const double d = m.part_weight[static_cast<std::size_t>(q)] - mean;
+    m.imbalance_sq += d * d;
+    m.sum_part_cut += m.part_cut[static_cast<std::size_t>(q)];
+    m.max_part_cut =
+        std::max(m.max_part_cut, m.part_cut[static_cast<std::size_t>(q)]);
+  }
+  return m;
+}
+
+double fitness_from_metrics(const PartitionMetrics& m,
+                            const FitnessParams& params) {
+  const double comm = params.objective == Objective::kTotalComm
+                          ? m.sum_part_cut
+                          : m.max_part_cut;
+  return -(m.imbalance_sq + params.lambda * comm);
+}
+
+double evaluate_fitness(const Graph& g, const Assignment& a, PartId num_parts,
+                        const FitnessParams& params) {
+  return fitness_from_metrics(compute_metrics(g, a, num_parts), params);
+}
+
+PartitionState::PartitionState(const Graph& g, Assignment a, PartId num_parts)
+    : g_(&g), num_parts_(num_parts), assign_(std::move(a)) {
+  GAPART_REQUIRE(num_parts_ >= 1, "need at least one part");
+  GAPART_REQUIRE(is_valid_assignment(g, assign_, num_parts_),
+                 "invalid assignment for ", num_parts_, " parts");
+  auto m = compute_metrics(g, assign_, num_parts_);
+  part_weight_ = std::move(m.part_weight);
+  part_cut_ = std::move(m.part_cut);
+  sum_part_cut_ = m.sum_part_cut;
+  imbalance_sq_ = m.imbalance_sq;
+  mean_weight_ = g.total_vertex_weight() / static_cast<double>(num_parts_);
+}
+
+double PartitionState::max_part_cut() const {
+  return *std::max_element(part_cut_.begin(), part_cut_.end());
+}
+
+double PartitionState::fitness(const FitnessParams& params) const {
+  const double comm = params.objective == Objective::kTotalComm
+                          ? sum_part_cut_
+                          : max_part_cut();
+  return -(imbalance_sq_ + params.lambda * comm);
+}
+
+void PartitionState::move(VertexId v, PartId to) {
+  GAPART_ASSERT(v >= 0 && v < g_->num_vertices());
+  GAPART_ASSERT(to >= 0 && to < num_parts_);
+  const PartId from = assign_[static_cast<std::size_t>(v)];
+  if (from == to) return;
+
+  const auto nbrs = g_->neighbors(v);
+  const auto wgts = g_->edge_weights(v);
+
+  // Retract v's edge contributions while it sits in `from`.
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const PartId p = assign_[static_cast<std::size_t>(nbrs[i])];
+    if (p != from) {
+      part_cut_[static_cast<std::size_t>(from)] -= wgts[i];
+      part_cut_[static_cast<std::size_t>(p)] -= wgts[i];
+      sum_part_cut_ -= 2.0 * wgts[i];
+    }
+  }
+
+  // Load / imbalance update.
+  const double w = g_->vertex_weight(v);
+  const double wf = part_weight_[static_cast<std::size_t>(from)];
+  const double wt = part_weight_[static_cast<std::size_t>(to)];
+  imbalance_sq_ -= (wf - mean_weight_) * (wf - mean_weight_);
+  imbalance_sq_ -= (wt - mean_weight_) * (wt - mean_weight_);
+  part_weight_[static_cast<std::size_t>(from)] = wf - w;
+  part_weight_[static_cast<std::size_t>(to)] = wt + w;
+  imbalance_sq_ += (wf - w - mean_weight_) * (wf - w - mean_weight_);
+  imbalance_sq_ += (wt + w - mean_weight_) * (wt + w - mean_weight_);
+
+  assign_[static_cast<std::size_t>(v)] = to;
+
+  // Re-add v's edge contributions from `to`.
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const PartId p = assign_[static_cast<std::size_t>(nbrs[i])];
+    if (p != to) {
+      part_cut_[static_cast<std::size_t>(to)] += wgts[i];
+      part_cut_[static_cast<std::size_t>(p)] += wgts[i];
+      sum_part_cut_ += 2.0 * wgts[i];
+    }
+  }
+}
+
+double PartitionState::move_gain(VertexId v, PartId to,
+                                 const FitnessParams& params) const {
+  GAPART_ASSERT(v >= 0 && v < g_->num_vertices());
+  GAPART_ASSERT(to >= 0 && to < num_parts_);
+  const PartId from = assign_[static_cast<std::size_t>(v)];
+  if (from == to) return 0.0;
+
+  const auto nbrs = g_->neighbors(v);
+  const auto wgts = g_->edge_weights(v);
+
+  // A single move only changes C(from) and C(to): an edge to a third part p
+  // stays cut, so C(p) is unaffected.
+  double d_from = 0.0;
+  double d_to = 0.0;
+  double d_sum = 0.0;
+
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const PartId p = assign_[static_cast<std::size_t>(nbrs[i])];
+    const double w = wgts[i];
+    if (p == from) {
+      // Edge becomes cut: appears in C(from) and C(to).
+      d_from += w;
+      d_to += w;
+      d_sum += 2.0 * w;
+    } else if (p == to) {
+      // Edge stops being cut.
+      d_from -= w;
+      d_to -= w;
+      d_sum -= 2.0 * w;
+    } else {
+      // Stays cut; moves from C(from) to C(to); C(p) unchanged.
+      d_from -= w;
+      d_to += w;
+    }
+  }
+
+  const double w = g_->vertex_weight(v);
+  const double wf = part_weight_[static_cast<std::size_t>(from)];
+  const double wt = part_weight_[static_cast<std::size_t>(to)];
+  double new_imb = imbalance_sq_;
+  new_imb -= (wf - mean_weight_) * (wf - mean_weight_);
+  new_imb -= (wt - mean_weight_) * (wt - mean_weight_);
+  new_imb += (wf - w - mean_weight_) * (wf - w - mean_weight_);
+  new_imb += (wt + w - mean_weight_) * (wt + w - mean_weight_);
+
+  double new_comm = 0.0;
+  if (params.objective == Objective::kTotalComm) {
+    new_comm = sum_part_cut_ + d_sum;
+  } else {
+    double mx = 0.0;
+    for (PartId q = 0; q < num_parts_; ++q) {
+      double c = part_cut_[static_cast<std::size_t>(q)];
+      if (q == from) c += d_from;
+      if (q == to) c += d_to;
+      mx = std::max(mx, c);
+    }
+    new_comm = mx;
+  }
+  const double new_fitness = -(new_imb + params.lambda * new_comm);
+  return new_fitness - fitness(params);
+}
+
+bool PartitionState::is_boundary(VertexId v) const {
+  const PartId p = assign_[static_cast<std::size_t>(v)];
+  for (VertexId u : g_->neighbors(v)) {
+    if (assign_[static_cast<std::size_t>(u)] != p) return true;
+  }
+  return false;
+}
+
+std::vector<VertexId> PartitionState::boundary_vertices() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g_->num_vertices(); ++v) {
+    if (is_boundary(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<PartId> PartitionState::neighbor_parts(VertexId v) const {
+  std::vector<PartId> out;
+  const PartId p = assign_[static_cast<std::size_t>(v)];
+  for (VertexId u : g_->neighbors(v)) {
+    const PartId q = assign_[static_cast<std::size_t>(u)];
+    if (q != p) out.push_back(q);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+PartitionMetrics PartitionState::metrics() const {
+  PartitionMetrics m;
+  m.part_weight = part_weight_;
+  m.part_cut = part_cut_;
+  m.sum_part_cut = sum_part_cut_;
+  m.max_part_cut = max_part_cut();
+  m.imbalance_sq = imbalance_sq_;
+  return m;
+}
+
+}  // namespace gapart

@@ -1,0 +1,121 @@
+// Partition representation, quality metrics, and the paper's two objectives.
+//
+// Terminology follows the paper (§2): a partition maps every vertex to one of
+// n parts.  For part q,
+//   W(q)  = sum of vertex weights in q                       (load)
+//   I(q)  = (W(q) - W_total/n)^2                             (load imbalance)
+//   C(q)  = total weight of edges with exactly one endpoint in q
+//           ("the cost of all the outgoing edges from a part")
+// and the two fitness functions are
+//   Fitness1 = -( sum_q I(q) + lambda * sum_q C(q) )   — total communication
+//   Fitness2 = -( sum_q I(q) + lambda * max_q C(q) )   — worst-case (non-
+//              differentiable) communication
+// The paper's tables report sum_q C(q) / 2 (each cut edge counted once) for
+// Fitness1 experiments and max_q C(q) for Fitness2 experiments.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// Which communication term the composite objective uses.
+enum class Objective {
+  kTotalComm,  ///< Fitness1: sum over parts of outgoing edge cost.
+  kWorstComm,  ///< Fitness2: cost of the worst part only.
+};
+
+const char* objective_name(Objective o);
+
+struct FitnessParams {
+  Objective objective = Objective::kTotalComm;
+  /// The paper's lambda: relative importance of communication vs imbalance.
+  double lambda = 1.0;
+};
+
+/// Full per-part metric breakdown of one assignment.
+struct PartitionMetrics {
+  std::vector<double> part_weight;  ///< W(q)
+  std::vector<double> part_cut;     ///< C(q)
+  double sum_part_cut = 0.0;        ///< sum_q C(q) (= 2x cut edge weight)
+  double max_part_cut = 0.0;        ///< max_q C(q)
+  double imbalance_sq = 0.0;        ///< sum_q I(q)
+
+  /// Total weight of cut edges, each counted once — what Tables 1-3 report.
+  double total_cut() const { return 0.5 * sum_part_cut; }
+};
+
+/// True iff `a` has one entry per vertex, all within [0, num_parts).
+bool is_valid_assignment(const Graph& g, const Assignment& a, PartId num_parts);
+
+/// O(V + E) metric computation from scratch.
+PartitionMetrics compute_metrics(const Graph& g, const Assignment& a,
+                                 PartId num_parts);
+
+double fitness_from_metrics(const PartitionMetrics& m,
+                            const FitnessParams& params);
+
+/// Convenience: compute_metrics + fitness_from_metrics.
+double evaluate_fitness(const Graph& g, const Assignment& a, PartId num_parts,
+                        const FitnessParams& params);
+
+/// A mutable partition with incrementally maintained metrics.
+///
+/// move() updates W, C, the imbalance term and the total in O(deg(v)), which
+/// is what makes hill climbing (§3.6), Kernighan–Lin, and greedy incremental
+/// assignment affordable.  All derived quantities always match a from-scratch
+/// compute_metrics() (fuzz-tested).
+///
+/// Holds a non-owning view of the graph: the Graph must outlive the state
+/// (in particular, do not bind a temporary).
+class PartitionState {
+ public:
+  PartitionState(const Graph& g, Assignment a, PartId num_parts);
+
+  const Graph& graph() const { return *g_; }
+  PartId num_parts() const { return num_parts_; }
+  const Assignment& assignment() const { return assign_; }
+  PartId part_of(VertexId v) const { return assign_[static_cast<std::size_t>(v)]; }
+
+  double part_weight(PartId q) const { return part_weight_[static_cast<std::size_t>(q)]; }
+  double part_cut(PartId q) const { return part_cut_[static_cast<std::size_t>(q)]; }
+  double sum_part_cut() const { return sum_part_cut_; }
+  double max_part_cut() const;
+  double imbalance_sq() const { return imbalance_sq_; }
+  double total_cut() const { return 0.5 * sum_part_cut_; }
+
+  double fitness(const FitnessParams& params) const;
+
+  /// Moves v to part `to` (no-op when already there).
+  void move(VertexId v, PartId to);
+
+  /// Fitness delta that move(v, to) would produce, without applying it.
+  /// O(deg(v) + num_parts).
+  double move_gain(VertexId v, PartId to, const FitnessParams& params) const;
+
+  /// True when v has at least one neighbour in a different part.
+  bool is_boundary(VertexId v) const;
+
+  /// All boundary vertices, ascending.
+  std::vector<VertexId> boundary_vertices() const;
+
+  /// Parts adjacent to v (excluding v's own part), ascending, deduplicated.
+  std::vector<PartId> neighbor_parts(VertexId v) const;
+
+  /// Snapshot of full metrics (recomputed from the maintained state).
+  PartitionMetrics metrics() const;
+
+ private:
+  const Graph* g_;
+  PartId num_parts_;
+  Assignment assign_;
+  std::vector<double> part_weight_;
+  std::vector<double> part_cut_;
+  double sum_part_cut_ = 0.0;
+  double imbalance_sq_ = 0.0;
+  double mean_weight_ = 0.0;
+};
+
+}  // namespace gapart

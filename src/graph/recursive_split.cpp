@@ -1,0 +1,122 @@
+#include "graph/recursive_split.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "graph/components.hpp"
+#include "graph/subgraph.hpp"
+
+namespace gapart {
+
+namespace {
+
+void split_recurse(const Graph& parent, const std::vector<VertexId>& verts,
+                   PartId k, PartId part_base, Rng& rng,
+                   const SplitOrderFn& order_fn, Assignment& out) {
+  GAPART_ASSERT(k >= 1);
+  GAPART_ASSERT(static_cast<PartId>(verts.size()) >= k,
+                "fewer vertices than parts");
+  if (k == 1) {
+    for (VertexId v : verts) out[static_cast<std::size_t>(v)] = part_base;
+    return;
+  }
+
+  const auto sub = induced_subgraph(parent, verts);
+  const auto order = order_fn(sub.graph, rng);
+  GAPART_ASSERT(order.size() == verts.size(), "order size mismatch");
+
+  const PartId k_left = (k + 1) / 2;
+  const PartId k_right = k - k_left;
+  const double total = sub.graph.total_vertex_weight();
+  const double target_left =
+      total * static_cast<double>(k_left) / static_cast<double>(k);
+
+  // Weighted-median split: grow the prefix while adding the next vertex
+  // keeps the running weight at or below the target (counting half its
+  // weight, so the boundary vertex lands on the lighter side).  Clamp so
+  // both sides keep at least as many vertices as parts they must host.
+  const auto n = order.size();
+  std::size_t split = 0;
+  double acc = 0.0;
+  while (split < n) {
+    const double w = sub.graph.vertex_weight(order[split]);
+    if (acc + 0.5 * w > target_left) break;
+    acc += w;
+    ++split;
+  }
+  split = std::clamp(split, static_cast<std::size_t>(k_left),
+                     n - static_cast<std::size_t>(k_right));
+
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+  left.reserve(split);
+  right.reserve(n - split);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId parent_id =
+        sub.to_parent[static_cast<std::size_t>(order[i])];
+    (i < split ? left : right).push_back(parent_id);
+  }
+
+  split_recurse(parent, left, k_left, part_base, rng, order_fn, out);
+  split_recurse(parent, right, k_right, part_base + k_left, rng, order_fn,
+                out);
+}
+
+}  // namespace
+
+Assignment recursive_split_partition(const Graph& g, PartId num_parts,
+                                     Rng& rng, const SplitOrderFn& order_fn) {
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  GAPART_REQUIRE(g.num_vertices() >= num_parts, "fewer vertices (",
+                 g.num_vertices(), ") than parts (", num_parts, ")");
+  Assignment out(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<VertexId> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), 0);
+  split_recurse(g, all, num_parts, 0, rng, order_fn, out);
+  return out;
+}
+
+std::vector<VertexId> component_packed_bfs_order(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return {};
+  const auto comp = connected_components(g);
+  const auto sizes = comp.sizes();
+
+  std::vector<VertexId> comp_order(static_cast<std::size_t>(comp.count));
+  std::iota(comp_order.begin(), comp_order.end(), 0);
+  std::sort(comp_order.begin(), comp_order.end(),
+            [&sizes](VertexId a, VertexId b) {
+              return sizes[static_cast<std::size_t>(a)] !=
+                             sizes[static_cast<std::size_t>(b)]
+                         ? sizes[static_cast<std::size_t>(a)] >
+                               sizes[static_cast<std::size_t>(b)]
+                         : a < b;
+            });
+
+  std::vector<VertexId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (VertexId c : comp_order) {
+    std::vector<char> mask(static_cast<std::size_t>(n), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      mask[static_cast<std::size_t>(v)] =
+          comp.label[static_cast<std::size_t>(v)] == c ? 1 : 0;
+    }
+    const VertexId start = pseudo_peripheral_vertex(g, mask);
+    const auto dist = bfs_distances(g, start, mask);
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask[static_cast<std::size_t>(v)]) members.push_back(v);
+    }
+    std::sort(members.begin(), members.end(),
+              [&dist](VertexId a, VertexId b) {
+                const auto da = dist[static_cast<std::size_t>(a)];
+                const auto db = dist[static_cast<std::size_t>(b)];
+                return da != db ? da < db : a < b;
+              });
+    order.insert(order.end(), members.begin(), members.end());
+  }
+  return order;
+}
+
+}  // namespace gapart

@@ -1,0 +1,37 @@
+// Generic recursive-bisection driver.
+//
+// RSB, recursive coordinate bisection (RCB) and recursive graph bisection
+// (RGB) differ only in how they linearly order the vertices of a subgraph
+// before splitting it at the weighted median; this module owns the shared
+// recursion (proportional part assignment, induced subgraphs, split-point
+// clamping) and takes the ordering as a callback.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// Returns a permutation of the subgraph's local vertex ids [0, |V_sub|).
+/// A prefix of this order becomes one side of the bisection.
+using SplitOrderFn =
+    std::function<std::vector<VertexId>(const Graph& subgraph, Rng& rng)>;
+
+/// Partitions `g` into `num_parts` parts by recursive weighted-median
+/// bisection over the orderings produced by `order_fn`.  Parts are
+/// proportionally sized for non-power-of-two counts (left recursion handles
+/// ceil(k/2) parts).
+Assignment recursive_split_partition(const Graph& g, PartId num_parts,
+                                     Rng& rng, const SplitOrderFn& order_fn);
+
+/// Component-aware BFS ordering: components packed largest-first; inside a
+/// component, BFS order from a pseudo-peripheral vertex.  This is the RGB
+/// levelization order, and the fallback order for disconnected subgraphs in
+/// RSB.
+std::vector<VertexId> component_packed_bfs_order(const Graph& g);
+
+}  // namespace gapart

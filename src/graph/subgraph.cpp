@@ -1,0 +1,45 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+Subgraph induced_subgraph(const Graph& g,
+                          const std::vector<VertexId>& vertices) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> to_sub(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    GAPART_REQUIRE(v >= 0 && v < n, "subgraph vertex ", v, " out of range");
+    GAPART_REQUIRE(to_sub[static_cast<std::size_t>(v)] == -1,
+                   "duplicate vertex ", v, " in subgraph selection");
+    to_sub[static_cast<std::size_t>(v)] = static_cast<VertexId>(i);
+  }
+
+  GraphBuilder b(static_cast<VertexId>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    b.set_vertex_weight(static_cast<VertexId>(i), g.vertex_weight(v));
+    if (g.has_coordinates()) {
+      b.set_coordinate(static_cast<VertexId>(i), g.coordinate(v));
+    }
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId su = to_sub[static_cast<std::size_t>(nbrs[j])];
+      // Add each edge once (from the lower sub-id side).
+      if (su > static_cast<VertexId>(i)) {
+        b.add_edge(static_cast<VertexId>(i), su, wgts[j]);
+      }
+    }
+  }
+
+  Subgraph out;
+  out.graph = b.build();
+  out.to_parent = vertices;
+  return out;
+}
+
+}  // namespace gapart

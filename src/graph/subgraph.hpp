@@ -1,0 +1,23 @@
+// Induced subgraph extraction, used by the recursive bisection partitioners
+// (RSB, RGB, RCB) to recurse into each half of a split.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+struct Subgraph {
+  Graph graph;
+  /// to_parent[i] = vertex id in the parent graph of subgraph vertex i.
+  std::vector<VertexId> to_parent;
+};
+
+/// Induced subgraph on `vertices` (need not be sorted; duplicates rejected).
+/// Vertex i of the result corresponds to vertices[i]; vertex weights and
+/// coordinates are carried over, edge weights preserved.
+Subgraph induced_subgraph(const Graph& g, const std::vector<VertexId>& vertices);
+
+}  // namespace gapart

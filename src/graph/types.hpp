@@ -1,0 +1,40 @@
+// Fundamental identifier and geometry types shared by all gapart modules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gapart {
+
+/// Vertex identifier: dense 0-based index into CSR arrays.
+using VertexId = std::int32_t;
+
+/// Part (bin / processor) identifier: dense 0-based index.
+using PartId = std::int32_t;
+
+/// A candidate solution of the partitioning problem: assignment[v] is the
+/// part that vertex v is mapped to.  This is exactly the paper's chromosome
+/// representation ("the i-th element of an individual is j iff the i-th node
+/// of the graph is allocated to the part labelled j").
+using Assignment = std::vector<PartId>;
+
+/// 2-D point used for mesh vertices and geometric partitioners.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point2 operator*(double s, Point2 p) { return {s * p.x, s * p.y}; }
+  friend bool operator==(Point2 a, Point2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline double dot(Point2 a, Point2 b) { return a.x * b.x + a.y * b.y; }
+inline double cross(Point2 a, Point2 b) { return a.x * b.y - a.y * b.x; }
+inline double squared_norm(Point2 p) { return dot(p, p); }
+inline double squared_distance(Point2 a, Point2 b) {
+  return squared_norm(a - b);
+}
+
+}  // namespace gapart

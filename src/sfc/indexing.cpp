@@ -1,0 +1,118 @@
+#include "sfc/indexing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+std::uint64_t row_major_index(std::uint64_t row, std::uint64_t col,
+                              std::uint64_t cols) {
+  GAPART_REQUIRE(cols > 0, "grid must have at least one column");
+  GAPART_REQUIRE(col < cols, "column ", col, " out of range");
+  return row * cols + col;
+}
+
+std::uint64_t morton_index(std::uint64_t row, std::uint64_t col, int bits) {
+  GAPART_REQUIRE(bits >= 1 && bits <= 31, "morton bits must be in [1,31]");
+  // Dimension order follows the appendix: the interleave starts from the
+  // last dimension, so with dims (row, col), col contributes the least
+  // significant bit of each pair.
+  const std::uint64_t idx[2] = {row, col};
+  const int counts[2] = {bits, bits};
+  return interleave_bits(idx, counts);
+}
+
+std::uint64_t interleave_bits(std::span<const std::uint64_t> indices,
+                              std::span<const int> bit_counts) {
+  GAPART_REQUIRE(indices.size() == bit_counts.size(),
+                 "one bit count per dimension required");
+  GAPART_REQUIRE(!indices.empty(), "need at least one dimension");
+  int total = 0;
+  for (std::size_t d = 0; d < indices.size(); ++d) {
+    GAPART_REQUIRE(bit_counts[d] >= 0 && bit_counts[d] <= 63,
+                   "bit count out of range");
+    total += bit_counts[d];
+    if (bit_counts[d] < 63) {
+      GAPART_REQUIRE(indices[d] < (std::uint64_t{1} << bit_counts[d]),
+                     "index of dimension ", d, " exceeds its bit width");
+    }
+  }
+  GAPART_REQUIRE(total <= 63, "interleaved index exceeds 63 bits");
+
+  std::uint64_t out = 0;
+  int out_pos = 0;
+  const auto dims = indices.size();
+  // Round-robin over dimensions, starting from the LAST one, drawing one
+  // bit (LSB first) per visit; exhausted dimensions are skipped.
+  for (int round = 0; out_pos < total; ++round) {
+    for (std::size_t step = 0; step < dims; ++step) {
+      const std::size_t d = dims - 1 - step;
+      if (round >= bit_counts[d]) continue;
+      const std::uint64_t bit = (indices[d] >> round) & 1ULL;
+      out |= bit << out_pos;
+      ++out_pos;
+    }
+  }
+  return out;
+}
+
+std::uint64_t hilbert_index(std::uint64_t x, std::uint64_t y, int order) {
+  GAPART_REQUIRE(order >= 1 && order <= 31, "hilbert order must be in [1,31]");
+  const std::uint64_t n = std::uint64_t{1} << order;
+  GAPART_REQUIRE(x < n && y < n, "cell outside the 2^order grid");
+  // Classic xy -> d conversion with quadrant rotations.
+  std::uint64_t rx = 0;
+  std::uint64_t ry = 0;
+  std::uint64_t d = 0;
+  for (std::uint64_t s = n / 2; s > 0; s /= 2) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+QuantizedPoints quantize_points(const std::vector<Point2>& points, int bits) {
+  GAPART_REQUIRE(bits >= 1 && bits <= 31, "quantization bits in [1,31]");
+  QuantizedPoints q;
+  q.bits = bits;
+  q.x.resize(points.size());
+  q.y.resize(points.size());
+  if (points.empty()) return q;
+
+  double lox = points[0].x;
+  double hix = lox;
+  double loy = points[0].y;
+  double hiy = loy;
+  for (const auto& p : points) {
+    lox = std::min(lox, p.x);
+    hix = std::max(hix, p.x);
+    loy = std::min(loy, p.y);
+    hiy = std::max(hiy, p.y);
+  }
+  const double cells = static_cast<double>(std::uint64_t{1} << bits);
+  const auto max_cell = (std::uint64_t{1} << bits) - 1;
+  auto map = [cells, max_cell](double v, double lo, double hi) {
+    if (hi <= lo) return std::uint64_t{0};
+    const double t = (v - lo) / (hi - lo);
+    const auto cell = static_cast<std::uint64_t>(t * cells);
+    return std::min(cell, max_cell);
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    q.x[i] = map(points[i].x, lox, hix);
+    q.y[i] = map(points[i].y, loy, hiy);
+  }
+  return q;
+}
+
+}  // namespace gapart

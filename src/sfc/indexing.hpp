@@ -1,0 +1,53 @@
+// Spatial indexing schemes for Index-Based Partitioning (paper appendix).
+//
+// The appendix defines three pieces: (a) row-major indexing of a grid,
+// (b) shuffled row-major indexing = bit interleaving (Morton order), and
+// (c) a generalized interleave for dimensions with unequal bit widths,
+// built by "choosing bits (right to left) of each of the dimensions one by
+// one, starting from dimension 3" — i.e. round-robin from the last
+// dimension, skipping exhausted dimensions.  A Hilbert curve is provided as
+// a locality-stronger extension.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace gapart {
+
+/// Row-major index of cell (row, col) in a grid with `cols` columns.
+std::uint64_t row_major_index(std::uint64_t row, std::uint64_t col,
+                              std::uint64_t cols);
+
+/// Shuffled row-major (Morton / Z-order) index: interleaves the low `bits`
+/// bits of row and col.  Like row-major, the column is the least significant
+/// dimension (it is "dimension 2", drawn first by the appendix's interleave
+/// rule) — this reproduces the paper's 8x8 Figure 1(b) exactly.
+std::uint64_t morton_index(std::uint64_t row, std::uint64_t col, int bits);
+
+/// The appendix's generalized interleave.  indices[d] carries bit_counts[d]
+/// significant bits; bits are drawn LSB-first round-robin starting from the
+/// LAST dimension, exhausted dimensions are skipped, and earlier-drawn bits
+/// are less significant in the result.
+///
+/// Worked examples from the paper (validated in the tests):
+///   interleave({0b001, 0b010, 0b110}, {3,3,3}) == 0b001011100
+///   interleave({0b101, 0b01, 0b0},    {3,2,1}) == 0b100110
+std::uint64_t interleave_bits(std::span<const std::uint64_t> indices,
+                              std::span<const int> bit_counts);
+
+/// Hilbert curve index of cell (x, y) on a 2^order x 2^order grid.
+std::uint64_t hilbert_index(std::uint64_t x, std::uint64_t y, int order);
+
+/// Quantizes points to a 2^bits x 2^bits integer grid over their bounding
+/// box (per-axis).  Degenerate axes map to 0.
+struct QuantizedPoints {
+  std::vector<std::uint64_t> x;
+  std::vector<std::uint64_t> y;
+  int bits = 0;
+};
+QuantizedPoints quantize_points(const std::vector<Point2>& points, int bits);
+
+}  // namespace gapart

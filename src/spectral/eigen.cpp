@@ -1,0 +1,208 @@
+#include "spectral/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+std::vector<double> EigenDecomposition::eigenvector(int j) const {
+  GAPART_REQUIRE(j >= 0 && j < n, "eigenvector index out of range");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        vectors[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(j)];
+  }
+  return v;
+}
+
+namespace {
+
+/// Sorts eigenpairs ascending by value, permuting vector columns to match.
+void sort_eigenpairs(EigenDecomposition& ed) {
+  const auto n = static_cast<std::size_t>(ed.n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&ed](std::size_t a, std::size_t b) {
+    return ed.values[a] < ed.values[b];
+  });
+  std::vector<double> values(n);
+  std::vector<double> vectors(n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    values[j] = ed.values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      vectors[i * n + j] = ed.vectors[i * n + order[j]];
+    }
+  }
+  ed.values = std::move(values);
+  ed.vectors = std::move(vectors);
+}
+
+}  // namespace
+
+EigenDecomposition jacobi_eigen(std::vector<double> a, int n, int max_sweeps,
+                                double tol) {
+  GAPART_REQUIRE(n >= 1, "matrix dimension must be positive");
+  const auto un = static_cast<std::size_t>(n);
+  GAPART_REQUIRE(a.size() == un * un, "matrix size mismatch");
+  for (double v : a) {
+    GAPART_REQUIRE(std::isfinite(v), "non-finite matrix entry");
+  }
+
+  std::vector<double> V(un * un, 0.0);
+  for (std::size_t i = 0; i < un; ++i) V[i * un + i] = 1.0;
+
+  auto off_norm = [&a, un]() {
+    double s = 0.0;
+    for (std::size_t p = 0; p < un; ++p) {
+      for (std::size_t q = p + 1; q < un; ++q) {
+        s += 2.0 * a[p * un + q] * a[p * un + q];
+      }
+    }
+    return std::sqrt(s);
+  };
+  double scale_ref = 0.0;
+  for (std::size_t i = 0; i < un; ++i) {
+    scale_ref = std::max(scale_ref, std::abs(a[i * un + i]));
+  }
+  scale_ref = std::max(scale_ref, 1.0);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * scale_ref) break;
+    for (std::size_t p = 0; p + 1 < un; ++p) {
+      for (std::size_t q = p + 1; q < un; ++q) {
+        const double apq = a[p * un + q];
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (a[q * un + q] - a[p * un + p]) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // A <- J^T A J applied as column then row rotation.
+        for (std::size_t k = 0; k < un; ++k) {
+          const double akp = a[k * un + p];
+          const double akq = a[k * un + q];
+          a[k * un + p] = c * akp - s * akq;
+          a[k * un + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < un; ++k) {
+          const double apk = a[p * un + k];
+          const double aqk = a[q * un + k];
+          a[p * un + k] = c * apk - s * aqk;
+          a[q * un + k] = s * apk + c * aqk;
+        }
+        // V <- V J accumulates eigenvectors in columns.
+        for (std::size_t k = 0; k < un; ++k) {
+          const double vkp = V[k * un + p];
+          const double vkq = V[k * un + q];
+          V[k * un + p] = c * vkp - s * vkq;
+          V[k * un + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition ed;
+  ed.n = n;
+  ed.values.resize(un);
+  for (std::size_t i = 0; i < un; ++i) ed.values[i] = a[i * un + i];
+  ed.vectors = std::move(V);
+  sort_eigenpairs(ed);
+  return ed;
+}
+
+EigenDecomposition tridiagonal_eigen(std::vector<double> diag,
+                                     std::vector<double> off) {
+  const auto m = static_cast<int>(diag.size());
+  GAPART_REQUIRE(m >= 1, "empty tridiagonal matrix");
+  GAPART_REQUIRE(off.size() + 1 == diag.size(),
+                 "off-diagonal must have m-1 entries");
+  const auto um = static_cast<std::size_t>(m);
+
+  // EISPACK tql2: d = diagonal, e = subdiagonal shifted so e[i] couples
+  // d[i] and d[i+1]; e[m-1] is scratch.
+  std::vector<double>& d = diag;
+  std::vector<double> e(um, 0.0);
+  std::copy(off.begin(), off.end(), e.begin());
+
+  std::vector<double> z(um * um, 0.0);
+  for (std::size_t i = 0; i < um; ++i) z[i * um + i] = 1.0;
+
+  auto sign_of = [](double a, double b) { return b >= 0.0 ? std::abs(a) : -std::abs(a); };
+
+  for (int l = 0; l < m; ++l) {
+    int iter = 0;
+    int mm = l;
+    do {
+      for (mm = l; mm < m - 1; ++mm) {
+        const double dd = std::abs(d[static_cast<std::size_t>(mm)]) +
+                          std::abs(d[static_cast<std::size_t>(mm) + 1]);
+        if (std::abs(e[static_cast<std::size_t>(mm)]) <=
+            1e-15 * std::max(dd, 1e-300)) {
+          break;
+        }
+      }
+      if (mm != l) {
+        GAPART_REQUIRE(++iter <= 64, "tql2 failed to converge");
+        double g = (d[static_cast<std::size_t>(l) + 1] -
+                    d[static_cast<std::size_t>(l)]) /
+                   (2.0 * e[static_cast<std::size_t>(l)]);
+        double r = std::hypot(g, 1.0);
+        g = d[static_cast<std::size_t>(mm)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] / (g + sign_of(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int i = mm - 1;
+        for (; i >= l; --i) {
+          double f = s * e[static_cast<std::size_t>(i)];
+          const double b = c * e[static_cast<std::size_t>(i)];
+          r = std::hypot(f, g);
+          e[static_cast<std::size_t>(i) + 1] = r;
+          if (r == 0.0) {
+            d[static_cast<std::size_t>(i) + 1] -= p;
+            e[static_cast<std::size_t>(mm)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i) + 1] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i) + 1] = g + p;
+          g = c * r - b;
+          for (int k = 0; k < m; ++k) {
+            f = z[static_cast<std::size_t>(k) * um +
+                  static_cast<std::size_t>(i) + 1];
+            z[static_cast<std::size_t>(k) * um + static_cast<std::size_t>(i) +
+              1] = s * z[static_cast<std::size_t>(k) * um +
+                         static_cast<std::size_t>(i)] +
+                   c * f;
+            z[static_cast<std::size_t>(k) * um + static_cast<std::size_t>(i)] =
+                c * z[static_cast<std::size_t>(k) * um +
+                      static_cast<std::size_t>(i)] -
+                s * f;
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(mm)] = 0.0;
+      }
+    } while (mm != l);
+  }
+
+  EigenDecomposition ed;
+  ed.n = m;
+  ed.values = std::move(d);
+  ed.vectors = std::move(z);
+  sort_eigenpairs(ed);
+  return ed;
+}
+
+}  // namespace gapart

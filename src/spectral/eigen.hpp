@@ -1,0 +1,38 @@
+// Dense and tridiagonal symmetric eigensolvers.
+//
+// jacobi_eigen: classic cyclic Jacobi rotations — O(n^3) but foolproof; used
+// as the exact reference path of the Fiedler computation (small graphs, RSB
+// recursion leaves, validation of Lanczos).
+//
+// tridiagonal_eigen: implicit-shift QL ("tql2") for the projected tridiagonal
+// problems produced by the Lanczos iteration.
+#pragma once
+
+#include <vector>
+
+namespace gapart {
+
+/// Eigendecomposition of a symmetric matrix; eigenvalues ascending.
+/// `vectors` is row-major n x n with COLUMN j holding the eigenvector of
+/// values[j] (i.e. vectors[i*n + j] = component i of eigenvector j).
+struct EigenDecomposition {
+  std::vector<double> values;
+  std::vector<double> vectors;
+  int n = 0;
+
+  /// Copy of eigenvector j as a contiguous vector.
+  std::vector<double> eigenvector(int j) const;
+};
+
+/// Cyclic Jacobi on row-major symmetric `a` (n x n).  The input matrix is
+/// taken by value and destroyed.  Throws on non-finite input.
+EigenDecomposition jacobi_eigen(std::vector<double> a, int n,
+                                int max_sweeps = 64, double tol = 1e-12);
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with diagonal
+/// `diag` (size m) and off-diagonal `off` (size m-1), ascending eigenvalues,
+/// same vector layout as EigenDecomposition.
+EigenDecomposition tridiagonal_eigen(std::vector<double> diag,
+                                     std::vector<double> off);
+
+}  // namespace gapart

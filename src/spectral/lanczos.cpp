@@ -1,0 +1,120 @@
+#include "spectral/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "spectral/eigen.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace gapart {
+
+namespace {
+
+/// Removes components along the constant vector and all columns of `basis`,
+/// then returns the remaining norm.
+double orthogonalize(std::span<double> w,
+                     const std::vector<std::vector<double>>& basis) {
+  // Two passes of classical Gram-Schmidt ("twice is enough").
+  for (int pass = 0; pass < 2; ++pass) {
+    deflate_constant(w);
+    for (const auto& v : basis) {
+      const double proj = dot(w, v);
+      axpy(-proj, v, w);
+    }
+  }
+  return norm2(w);
+}
+
+}  // namespace
+
+LanczosResult fiedler_pair_lanczos(const Graph& g, Rng& rng,
+                                   const LanczosOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  GAPART_REQUIRE(n >= 2, "Fiedler pair needs at least two vertices");
+  GAPART_REQUIRE(options.max_steps >= 2, "need at least two Lanczos steps");
+
+  LanczosResult result;
+
+  // Start vector: random, deflated against the kernel.
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+
+  for (int restart = 0; restart <= options.max_restarts; ++restart) {
+    result.restarts = restart;
+
+    std::vector<std::vector<double>> basis;  // v_1 .. v_m
+    std::vector<double> alpha;
+    std::vector<double> beta;  // beta_j couples v_j and v_{j+1}
+
+    std::vector<double> v = x;
+    {
+      const double nv = orthogonalize(v, basis);
+      if (nv <= 1e-14) {
+        // Degenerate start (e.g. x parallel to ones); re-randomize.
+        for (auto& e : v) e = rng.uniform(-1.0, 1.0);
+        const double nv2 = orthogonalize(v, basis);
+        GAPART_REQUIRE(nv2 > 1e-14, "cannot build non-trivial start vector");
+        scale(1.0 / nv2, v);
+      } else {
+        scale(1.0 / nv, v);
+      }
+    }
+    basis.push_back(v);
+
+    std::vector<double> w(n);
+    const int m_cap =
+        std::min<int>(options.max_steps, static_cast<int>(n) - 1);
+    for (int j = 0; j < m_cap; ++j) {
+      apply_laplacian(g, basis.back(), w);
+      const double a = dot(w, basis.back());
+      alpha.push_back(a);
+      // Full reorthogonalization (subtracts alpha*v_j, beta*v_{j-1} and any
+      // drift, plus the kernel component).
+      const double b = orthogonalize(w, basis);
+      if (b <= 1e-12) break;  // happy breakdown: invariant subspace found
+      beta.push_back(b);
+      std::vector<double> next = w;
+      scale(1.0 / b, next);
+      basis.push_back(std::move(next));
+    }
+    if (alpha.size() < basis.size()) {
+      // The loop ended with one basis vector not yet processed; compute its
+      // diagonal entry so the tridiagonal system is square.
+      apply_laplacian(g, basis.back(), w);
+      alpha.push_back(dot(w, basis.back()));
+    }
+
+    const auto m = alpha.size();
+    GAPART_ASSERT(beta.size() + 1 == m);
+    auto ed = tridiagonal_eigen(alpha, beta);
+
+    // Smallest Ritz pair approximates lambda_2 (kernel deflated).
+    const auto ritz = ed.eigenvector(0);
+    std::vector<double> y(n, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      axpy(ritz[j], basis[j], y);
+    }
+    deflate_constant(y);
+    const double ny = norm2(y);
+    if (ny > 1e-14) scale(1.0 / ny, y);
+
+    const double theta = rayleigh_quotient(g, y);
+    apply_laplacian(g, y, w);
+    axpy(-theta, y, w);
+    const double residual = norm2(w) / std::max(theta, 1.0);
+
+    result.steps += static_cast<int>(m);
+    result.pair.value = theta;
+    result.pair.vector = y;
+    result.residual = residual;
+    if (residual <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    x = std::move(y);  // restart from the best Ritz vector
+  }
+  return result;
+}
+
+}  // namespace gapart

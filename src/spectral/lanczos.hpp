@@ -1,0 +1,43 @@
+// Lanczos iteration for the Fiedler (second smallest Laplacian) eigenpair.
+//
+// The constant vector — the Laplacian's kernel on a connected graph — is
+// deflated from the start vector and from every Lanczos vector, so the
+// smallest Ritz value of the projected tridiagonal problem approximates
+// lambda_2.  Full reorthogonalization keeps the basis clean (graphs here are
+// small enough that the O(n m^2) cost is irrelevant); restarts with the best
+// Ritz vector handle slow convergence.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace gapart {
+
+struct LanczosOptions {
+  int max_steps = 150;      ///< Krylov dimension per restart
+  int max_restarts = 8;     ///< restart budget
+  double tolerance = 1e-8;  ///< relative residual ||Lx - thx|| / max(th,1)
+};
+
+struct EigenPair {
+  double value = 0.0;
+  std::vector<double> vector;
+};
+
+struct LanczosResult {
+  EigenPair pair;
+  int steps = 0;       ///< total Lanczos steps across restarts
+  int restarts = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Computes the Fiedler pair of connected graph `g`.  Throws on graphs with
+/// fewer than 2 vertices; behaviour on disconnected graphs returns the
+/// smallest non-deflated pair (lambda ~ 0), which RSB guards against.
+LanczosResult fiedler_pair_lanczos(const Graph& g, Rng& rng,
+                                   const LanczosOptions& options = {});
+
+}  // namespace gapart

@@ -1,0 +1,80 @@
+#include "spectral/laplacian.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+void apply_laplacian(const Graph& g, std::span<const double> x,
+                     std::span<double> y) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  GAPART_ASSERT(x.size() == n && y.size() == n);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    double acc = 0.0;
+    double deg = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      acc += wgts[i] * x[static_cast<std::size_t>(nbrs[i])];
+      deg += wgts[i];
+    }
+    y[static_cast<std::size_t>(v)] =
+        deg * x[static_cast<std::size_t>(v)] - acc;
+  }
+}
+
+std::vector<double> dense_laplacian(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> L(n * n, 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    double deg = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      L[static_cast<std::size_t>(v) * n + static_cast<std::size_t>(nbrs[i])] =
+          -wgts[i];
+      deg += wgts[i];
+    }
+    L[static_cast<std::size_t>(v) * n + static_cast<std::size_t>(v)] = deg;
+  }
+  return L;
+}
+
+double rayleigh_quotient(const Graph& g, std::span<const double> x) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  GAPART_ASSERT(x.size() == n);
+  std::vector<double> y(n);
+  apply_laplacian(g, x, y);
+  const double den = dot(x, x);
+  GAPART_REQUIRE(den > 0.0, "Rayleigh quotient of zero vector");
+  return dot(x, y) / den;
+}
+
+void deflate_constant(std::span<double> x) {
+  if (x.empty()) return;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  GAPART_ASSERT(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  GAPART_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+}  // namespace gapart

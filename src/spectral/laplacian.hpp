@@ -1,0 +1,36 @@
+// Graph Laplacian operators.
+//
+// L = D - A with edge weights; the Fiedler vector (eigenvector of the second
+// smallest eigenvalue) drives recursive spectral bisection (Pothen, Simon &
+// Liou), the baseline the paper measures its GA against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gapart {
+
+/// y = L x in O(V + E); x and y must have size |V| and must not alias.
+void apply_laplacian(const Graph& g, std::span<const double> x,
+                     std::span<double> y);
+
+/// Dense row-major |V| x |V| Laplacian (for the exact eigensolver path and
+/// for tests).
+std::vector<double> dense_laplacian(const Graph& g);
+
+/// x^T L x / x^T x; x must be nonzero.
+double rayleigh_quotient(const Graph& g, std::span<const double> x);
+
+/// Removes the component of x along the all-ones vector (the Laplacian's
+/// trivial kernel for connected graphs) in place.
+void deflate_constant(std::span<double> x);
+
+/// Euclidean norm / dot helpers used by the iterative solvers.
+double norm2(std::span<const double> x);
+double dot(std::span<const double> x, std::span<const double> y);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void scale(double alpha, std::span<double> x);
+
+}  // namespace gapart

@@ -1,0 +1,48 @@
+#include "spectral/multilevel.hpp"
+
+#include <algorithm>
+
+#include "baselines/kl.hpp"
+#include "common/assert.hpp"
+#include "graph/coarsen.hpp"
+#include "graph/partition.hpp"
+
+namespace gapart {
+
+Assignment multilevel_partition(const Graph& g, PartId num_parts, Rng& rng,
+                                const MultilevelOptions& options) {
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  GAPART_REQUIRE(g.num_vertices() >= num_parts, "fewer vertices than parts");
+
+  const VertexId target = std::max<VertexId>(
+      num_parts * options.coarse_vertices_per_part, num_parts);
+  const auto hierarchy = coarsen_to(g, target, rng);
+  const Graph& coarsest = hierarchy.coarsest(g);
+
+  Assignment assignment =
+      rsb_partition(coarsest, num_parts, rng, options.rsb);
+
+  KlOptions kl;
+  kl.fitness = options.fitness;
+  kl.max_passes = options.kl_passes_per_level;
+
+  // Refine the coarsest solution, then project up through the hierarchy,
+  // refining after every prolongation.
+  {
+    PartitionState state(coarsest, assignment, num_parts);
+    kl_refine(state, kl);
+    assignment = state.assignment();
+  }
+  for (std::size_t li = hierarchy.levels.size(); li-- > 0;) {
+    const auto& level = hierarchy.levels[li];
+    assignment = project_assignment(assignment, level.fine_to_coarse);
+    const Graph& fine =
+        li == 0 ? g : hierarchy.levels[li - 1].graph;
+    PartitionState state(fine, assignment, num_parts);
+    kl_refine(state, kl);
+    assignment = state.assignment();
+  }
+  return assignment;
+}
+
+}  // namespace gapart

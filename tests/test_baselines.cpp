@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_incremental.hpp"
+#include "baselines/kl.hpp"
+#include "baselines/rcb.hpp"
+#include "baselines/rgb.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "graph/partition.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::all_parts_used;
+using testing::max_size_deviation;
+
+TEST(Rcb, GridQuadrants) {
+  const Graph g = make_grid(8, 8);
+  Rng rng(3);
+  const auto a = rcb_partition(g, 4, rng);
+  ASSERT_TRUE(is_valid_assignment(g, a, 4));
+  const auto m = compute_metrics(g, a, 4);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+  // Coordinate bisection of a square grid into 4 = two straight cuts.
+  EXPECT_LE(m.total_cut(), 16.0);
+}
+
+TEST(Rcb, BalancedOnPaperMeshes) {
+  for (VertexId n : {78, 144, 243}) {
+    const Mesh mesh = paper_mesh(n);
+    Rng rng(5);
+    for (PartId k : {2, 4, 8}) {
+      const auto a = rcb_partition(mesh.graph, k, rng);
+      ASSERT_TRUE(is_valid_assignment(mesh.graph, a, k));
+      EXPECT_TRUE(all_parts_used(a, k)) << n << "/" << k;
+      EXPECT_LE(max_size_deviation(a, k), 2) << n << "/" << k;
+    }
+  }
+}
+
+TEST(Rcb, RequiresCoordinates) {
+  const Graph g = make_complete(6);
+  Rng rng(7);
+  EXPECT_THROW(rcb_partition(g, 2, rng), Error);
+}
+
+TEST(Rcb, SplitsWidestAxis) {
+  // 2x20 strip: the x axis is widest, so a bisection should cut the strip
+  // crosswise (2 edges), not lengthwise (20 edges).
+  const Graph g = make_grid(2, 20);
+  Rng rng(9);
+  const auto a = rcb_partition(g, 2, rng);
+  EXPECT_LE(compute_metrics(g, a, 2).total_cut(), 2.0);
+}
+
+TEST(Rgb, PathOptimal) {
+  const Graph g = make_path(30);
+  Rng rng(11);
+  const auto a = rgb_partition(g, 2, rng);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 1.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(Rgb, NeedsNoCoordinates) {
+  const Graph g = make_clique_chain(4, 6);
+  Rng rng(13);
+  const auto a = rgb_partition(g, 4, rng);
+  ASSERT_TRUE(is_valid_assignment(g, a, 4));
+  const auto m = compute_metrics(g, a, 4);
+  // BFS levelization should cut near the 3 clique joints.
+  EXPECT_LE(m.total_cut(), 6.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(Rgb, BalancedOnPaperMeshes) {
+  const Mesh mesh = paper_mesh(183);
+  Rng rng(17);
+  for (PartId k : {2, 4, 8}) {
+    const auto a = rgb_partition(mesh.graph, k, rng);
+    ASSERT_TRUE(is_valid_assignment(mesh.graph, a, k));
+    EXPECT_LE(max_size_deviation(a, k), 2);
+  }
+}
+
+TEST(Kl, ImprovesBadBisection) {
+  const Graph g = make_grid(8, 8);
+  // Interleaved columns: terrible cut, perfectly balanced.
+  Assignment a(64);
+  for (VertexId v = 0; v < 64; ++v) {
+    a[static_cast<std::size_t>(v)] = static_cast<PartId>((v % 8) % 2);
+  }
+  PartitionState state(g, a, 2);
+  const double before = state.fitness({Objective::kTotalComm, 1.0});
+  const auto res = kl_refine(state);
+  const double after = state.fitness({Objective::kTotalComm, 1.0});
+  EXPECT_GT(res.moves_applied, 0);
+  EXPECT_GT(after, before);
+  EXPECT_NEAR(after - before, res.fitness_gain, 1e-9);
+  // Interleaving cuts 56 edges; KL should at least halve that.
+  EXPECT_LE(state.total_cut(), 28.0);
+}
+
+TEST(Kl, NeverWorsens) {
+  Rng rng(19);
+  const Mesh mesh = paper_mesh(98);
+  for (int trial = 0; trial < 5; ++trial) {
+    Assignment a(static_cast<std::size_t>(mesh.graph.num_vertices()));
+    for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(4));
+    for (Objective obj : {Objective::kTotalComm, Objective::kWorstComm}) {
+      PartitionState state(mesh.graph, a, 4);
+      KlOptions opt;
+      opt.fitness = {obj, 1.0};
+      const double before = state.fitness(opt.fitness);
+      kl_refine(state, opt);
+      EXPECT_GE(state.fitness(opt.fitness), before - 1e-9);
+    }
+  }
+}
+
+TEST(Kl, FixedPointOnOptimalSolution) {
+  const Graph g = make_two_cliques(6);
+  Assignment a(12, 0);
+  for (std::size_t i = 6; i < 12; ++i) a[i] = 1;
+  PartitionState state(g, a, 2);
+  const auto res = kl_refine(state);
+  EXPECT_EQ(res.moves_applied, 0);
+  EXPECT_DOUBLE_EQ(state.total_cut(), 1.0);
+}
+
+TEST(Kl, EscapesLocalOptimumViaNegativeMoves) {
+  // Two cliques with the WRONG bisection (half of each clique on each
+  // side): strictly-improving hill climbing cannot fix a clique split
+  // without passing through worse states; KL's trial sequence can.
+  const Graph g = make_two_cliques(4);
+  const Assignment a = {0, 0, 1, 1, 0, 0, 1, 1};
+  PartitionState state(g, a, 2);
+  kl_refine(state);
+  EXPECT_LE(state.total_cut(), 1.0);
+}
+
+TEST(Kl, MovesCapRespected) {
+  const Graph g = make_grid(6, 6);
+  Assignment a(36);
+  for (VertexId v = 0; v < 36; ++v) {
+    a[static_cast<std::size_t>(v)] = static_cast<PartId>(v % 2);
+  }
+  PartitionState state(g, a, 2);
+  KlOptions opt;
+  opt.max_passes = 1;
+  opt.max_moves_per_pass = 3;
+  const auto res = kl_refine(state, opt);
+  EXPECT_LE(res.moves_applied, 3);
+}
+
+TEST(GreedyIncremental, MajorityRule) {
+  // Path 0-1-2-3 partitioned {0,0,1,1}; new vertex 4 adjacent to 2 and 3
+  // must join part 1.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(2, 4);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const auto out = greedy_incremental_assign(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(out[4], 1);
+  // Old vertices untouched.
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 1);
+}
+
+TEST(GreedyIncremental, TieBrokenByLighterPart) {
+  // New vertex with one neighbour in each part joins the lighter part.
+  GraphBuilder b(6);
+  b.add_edge(0, 5);
+  b.add_edge(3, 5);
+  const Graph g = b.build();
+  // Parts: {0,1,2} in part 0 (weight 3), {3,4} in part 1 (weight 2).
+  const auto out = greedy_incremental_assign(g, {0, 0, 0, 1, 1}, 2);
+  EXPECT_EQ(out[5], 1);
+}
+
+TEST(GreedyIncremental, IsolatedNewVertexGoesToLightestPart) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto out = greedy_incremental_assign(g, {0, 0, 1}, 2);
+  EXPECT_EQ(out[3], 1);
+}
+
+TEST(GreedyIncremental, ChainOfNewVerticesPropagates) {
+  // New vertices 3-4-5 hang off vertex 2 (part 1) as a path; the
+  // most-constrained-first order assigns them all to part 1 (modulo the
+  // balance tie-break on the last).
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  const auto out = greedy_incremental_assign(g, {0, 0, 1}, 2);
+  EXPECT_EQ(out[3], 1);
+  EXPECT_EQ(out[4], 1);
+}
+
+TEST(GreedyIncremental, ValidatesInputs) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(greedy_incremental_assign(g, {0, 0, 0, 0}, 2), Error);
+  EXPECT_THROW(greedy_incremental_assign(g, {0, 7}, 2), Error);
+}
+
+TEST(GreedyIncremental, LocalizedGrowthUnbalancesGreedy) {
+  // The paper's conclusion argues the deterministic majority rule is a weak
+  // incremental partitioner: when growth is localized, all new vertices pile
+  // onto the part(s) owning that region.  Document exactly that: the greedy
+  // result is valid and preserves old assignments, but its imbalance is far
+  // worse than balanced dealing achieves (deviation <= 1).
+  const Mesh base = paper_mesh(118);
+  const Mesh grown = paper_incremental_mesh(base, 118, 41);
+  Rng rng(23);
+  const auto prev = rgb_partition(base.graph, 8, rng);
+  const auto out = greedy_incremental_assign(grown.graph, prev, 8);
+  ASSERT_TRUE(is_valid_assignment(grown.graph, out, 8));
+  for (std::size_t v = 0; v < prev.size(); ++v) {
+    ASSERT_EQ(out[v], prev[v]) << "old vertex " << v << " reassigned";
+  }
+  EXPECT_GE(max_size_deviation(out, 8), 4);  // the strawman's weakness
+}
+
+}  // namespace
+}  // namespace gapart

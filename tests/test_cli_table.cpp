@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace gapart {
+namespace {
+
+CliArgs make_args(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesNamedAndPositional) {
+  const auto args =
+      make_args({"prog", "--gens=100", "pos1", "--quick", "pos2"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_TRUE(args.has("gens"));
+  EXPECT_EQ(args.integer("gens", 0), 100);
+  EXPECT_TRUE(args.flag("quick"));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const auto args = make_args({"prog"});
+  EXPECT_FALSE(args.has("gens"));
+  EXPECT_EQ(args.integer("gens", 42), 42);
+  EXPECT_DOUBLE_EQ(args.real("rate", 0.5), 0.5);
+  EXPECT_EQ(args.str("name", "dflt"), "dflt");
+  EXPECT_FALSE(args.flag("quick"));
+  EXPECT_TRUE(args.flag("on", true));
+}
+
+TEST(CliArgs, BooleanValueForms) {
+  const auto args = make_args({"p", "--a=true", "--b=0", "--c=off", "--d=yes"});
+  EXPECT_TRUE(args.flag("a"));
+  EXPECT_FALSE(args.flag("b"));
+  EXPECT_FALSE(args.flag("c"));
+  EXPECT_TRUE(args.flag("d"));
+}
+
+TEST(CliArgs, MalformedNumberThrows) {
+  const auto args = make_args({"p", "--gens=abc"});
+  EXPECT_THROW(args.integer("gens", 0), Error);
+}
+
+TEST(CliArgs, MalformedBoolThrows) {
+  const auto args = make_args({"p", "--q=maybe"});
+  EXPECT_THROW(args.flag("q"), Error);
+}
+
+TEST(CliArgs, RealParsing) {
+  const auto args = make_args({"p", "--rate=0.25"});
+  EXPECT_DOUBLE_EQ(args.real("rate", 0.0), 0.25);
+}
+
+TEST(CliArgs, UnusedTracksUnqueriedFlags) {
+  const auto args = make_args({"p", "--used=1", "--typo=2"});
+  (void)args.integer("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"graph", "cut"});
+  t.add_row({"grid8", "14"});
+  t.start_row();
+  t.append("mesh144");
+  t.append(57.0, 0);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("graph"), std::string::npos);
+  EXPECT_NE(s.find("grid8"), std::string::npos);
+  EXPECT_NE(s.find("mesh144"), std::string::npos);
+  EXPECT_NE(s.find("57"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxxxxxx", "1"});
+  t.add_row({"y", "2"});
+  std::istringstream is(t.str());
+  std::string header;
+  std::string rule;
+  std::string r1;
+  std::string r2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, r1);
+  std::getline(is, r2);
+  // Column b starts at the same offset in both rows.
+  EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(TextTable, WrongArityRejected) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  t.start_row();
+  t.append("1");
+  t.append("2");
+  EXPECT_THROW(t.append("3"), Error);
+}
+
+TEST(TextTable, AppendBeforeStartRowRejected) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.append("x"), Error);
+}
+
+TEST(TextTable, RuleRowRendersAsDashes) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  std::istringstream is(t.str());
+  std::string line;
+  int dash_lines = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos) {
+      ++dash_lines;
+    }
+  }
+  EXPECT_EQ(dash_lines, 2);  // header rule + explicit rule
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(EmptyTableHeaderRejected, Throws) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,116 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace gapart {
+namespace {
+
+Graph two_triangles() {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 3);
+  return b.build();
+}
+
+TEST(Components, SingleComponent) {
+  const auto comp = connected_components(make_path(6));
+  EXPECT_EQ(comp.count, 1);
+  for (VertexId c : comp.label) EXPECT_EQ(c, 0);
+}
+
+TEST(Components, TwoComponentsLabeledByDiscovery) {
+  const auto comp = connected_components(two_triangles());
+  EXPECT_EQ(comp.count, 2);
+  EXPECT_EQ(comp.label[0], 0);
+  EXPECT_EQ(comp.label[3], 1);
+  const auto sizes = comp.sizes();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 3);
+  EXPECT_EQ(sizes[1], 3);
+}
+
+TEST(Components, IsolatedVerticesAreOwnComponents) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const auto comp = connected_components(b.build());
+  EXPECT_EQ(comp.count, 3);
+}
+
+TEST(Components, EmptyGraphConnectedByConvention) {
+  GraphBuilder b(0);
+  EXPECT_TRUE(is_connected(b.build()));
+}
+
+TEST(Components, IsConnectedMatchesCount) {
+  EXPECT_TRUE(is_connected(make_cycle(5)));
+  EXPECT_FALSE(is_connected(two_triangles()));
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const auto dist = bfs_distances(make_path(5), 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  const auto dist = bfs_distances(two_triangles(), 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[5], -1);
+}
+
+TEST(Bfs, MaskRestrictsTraversal) {
+  const Graph g = make_path(5);
+  // Remove vertex 2 from play: 3 and 4 become unreachable from 0.
+  std::vector<char> mask = {1, 1, 0, 1, 1};
+  const auto dist = bfs_distances(g, 0, mask);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(Bfs, SourceExcludedByMaskRejected) {
+  const Graph g = make_path(3);
+  std::vector<char> mask = {0, 1, 1};
+  EXPECT_THROW(bfs_distances(g, 0, mask), Error);
+}
+
+TEST(Bfs, InvalidSourceRejected) {
+  EXPECT_THROW(bfs_distances(make_path(3), 7), Error);
+}
+
+TEST(FarthestVertex, EndOfPath) {
+  EXPECT_EQ(farthest_vertex(make_path(9), 0), 8);
+  EXPECT_EQ(farthest_vertex(make_path(9), 8), 0);
+  EXPECT_EQ(farthest_vertex(make_path(9), 4), 0);  // tie broken by small id
+}
+
+TEST(PseudoPeripheral, PathEndpoint) {
+  const VertexId v = pseudo_peripheral_vertex(make_path(10));
+  EXPECT_TRUE(v == 0 || v == 9);
+}
+
+TEST(PseudoPeripheral, GridCorner) {
+  const Graph g = make_grid(5, 5);
+  const VertexId v = pseudo_peripheral_vertex(g);
+  // Corners of the grid: 0, 4, 20, 24.
+  EXPECT_TRUE(v == 0 || v == 4 || v == 20 || v == 24) << v;
+}
+
+TEST(PseudoPeripheral, MaskedComponent) {
+  const Graph g = two_triangles();
+  std::vector<char> mask = {0, 0, 0, 1, 1, 1};
+  const VertexId v = pseudo_peripheral_vertex(g, mask);
+  EXPECT_GE(v, 3);
+}
+
+}  // namespace
+}  // namespace gapart

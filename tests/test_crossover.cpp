@@ -1,0 +1,263 @@
+#include "core/crossover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace gapart {
+namespace {
+
+/// Every child gene must come from one of the parents at the same locus.
+void expect_genes_from_parents(const Assignment& a, const Assignment& b,
+                               const Assignment& child) {
+  ASSERT_EQ(child.size(), a.size());
+  for (std::size_t i = 0; i < child.size(); ++i) {
+    EXPECT_TRUE(child[i] == a[i] || child[i] == b[i]) << "locus " << i;
+  }
+}
+
+TEST(KPointCrossover, OnePointSwapsSuffix) {
+  const Assignment a = {0, 0, 0, 0, 0, 0};
+  const Assignment b = {1, 1, 1, 1, 1, 1};
+  Rng rng(3);
+  Assignment c1;
+  Assignment c2;
+  k_point_crossover(a, b, 1, rng, c1, c2);
+  // Exactly one switch: c1 is a prefix of a's followed by b's, and the
+  // children are complementary.
+  int switches = 0;
+  for (std::size_t i = 1; i < c1.size(); ++i) {
+    if (c1[i] != c1[i - 1]) ++switches;
+  }
+  EXPECT_EQ(switches, 1);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NE(c1[i], c2[i]);
+  }
+  EXPECT_EQ(c1[0], 0);  // children start from parent a by convention
+}
+
+TEST(KPointCrossover, TwoPointSwapsWindow) {
+  const Assignment a(10, 0);
+  const Assignment b(10, 1);
+  Rng rng(5);
+  Assignment c1;
+  Assignment c2;
+  k_point_crossover(a, b, 2, rng, c1, c2);
+  int switches = 0;
+  for (std::size_t i = 1; i < c1.size(); ++i) {
+    if (c1[i] != c1[i - 1]) ++switches;
+  }
+  EXPECT_EQ(switches, 2);
+}
+
+TEST(KPointCrossover, CutCountClampedToLength) {
+  const Assignment a(4, 0);
+  const Assignment b(4, 1);
+  Rng rng(7);
+  Assignment c1;
+  Assignment c2;
+  k_point_crossover(a, b, 50, rng, c1, c2);  // clamped to 3 cuts
+  expect_genes_from_parents(a, b, c1);
+  expect_genes_from_parents(a, b, c2);
+}
+
+TEST(KPointCrossover, SingleGeneParents) {
+  const Assignment a = {0};
+  const Assignment b = {1};
+  Rng rng(9);
+  Assignment c1;
+  Assignment c2;
+  k_point_crossover(a, b, 2, rng, c1, c2);
+  EXPECT_EQ(c1, a);
+  EXPECT_EQ(c2, b);
+}
+
+TEST(KPointCrossover, MismatchedParentsRejected) {
+  Rng rng(11);
+  Assignment c1;
+  Assignment c2;
+  const Assignment a(4, 0);
+  const Assignment b(5, 1);
+  EXPECT_THROW(k_point_crossover(a, b, 1, rng, c1, c2), Error);
+}
+
+TEST(UniformCrossover, ChildrenComplementary) {
+  const Assignment a(50, 0);
+  const Assignment b(50, 1);
+  Rng rng(13);
+  Assignment c1;
+  Assignment c2;
+  uniform_crossover(a, b, rng, c1, c2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NE(c1[i], c2[i]);  // differing parents -> complementary children
+  }
+}
+
+TEST(UniformCrossover, HalfAndHalfMixing) {
+  const Assignment a(2000, 0);
+  const Assignment b(2000, 1);
+  Rng rng(17);
+  Assignment c1;
+  Assignment c2;
+  uniform_crossover(a, b, rng, c1, c2);
+  int from_a = 0;
+  for (PartId p : c1) {
+    if (p == 0) ++from_a;
+  }
+  EXPECT_NEAR(from_a, 1000, 120);  // ~N(1000, 22)
+}
+
+TEST(KnuxBias, PaperFormulaHandComputed) {
+  // Path 0-1-2-3-4.  Reference I = {0,0,1,1,1}.
+  // Node 2's neighbours are {1, 3}; I places 1 in part 0 and 3 in part 1.
+  const Graph g = make_path(5);
+  const Assignment ref = {0, 0, 1, 1, 1};
+  // #(2, a=0, I) = 1 (neighbour 1), #(2, b=1, I) = 1 (neighbour 3).
+  EXPECT_DOUBLE_EQ(knux_bias(g, ref, 2, 0, 1), 0.5);
+  // Node 1's neighbours {0, 2}: I(0)=0, I(2)=1.
+  // allele a=0 -> count 1; allele b=1 -> count 1 -> 0.5.
+  EXPECT_DOUBLE_EQ(knux_bias(g, ref, 1, 0, 1), 0.5);
+  // Node 4's neighbours {3}: I(3)=1.  a=1 -> 1, b=0 -> 0 -> p=1.
+  EXPECT_DOUBLE_EQ(knux_bias(g, ref, 4, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(knux_bias(g, ref, 4, 0, 1), 0.0);
+}
+
+TEST(KnuxBias, BothCountsZeroGivesHalf) {
+  // Alleles that the reference never uses near node i.
+  const Graph g = make_path(3);
+  const Assignment ref = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(knux_bias(g, ref, 1, 2, 3), 0.5);
+}
+
+TEST(KnuxBias, StarCenterCounts) {
+  // Star centre (node 0) with 4 leaves; reference assigns leaves 1,2,3 to
+  // part 2 and leaf 4 to part 5.
+  const Graph g = make_star(5);
+  const Assignment ref = {0, 2, 2, 2, 5};
+  // a-allele 2 -> 3 supporting neighbours; b-allele 5 -> 1.
+  EXPECT_DOUBLE_EQ(knux_bias(g, ref, 0, 2, 5), 0.75);
+  EXPECT_DOUBLE_EQ(knux_bias(g, ref, 0, 5, 2), 0.25);
+}
+
+TEST(KnuxCrossover, AgreementCopiedVerbatim) {
+  const Graph g = make_path(6);
+  const Assignment a = {0, 0, 1, 1, 0, 1};
+  const Assignment b = {0, 0, 1, 1, 1, 0};  // agrees on loci 0-3
+  const Assignment ref = {0, 0, 0, 1, 1, 1};
+  Rng rng(19);
+  Assignment c1;
+  Assignment c2;
+  knux_crossover(a, b, g, ref, rng, c1, c2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c1[i], a[i]);
+    EXPECT_EQ(c2[i], a[i]);
+  }
+  expect_genes_from_parents(a, b, c1);
+  expect_genes_from_parents(a, b, c2);
+}
+
+TEST(KnuxCrossover, BiasObservedEmpirically) {
+  // Node 1 of a path 0-1-2: reference I = {0,0,0} places both neighbours in
+  // part 0, so with parents a_1 = 0, b_1 = 1 the child should inherit 0
+  // with probability 1 (count_b = 0).
+  const Graph g = make_path(3);
+  const Assignment ref = {0, 0, 0};
+  const Assignment a = {0, 0, 0};
+  const Assignment b = {0, 1, 0};
+  Rng rng(23);
+  Assignment c1;
+  Assignment c2;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Default (independent) policy: both children follow the p=1 bias.
+    knux_crossover(a, b, g, ref, rng, c1, c2);
+    EXPECT_EQ(c1[1], 0);
+    EXPECT_EQ(c2[1], 0);
+    // Complementary policy: the sibling takes the other allele.
+    knux_crossover(a, b, g, ref, rng, c1, c2, /*complementary=*/true);
+    EXPECT_EQ(c1[1], 0);
+    EXPECT_EQ(c2[1], 1);
+  }
+}
+
+TEST(KnuxCrossover, FiftyFiftyWhenReferenceIsNeutral) {
+  // Reference supports both alleles equally -> empirical inheritance ~50%.
+  const Graph g = make_path(3);
+  const Assignment ref = {0, 9, 1};  // node 1's neighbours split 0/1
+  const Assignment a = {0, 0, 0};
+  const Assignment b = {0, 1, 0};
+  Rng rng(29);
+  Assignment c1;
+  Assignment c2;
+  int zeros = 0;
+  constexpr int kTrials = 4000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    knux_crossover(a, b, g, ref, rng, c1, c2);
+    if (c1[1] == 0) ++zeros;
+  }
+  EXPECT_NEAR(zeros, kTrials / 2, 150);
+}
+
+TEST(KnuxCrossover, ReferenceSizeValidated) {
+  const Graph g = make_path(3);
+  Rng rng(31);
+  Assignment c1;
+  Assignment c2;
+  const Assignment a = {0, 0, 0};
+  const Assignment b = {1, 1, 1};
+  const Assignment short_ref = {0, 0};
+  EXPECT_THROW(knux_crossover(a, b, g, short_ref, rng, c1, c2), Error);
+}
+
+TEST(ApplyCrossover, DispatchesAllOperators) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(37);
+  Assignment a(16);
+  Assignment b(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<PartId>(rng.uniform_int(4));
+    b[i] = static_cast<PartId>(rng.uniform_int(4));
+  }
+  const Assignment ref = a;
+  CrossoverContext ctx;
+  ctx.graph = &g;
+  ctx.reference = &ref;
+  ctx.k_points = 3;
+  for (CrossoverOp op :
+       {CrossoverOp::kOnePoint, CrossoverOp::kTwoPoint, CrossoverOp::kKPoint,
+        CrossoverOp::kUniform, CrossoverOp::kKnux, CrossoverOp::kDknux}) {
+    Assignment c1;
+    Assignment c2;
+    apply_crossover(op, ctx, a, b, rng, c1, c2);
+    expect_genes_from_parents(a, b, c1);
+    expect_genes_from_parents(a, b, c2);
+  }
+}
+
+TEST(ApplyCrossover, KnuxWithoutContextRejected) {
+  Rng rng(41);
+  Assignment c1;
+  Assignment c2;
+  const Assignment a = {0, 1};
+  const Assignment b = {1, 0};
+  CrossoverContext empty;
+  EXPECT_THROW(
+      apply_crossover(CrossoverOp::kKnux, empty, a, b, rng, c1, c2), Error);
+}
+
+TEST(CrossoverNames, ParseAndPrintRoundTrip) {
+  EXPECT_EQ(parse_crossover("1point"), CrossoverOp::kOnePoint);
+  EXPECT_EQ(parse_crossover("2point"), CrossoverOp::kTwoPoint);
+  EXPECT_EQ(parse_crossover("kpoint"), CrossoverOp::kKPoint);
+  EXPECT_EQ(parse_crossover("ux"), CrossoverOp::kUniform);
+  EXPECT_EQ(parse_crossover("knux"), CrossoverOp::kKnux);
+  EXPECT_EQ(parse_crossover("dknux"), CrossoverOp::kDknux);
+  EXPECT_THROW(parse_crossover("3way"), Error);
+  EXPECT_STREQ(crossover_name(CrossoverOp::kKnux), "KNUX");
+  EXPECT_STREQ(crossover_name(CrossoverOp::kDknux), "DKNUX");
+}
+
+}  // namespace
+}  // namespace gapart

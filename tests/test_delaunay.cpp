@@ -1,0 +1,138 @@
+#include "graph/delaunay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(Orient2d, SignConvention) {
+  EXPECT_GT(orient2d({0, 0}, {1, 0}, {0, 1}), 0.0);  // CCW
+  EXPECT_LT(orient2d({0, 0}, {0, 1}, {1, 0}), 0.0);  // CW
+  EXPECT_DOUBLE_EQ(orient2d({0, 0}, {1, 1}, {2, 2}), 0.0);  // collinear
+}
+
+TEST(InCircumcircle, UnitTriangle) {
+  const Point2 a{0, 0};
+  const Point2 b{1, 0};
+  const Point2 c{0, 1};
+  // Circumcircle of this right triangle: centre (0.5, 0.5), radius sqrt(.5).
+  EXPECT_TRUE(in_circumcircle(a, b, c, {0.5, 0.5}));
+  EXPECT_TRUE(in_circumcircle(a, b, c, {0.9, 0.9}));
+  EXPECT_FALSE(in_circumcircle(a, b, c, {2.0, 2.0}));
+  EXPECT_FALSE(in_circumcircle(a, b, c, {-1.0, -1.0}));
+}
+
+TEST(Delaunay, SingleTriangle) {
+  const auto tris = delaunay_triangulate({{0, 0}, {1, 0}, {0.5, 1.0}});
+  ASSERT_EQ(tris.size(), 1u);
+  std::set<VertexId> verts = {tris[0].a, tris[0].b, tris[0].c};
+  EXPECT_EQ(verts.size(), 3u);
+}
+
+TEST(Delaunay, SquareGivesTwoTriangles) {
+  const auto tris =
+      delaunay_triangulate({{0, 0}, {1, 0}, {1, 1.05}, {0, 1}});
+  EXPECT_EQ(tris.size(), 2u);
+}
+
+TEST(Delaunay, TriangleCountMatchesEulerFormula) {
+  // For a Delaunay triangulation of n points with h on the convex hull:
+  // triangles = 2n - h - 2.
+  Rng rng(3);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+  }
+  const auto tris = delaunay_triangulate(pts);
+  const auto edges = triangulation_edges(tris);
+  // Euler: V - E + F = 2 with F = triangles + outer face.
+  EXPECT_EQ(static_cast<std::int64_t>(pts.size()) -
+                static_cast<std::int64_t>(edges.size()) +
+                static_cast<std::int64_t>(tris.size()) + 1,
+            2);
+}
+
+TEST(Delaunay, EmptyCircumcircleProperty) {
+  Rng rng(11);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+  }
+  const auto tris = delaunay_triangulate(pts);
+  ASSERT_FALSE(tris.empty());
+  for (const auto& t : tris) {
+    for (std::size_t p = 0; p < pts.size(); ++p) {
+      const auto v = static_cast<VertexId>(p);
+      if (v == t.a || v == t.b || v == t.c) continue;
+      EXPECT_FALSE(in_circumcircle(pts[static_cast<std::size_t>(t.a)],
+                                   pts[static_cast<std::size_t>(t.b)],
+                                   pts[static_cast<std::size_t>(t.c)],
+                                   pts[p]))
+          << "point " << p << " inside circumcircle of (" << t.a << ","
+          << t.b << "," << t.c << ")";
+    }
+  }
+}
+
+TEST(Delaunay, TrianglesAreCcw) {
+  Rng rng(13);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+  }
+  for (const auto& t : delaunay_triangulate(pts)) {
+    EXPECT_GT(orient2d(pts[static_cast<std::size_t>(t.a)],
+                       pts[static_cast<std::size_t>(t.b)],
+                       pts[static_cast<std::size_t>(t.c)]),
+              0.0);
+  }
+}
+
+TEST(Delaunay, DuplicatePointsRejected) {
+  EXPECT_THROW(
+      delaunay_triangulate({{0, 0}, {1, 0}, {0, 1}, {1, 0}}),
+      Error);
+}
+
+TEST(Delaunay, TooFewPointsRejected) {
+  EXPECT_THROW(delaunay_triangulate({{0, 0}, {1, 1}}), Error);
+}
+
+TEST(Delaunay, GridPointsWithJitterRobust) {
+  // Near-degenerate (grid-aligned) points plus tiny jitter must triangulate
+  // without crashing and cover all points.
+  Rng rng(17);
+  std::vector<Point2> pts;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      pts.push_back({c + 1e-7 * rng.uniform(), r + 1e-7 * rng.uniform()});
+    }
+  }
+  const auto tris = delaunay_triangulate(pts);
+  std::set<VertexId> used;
+  for (const auto& t : tris) {
+    used.insert(t.a);
+    used.insert(t.b);
+    used.insert(t.c);
+  }
+  EXPECT_EQ(used.size(), pts.size());
+}
+
+TEST(TriangulationEdges, DeduplicatesSharedEdges) {
+  // Two triangles sharing edge (1,2).
+  const std::vector<Triangle> tris = {{0, 1, 2}, {1, 3, 2}};
+  const auto edges = triangulation_edges(tris);
+  EXPECT_EQ(edges.size(), 5u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+}  // namespace
+}  // namespace gapart

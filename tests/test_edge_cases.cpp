@@ -1,0 +1,215 @@
+// Robustness / edge-case coverage across modules: degenerate sizes, forced
+// solver restarts, extreme configurations, failure injection.
+#include <gtest/gtest.h>
+
+#include "baselines/kl.hpp"
+#include "common/rng.hpp"
+#include "core/contracted_ga.hpp"
+#include "core/dpga.hpp"
+#include "core/hill_climb.hpp"
+#include "core/init.hpp"
+#include "core/mutation.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/multilevel.hpp"
+#include "spectral/rsb.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::max_size_deviation;
+
+TEST(LanczosEdge, TinyKrylovBudgetConvergesViaRestarts) {
+  // max_steps far below what single-shot convergence needs: the restart
+  // logic must carry it.
+  const Graph g = make_grid(12, 12);
+  Rng rng(3);
+  LanczosOptions opt;
+  opt.max_steps = 8;
+  opt.max_restarts = 40;
+  const auto res = fiedler_pair_lanczos(g, rng, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.restarts, 0);
+}
+
+TEST(LanczosEdge, ReportsNonConvergenceHonestly) {
+  const Graph g = make_grid(16, 16);
+  Rng rng(5);
+  LanczosOptions opt;
+  opt.max_steps = 3;
+  opt.max_restarts = 0;
+  opt.tolerance = 1e-14;
+  const auto res = fiedler_pair_lanczos(g, rng, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_GT(res.residual, 0.0);
+  // Even unconverged, the Ritz vector is a usable descent direction.
+  EXPECT_EQ(res.pair.vector.size(), 256u);
+}
+
+TEST(LanczosEdge, CompleteGraphImmediateBreakdown) {
+  // K_n's Laplacian restricted to 1^perp is n*I: the Krylov space collapses
+  // after one step (happy breakdown) and must still return lambda_2 = n.
+  const Graph g = make_complete(12);
+  Rng rng(7);
+  const auto res = fiedler_pair_lanczos(g, rng);
+  EXPECT_NEAR(res.pair.value, 12.0, 1e-8);
+}
+
+TEST(RsbEdge, StarGraph) {
+  Rng rng(9);
+  const auto a = rsb_partition(make_star(9), 3, rng);
+  EXPECT_LE(max_size_deviation(a, 3), 1);
+}
+
+TEST(RsbEdge, TwoVertices) {
+  Rng rng(11);
+  const auto a = rsb_partition(make_path(2), 2, rng);
+  EXPECT_NE(a[0], a[1]);
+}
+
+TEST(MultilevelEdge, MorePartsThanCoarseTarget) {
+  // coarse target (k * per-part) exceeding |V| must degrade gracefully to
+  // flat RSB.
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(13);
+  MultilevelOptions opt;
+  opt.coarse_vertices_per_part = 1000;
+  const auto a = multilevel_partition(mesh.graph, 4, rng, opt);
+  EXPECT_TRUE(is_valid_assignment(mesh.graph, a, 4));
+}
+
+TEST(MultilevelEdge, WorstCommObjectiveInRefinement) {
+  const Mesh mesh = paper_mesh(144);
+  Rng rng(15);
+  MultilevelOptions opt;
+  opt.fitness.objective = Objective::kWorstComm;
+  const auto a = multilevel_partition(mesh.graph, 8, rng, opt);
+  EXPECT_TRUE(is_valid_assignment(mesh.graph, a, 8));
+  EXPECT_LE(compute_metrics(mesh.graph, a, 8).imbalance_sq, 40.0);
+}
+
+TEST(HillClimbEdge, SinglePartNoBoundary) {
+  const Graph g = make_grid(4, 4);
+  Assignment a(16, 0);
+  HillClimbOptions opt;
+  const auto res = hill_climb(g, a, 1, opt);
+  EXPECT_EQ(res.moves, 0);
+}
+
+TEST(HillClimbEdge, DisconnectedGraph) {
+  GraphBuilder b(8);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  Assignment a = {0, 1, 0, 1, 0, 1, 0, 1};
+  HillClimbOptions opt;
+  opt.max_passes = 5;
+  EXPECT_NO_THROW(hill_climb(g, a, 2, opt));
+}
+
+TEST(KlEdge, SingleVertexPerPart) {
+  const Graph g = make_cycle(4);
+  PartitionState state(g, {0, 1, 2, 3}, 4);
+  EXPECT_NO_THROW(kl_refine(state));
+  EXPECT_TRUE(is_valid_assignment(g, state.assignment(), 4));
+}
+
+TEST(KlEdge, EdgelessGraph) {
+  GraphBuilder b(6);
+  const Graph g = b.build();  // must outlive the PartitionState view
+  PartitionState state(g, {0, 0, 1, 1, 0, 1}, 2);
+  const auto res = kl_refine(state);
+  EXPECT_EQ(res.moves_applied, 0);  // nothing to gain without edges
+}
+
+TEST(DpgaEdge, MigrantsZeroDisablesExchange) {
+  const Graph g = make_two_cliques(6);
+  Rng rng(17);
+  DpgaConfig cfg;
+  cfg.num_islands = 4;
+  cfg.migrants_per_exchange = 0;
+  cfg.ga.num_parts = 2;
+  cfg.ga.population_size = 32;
+  cfg.ga.max_generations = 10;
+  auto init = make_random_population(g.num_vertices(), 2,
+                                     cfg.ga.population_size, rng);
+  EXPECT_NO_THROW(run_dpga(g, cfg, std::move(init), rng.split()));
+}
+
+TEST(DpgaEdge, PopulationNotDivisibleByIslands) {
+  const Graph g = make_grid(5, 5);
+  Rng rng(19);
+  DpgaConfig cfg;
+  cfg.num_islands = 3;
+  cfg.topology = TopologyKind::kRing;
+  cfg.ga.num_parts = 2;
+  cfg.ga.population_size = 32;  // 32/3 = 10 each, 2 dropped
+  cfg.ga.max_generations = 5;
+  auto init = make_random_population(25, 2, cfg.ga.population_size, rng);
+  const auto res = run_dpga(g, cfg, std::move(init), rng.split());
+  EXPECT_EQ(res.island_best_fitness.size(), 3u);
+}
+
+TEST(ContractedGaEdge, WeightedCoarseGraphStillBalances) {
+  // After contraction vertex weights are heterogeneous; the GA's quadratic
+  // imbalance term must still balance by weight once projected.
+  Rng rng(21);
+  const Mesh mesh = generate_mesh(Domain(DomainShape::kDisc), 400, rng);
+  ContractedGaOptions opt;
+  opt.dpga.num_islands = 4;
+  opt.dpga.ga.num_parts = 4;
+  opt.dpga.ga.population_size = 64;
+  opt.dpga.ga.max_generations = 60;
+  opt.coarse_vertices_per_part = 15;
+  const auto res = contracted_ga_partition(mesh.graph, opt, rng);
+  const auto m = compute_metrics(mesh.graph, res.assignment, 4);
+  const double mean = mesh.graph.total_vertex_weight() / 4.0;
+  for (double w : m.part_weight) {
+    EXPECT_NEAR(w, mean, 0.12 * mean);
+  }
+}
+
+TEST(MutationEdge, FullRateTwoParts) {
+  Rng rng(23);
+  Assignment a(50, 0);
+  point_mutation(a, 2, 1.0, rng);
+  for (PartId p : a) EXPECT_EQ(p, 1);  // only one "other" part
+}
+
+TEST(SeededPopulationEdge, ZeroSwapFractionClones) {
+  Rng rng(25);
+  const auto seed = random_balanced_assignment(30, 3, rng);
+  const auto pop = make_seeded_population(seed, 5, 0.0, rng);
+  for (const auto& member : pop) EXPECT_EQ(member, seed);
+}
+
+TEST(IncrementalEdge, NoNewVerticesIsSeededRefinement) {
+  // previous covers the whole graph: incremental seeding degenerates to
+  // perturbed clones of it.
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(27);
+  const auto prev = random_balanced_assignment(78, 4, rng);
+  const auto pop =
+      make_incremental_population(mesh.graph, prev, 4, 4, 0.05, rng);
+  EXPECT_EQ(pop[0], prev);
+}
+
+TEST(MeshEdge, MinimumSizeMesh) {
+  Rng rng(29);
+  const Mesh mesh = generate_mesh(Domain(DomainShape::kRectangle), 4, rng);
+  EXPECT_EQ(mesh.graph.num_vertices(), 4);
+  EXPECT_GE(mesh.graph.num_edges(), 3);
+}
+
+TEST(MeshEdge, LargeDensifyMultiplesOfBase) {
+  // Growing by more than the base size (stress for the spacing heuristic).
+  Rng rng(31);
+  const Mesh base = generate_mesh(Domain(DomainShape::kDisc), 50, rng);
+  const Mesh grown = densify_mesh(base, Domain(DomainShape::kDisc), 75, rng);
+  EXPECT_EQ(grown.graph.num_vertices(), 125);
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,200 @@
+#include "spectral/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace gapart {
+namespace {
+
+/// Residual ||A x - lambda x||_inf for row-major A.
+double eigen_residual(const std::vector<double>& A, int n,
+                      const std::vector<double>& x, double lambda) {
+  double worst = 0.0;
+  const auto un = static_cast<std::size_t>(n);
+  for (std::size_t i = 0; i < un; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < un; ++j) acc += A[i * un + j] * x[j];
+    worst = std::max(worst, std::abs(acc - lambda * x[i]));
+  }
+  return worst;
+}
+
+TEST(Jacobi, DiagonalMatrix) {
+  const std::vector<double> a = {3.0, 0.0, 0.0,
+                                 0.0, 1.0, 0.0,
+                                 0.0, 0.0, 2.0};
+  const auto ed = jacobi_eigen(a, 3);
+  EXPECT_NEAR(ed.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(ed.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(ed.values[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, TwoByTwoAnalytic) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  const auto ed = jacobi_eigen({2, 1, 1, 2}, 2);
+  EXPECT_NEAR(ed.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(ed.values[1], 3.0, 1e-12);
+  // Eigenvector of 1 is (1,-1)/sqrt2 up to sign.
+  const auto v0 = ed.eigenvector(0);
+  EXPECT_NEAR(std::abs(v0[0]), std::numbers::sqrt2 / 2.0, 1e-10);
+  EXPECT_NEAR(v0[0] + v0[1], 0.0, 1e-10);
+}
+
+TEST(Jacobi, PathLaplacianAnalyticSpectrum) {
+  // Path P_n Laplacian eigenvalues: 4 sin^2(k pi / (2n)), k = 0..n-1.
+  const int n = 8;
+  const Graph g = make_path(n);
+  const auto ed = jacobi_eigen(dense_laplacian(g), n);
+  for (int k = 0; k < n; ++k) {
+    const double expected =
+        4.0 * std::pow(std::sin(k * std::numbers::pi / (2.0 * n)), 2);
+    EXPECT_NEAR(ed.values[static_cast<std::size_t>(k)], expected, 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Jacobi, CycleLaplacianAnalyticSpectrum) {
+  // Cycle C_n Laplacian eigenvalues: 2 - 2cos(2 pi k / n).
+  const int n = 7;
+  const Graph g = make_cycle(n);
+  const auto ed = jacobi_eigen(dense_laplacian(g), n);
+  std::vector<double> expected;
+  for (int k = 0; k < n; ++k) {
+    expected.push_back(2.0 - 2.0 * std::cos(2.0 * std::numbers::pi * k / n));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(ed.values[static_cast<std::size_t>(k)],
+                expected[static_cast<std::size_t>(k)], 1e-9);
+  }
+}
+
+TEST(Jacobi, CompleteGraphSpectrum) {
+  // K_n Laplacian: eigenvalue 0 once and n with multiplicity n-1.
+  const int n = 6;
+  const auto ed = jacobi_eigen(dense_laplacian(make_complete(n)), n);
+  EXPECT_NEAR(ed.values[0], 0.0, 1e-9);
+  for (int k = 1; k < n; ++k) {
+    EXPECT_NEAR(ed.values[static_cast<std::size_t>(k)], n, 1e-9);
+  }
+}
+
+TEST(Jacobi, StarGraphSpectrum) {
+  // Star S_n (n vertices): eigenvalues 0, 1 (x n-2), n.
+  const int n = 9;
+  const auto ed = jacobi_eigen(dense_laplacian(make_star(n)), n);
+  EXPECT_NEAR(ed.values[0], 0.0, 1e-9);
+  for (int k = 1; k < n - 1; ++k) {
+    EXPECT_NEAR(ed.values[static_cast<std::size_t>(k)], 1.0, 1e-9);
+  }
+  EXPECT_NEAR(ed.values[static_cast<std::size_t>(n - 1)], n, 1e-9);
+}
+
+TEST(Jacobi, EigenvectorsSatisfyDefinition) {
+  Rng rng(5);
+  const Graph g = make_random_graph(15, 0.4, rng);
+  const auto L = dense_laplacian(g);
+  const auto ed = jacobi_eigen(L, 15);
+  for (int j = 0; j < 15; ++j) {
+    EXPECT_LT(eigen_residual(L, 15, ed.eigenvector(j),
+                             ed.values[static_cast<std::size_t>(j)]),
+              1e-8)
+        << "eigenpair " << j;
+  }
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal) {
+  Rng rng(9);
+  const Graph g = make_random_graph(12, 0.5, rng);
+  const auto ed = jacobi_eigen(dense_laplacian(g), 12);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = i; j < 12; ++j) {
+      const double d = dot(ed.eigenvector(i), ed.eigenvector(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(Jacobi, InvalidInputRejected) {
+  EXPECT_THROW(jacobi_eigen({1.0, 2.0}, 2), Error);  // wrong size
+  EXPECT_THROW(jacobi_eigen({}, 0), Error);
+  EXPECT_THROW(
+      jacobi_eigen({std::numeric_limits<double>::quiet_NaN()}, 1), Error);
+}
+
+TEST(Tridiagonal, OneByOne) {
+  const auto ed = tridiagonal_eigen({5.0}, {});
+  ASSERT_EQ(ed.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(ed.values[0], 5.0);
+}
+
+TEST(Tridiagonal, TwoByTwoAnalytic) {
+  const auto ed = tridiagonal_eigen({2.0, 2.0}, {1.0});
+  EXPECT_NEAR(ed.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(ed.values[1], 3.0, 1e-12);
+}
+
+TEST(Tridiagonal, PathLaplacianMatchesJacobi) {
+  // The path Laplacian IS tridiagonal — compare the dedicated solver with
+  // Jacobi on the same matrix.
+  const int n = 12;
+  std::vector<double> diag(static_cast<std::size_t>(n), 2.0);
+  diag.front() = 1.0;
+  diag.back() = 1.0;
+  std::vector<double> off(static_cast<std::size_t>(n - 1), -1.0);
+  const auto td = tridiagonal_eigen(diag, off);
+  const auto jd = jacobi_eigen(dense_laplacian(make_path(n)), n);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(td.values[static_cast<std::size_t>(k)],
+                jd.values[static_cast<std::size_t>(k)], 1e-9);
+  }
+}
+
+TEST(Tridiagonal, EigenvectorsSatisfyDefinition) {
+  Rng rng(13);
+  const int m = 20;
+  std::vector<double> diag(m);
+  std::vector<double> off(m - 1);
+  for (auto& d : diag) d = rng.uniform(-2, 2);
+  for (auto& e : off) e = rng.uniform(-1, 1);
+  const auto ed = tridiagonal_eigen(diag, off);
+  // Build the dense matrix and check residuals.
+  std::vector<double> A(static_cast<std::size_t>(m * m), 0.0);
+  const auto um = static_cast<std::size_t>(m);
+  for (std::size_t i = 0; i < um; ++i) {
+    A[i * um + i] = diag[i];
+    if (i + 1 < um) {
+      A[i * um + i + 1] = off[i];
+      A[(i + 1) * um + i] = off[i];
+    }
+  }
+  for (int j = 0; j < m; ++j) {
+    EXPECT_LT(eigen_residual(A, m, ed.eigenvector(j),
+                             ed.values[static_cast<std::size_t>(j)]),
+              1e-8);
+  }
+}
+
+TEST(Tridiagonal, ValuesAscending) {
+  Rng rng(17);
+  std::vector<double> diag(30);
+  std::vector<double> off(29);
+  for (auto& d : diag) d = rng.uniform(-5, 5);
+  for (auto& e : off) e = rng.uniform(-3, 3);
+  const auto ed = tridiagonal_eigen(diag, off);
+  EXPECT_TRUE(std::is_sorted(ed.values.begin(), ed.values.end()));
+}
+
+TEST(Tridiagonal, SizeMismatchRejected) {
+  EXPECT_THROW(tridiagonal_eigen({1.0, 2.0}, {0.5, 0.5}), Error);
+  EXPECT_THROW(tridiagonal_eigen({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,284 @@
+#include "core/ga_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/init.hpp"
+#include "core/presets.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+GaConfig small_config(PartId k, CrossoverOp op, int gens) {
+  GaConfig cfg;
+  cfg.num_parts = k;
+  cfg.population_size = 40;
+  cfg.crossover = op;
+  cfg.max_generations = gens;
+  return cfg;
+}
+
+TEST(GaEngine, FindsOptimalBisectionOfTwoCliques) {
+  const Graph g = make_two_cliques(8);
+  Rng rng(3);
+  const auto cfg = small_config(2, CrossoverOp::kDknux, 120);
+  auto init = make_random_population(g.num_vertices(), 2, cfg.population_size,
+                                     rng);
+  const auto res = run_ga(g, cfg, std::move(init), rng.split());
+  EXPECT_DOUBLE_EQ(res.best_metrics.total_cut(), 1.0);
+  EXPECT_DOUBLE_EQ(res.best_metrics.imbalance_sq, 0.0);
+}
+
+TEST(GaEngine, FindsOptimalFourWayCliqueChain) {
+  const Graph g = make_clique_chain(4, 5);
+  Rng rng(5);
+  auto cfg = small_config(4, CrossoverOp::kDknux, 300);
+  cfg.population_size = 80;
+  auto init = make_random_population(g.num_vertices(), 4, cfg.population_size,
+                                     rng);
+  const auto res = run_ga(g, cfg, std::move(init), rng.split());
+  // Optimal: cut exactly the 3 joints.
+  EXPECT_LE(res.best_metrics.total_cut(), 4.0);
+  EXPECT_LE(res.best_metrics.imbalance_sq, 2.0);
+}
+
+TEST(GaEngine, DeterministicForSameSeed) {
+  const Graph g = make_grid(6, 6);
+  const auto cfg = small_config(4, CrossoverOp::kDknux, 30);
+  Rng ra(7);
+  Rng rb(7);
+  auto ia = make_random_population(36, 4, cfg.population_size, ra);
+  auto ib = make_random_population(36, 4, cfg.population_size, rb);
+  const auto res_a = run_ga(g, cfg, std::move(ia), Rng(99));
+  const auto res_b = run_ga(g, cfg, std::move(ib), Rng(99));
+  EXPECT_EQ(res_a.best, res_b.best);
+  EXPECT_DOUBLE_EQ(res_a.best_fitness, res_b.best_fitness);
+  EXPECT_EQ(res_a.evaluations, res_b.evaluations);
+}
+
+TEST(GaEngine, BestFitnessMonotoneOverGenerations) {
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(9);
+  const auto cfg = small_config(4, CrossoverOp::kDknux, 60);
+  auto init = make_random_population(mesh.graph.num_vertices(), 4,
+                                     cfg.population_size, rng);
+  const auto res = run_ga(mesh.graph, cfg, std::move(init), rng.split());
+  for (std::size_t i = 1; i < res.history.size(); ++i) {
+    EXPECT_GE(res.history[i].best_fitness, res.history[i - 1].best_fitness);
+  }
+}
+
+TEST(GaEngine, ElitismPreservesBestAcrossSteps) {
+  const Mesh mesh = paper_mesh(88);
+  Rng rng(11);
+  auto cfg = small_config(4, CrossoverOp::kTwoPoint, 0);
+  cfg.elite_count = 2;
+  auto init = make_random_population(mesh.graph.num_vertices(), 4,
+                                     cfg.population_size, rng);
+  GaEngine engine(mesh.graph, cfg, std::move(init), rng.split());
+  for (int s = 0; s < 20; ++s) {
+    const double best_before = engine.best().fitness;
+    engine.step();
+    // With elitism the best individual in the *population* can never drop
+    // below the previous best.
+    double pop_best = engine.population().front().fitness;
+    for (const auto& ind : engine.population()) {
+      pop_best = std::max(pop_best, ind.fitness);
+    }
+    EXPECT_GE(pop_best, best_before);
+  }
+}
+
+TEST(GaEngine, StallDetectionStopsRun) {
+  const Graph g = make_two_cliques(5);
+  Rng rng(13);
+  auto cfg = small_config(2, CrossoverOp::kDknux, 100000);
+  cfg.stall_generations = 15;
+  auto init = make_random_population(g.num_vertices(), 2, cfg.population_size,
+                                     rng);
+  const auto res = run_ga(g, cfg, std::move(init), rng.split());
+  EXPECT_TRUE(res.stalled);
+  EXPECT_LT(res.generations, 2000);  // stopped long before the cap
+}
+
+TEST(GaEngine, DknuxReferenceTracksBest) {
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(17);
+  const auto cfg = small_config(2, CrossoverOp::kDknux, 0);
+  auto init = make_random_population(mesh.graph.num_vertices(), 2,
+                                     cfg.population_size, rng);
+  GaEngine engine(mesh.graph, cfg, std::move(init), rng.split());
+  for (int s = 0; s < 10; ++s) {
+    engine.step();
+    EXPECT_EQ(engine.knux_reference(), engine.best().genes)
+        << "generation " << s;
+  }
+}
+
+TEST(GaEngine, StaticKnuxReferenceStaysFixed) {
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(19);
+  const auto cfg = small_config(2, CrossoverOp::kKnux, 0);
+  auto init = make_random_population(mesh.graph.num_vertices(), 2,
+                                     cfg.population_size, rng);
+  GaEngine engine(mesh.graph, cfg, std::move(init), rng.split());
+  const Assignment ref0 = engine.knux_reference();
+  for (int s = 0; s < 10; ++s) engine.step();
+  EXPECT_EQ(engine.knux_reference(), ref0);
+}
+
+TEST(GaEngine, ConfiguredKnuxReferenceUsed) {
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(20);
+  auto cfg = small_config(2, CrossoverOp::kKnux, 0);
+  const auto heuristic = random_balanced_assignment(78, 2, rng);
+  cfg.knux_reference = heuristic;
+  auto init = make_random_population(mesh.graph.num_vertices(), 2,
+                                     cfg.population_size, rng);
+  GaEngine engine(mesh.graph, cfg, std::move(init), rng.split());
+  EXPECT_EQ(engine.knux_reference(), heuristic);
+  for (int s = 0; s < 5; ++s) engine.step();
+  EXPECT_EQ(engine.knux_reference(), heuristic);  // static KNUX stays put
+
+  // Invalid configured reference is rejected at construction.
+  cfg.knux_reference = Assignment(78, 9);
+  auto init2 = make_random_population(mesh.graph.num_vertices(), 2,
+                                      cfg.population_size, rng);
+  EXPECT_THROW(GaEngine(mesh.graph, cfg, std::move(init2), rng.split()),
+               Error);
+}
+
+TEST(GaEngine, SetKnuxReferenceOverrides) {
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(21);
+  const auto cfg = small_config(2, CrossoverOp::kKnux, 0);
+  auto init = make_random_population(mesh.graph.num_vertices(), 2,
+                                     cfg.population_size, rng);
+  GaEngine engine(mesh.graph, cfg, std::move(init), rng.split());
+  const auto ref = random_balanced_assignment(78, 2, rng);
+  engine.set_knux_reference(ref);
+  EXPECT_EQ(engine.knux_reference(), ref);
+  Assignment bad(78, 5);
+  EXPECT_THROW(engine.set_knux_reference(bad), Error);
+}
+
+TEST(GaEngine, InjectReplacesWorst) {
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(23);
+  const auto cfg = small_config(4, CrossoverOp::kDknux, 0);
+  auto init = make_random_population(mesh.graph.num_vertices(), 4,
+                                     cfg.population_size, rng);
+  GaEngine engine(mesh.graph, cfg, std::move(init), rng.split());
+  // Inject a clearly superior individual (hill-climbed best).
+  const Individual& best = engine.best();
+  engine.inject(best.genes);
+  int copies = 0;
+  for (const auto& ind : engine.population()) {
+    if (ind.genes == best.genes) ++copies;
+  }
+  EXPECT_GE(copies, 1);
+}
+
+TEST(GaEngine, SeededRunNeverWorseThanSeed) {
+  const Mesh mesh = paper_mesh(139);
+  Rng rng(29);
+  auto cfg = small_config(4, CrossoverOp::kDknux, 40);
+  const auto seed = random_balanced_assignment(139, 4, rng);
+  const double seed_fitness =
+      evaluate_fitness(mesh.graph, seed, 4, cfg.fitness);
+  auto init = make_seeded_population(seed, cfg.population_size, 0.1, rng);
+  const auto res = run_ga(mesh.graph, cfg, std::move(init), rng.split());
+  EXPECT_GE(res.best_fitness, seed_fitness);
+}
+
+TEST(GaEngine, HillClimbOffspringImprovesConvergence) {
+  const Mesh mesh = paper_mesh(98);
+  Rng rng(31);
+  auto plain = small_config(4, CrossoverOp::kDknux, 25);
+  auto memetic = plain;
+  memetic.hill_climb_offspring = true;
+  memetic.hill_climb_fraction = 0.5;
+  auto init = make_random_population(mesh.graph.num_vertices(), 4,
+                                     plain.population_size, rng);
+  const auto res_plain = run_ga(mesh.graph, plain, init, Rng(7));
+  const auto res_memetic = run_ga(mesh.graph, memetic, init, Rng(7));
+  EXPECT_GE(res_memetic.best_fitness, res_plain.best_fitness);
+}
+
+TEST(GaEngine, HistoryHasOneEntryPerGenerationPlusInitial) {
+  const Graph g = make_grid(5, 5);
+  Rng rng(37);
+  const auto cfg = small_config(2, CrossoverOp::kUniform, 12);
+  auto init = make_random_population(25, 2, cfg.population_size, rng);
+  const auto res = run_ga(g, cfg, std::move(init), rng.split());
+  EXPECT_EQ(res.generations, 12);
+  EXPECT_EQ(res.history.size(), 13u);
+  EXPECT_EQ(res.history.front().generation, 0);
+  EXPECT_EQ(res.history.back().generation, 12);
+}
+
+TEST(GaEngine, PopulationSizeInvariant) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(41);
+  const auto cfg = small_config(2, CrossoverOp::kOnePoint, 0);
+  auto init = make_random_population(16, 2, 3, rng);  // fewer seeds than pop
+  GaEngine engine(g, cfg, std::move(init), rng.split());
+  EXPECT_EQ(engine.population().size(), 40u);
+  for (int s = 0; s < 5; ++s) {
+    engine.step();
+    EXPECT_EQ(engine.population().size(), 40u);
+    for (const auto& ind : engine.population()) {
+      EXPECT_TRUE(ind.evaluated);
+      EXPECT_TRUE(is_valid_assignment(g, ind.genes, 2));
+    }
+  }
+}
+
+TEST(GaEngine, InvalidConfigRejected) {
+  const Graph g = make_grid(3, 3);
+  Rng rng(43);
+  auto init = make_random_population(9, 2, 4, rng);
+  GaConfig bad = small_config(2, CrossoverOp::kDknux, 10);
+  bad.population_size = 1;
+  EXPECT_THROW(GaEngine(g, bad, init, rng.split()), Error);
+  bad = small_config(2, CrossoverOp::kDknux, 10);
+  bad.crossover_rate = 1.5;
+  EXPECT_THROW(GaEngine(g, bad, init, rng.split()), Error);
+  bad = small_config(2, CrossoverOp::kDknux, 10);
+  bad.elite_count = 40;
+  EXPECT_THROW(GaEngine(g, bad, init, rng.split()), Error);
+  EXPECT_THROW(GaEngine(g, small_config(2, CrossoverOp::kDknux, 1), {},
+                        rng.split()),
+               Error);
+}
+
+TEST(GaEngine, EvaluationsCounted) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(47);
+  auto cfg = small_config(2, CrossoverOp::kUniform, 5);
+  cfg.elite_count = 0;
+  auto init = make_random_population(16, 2, cfg.population_size, rng);
+  const auto res = run_ga(g, cfg, std::move(init), rng.split());
+  // Initial population + 5 generations of full replacement.
+  EXPECT_EQ(res.evaluations, 40 + 5 * 40);
+}
+
+TEST(GaEngine, PaperPresetValues) {
+  const auto cfg = paper_ga_config(8, Objective::kWorstComm);
+  EXPECT_EQ(cfg.population_size, 320);
+  EXPECT_DOUBLE_EQ(cfg.crossover_rate, 0.7);
+  EXPECT_DOUBLE_EQ(cfg.mutation_rate, 0.01);
+  EXPECT_EQ(cfg.crossover, CrossoverOp::kDknux);
+  EXPECT_EQ(cfg.num_parts, 8);
+  EXPECT_EQ(cfg.fitness.objective, Objective::kWorstComm);
+  const auto dpga = paper_dpga_config(4, Objective::kTotalComm);
+  EXPECT_EQ(dpga.num_islands, 16);
+  EXPECT_EQ(dpga.topology, TopologyKind::kHypercube);
+  EXPECT_EQ(dpga.ga.population_size, 320);
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,141 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/components.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(Generators, PathStructure) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(g.degree(4), 1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, SingleVertexPath) {
+  const Graph g = make_path(1);
+  EXPECT_EQ(g.num_vertices(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Generators, CycleStructure) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_edges(), 6);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_TRUE(g.has_edge(5, 0));
+}
+
+TEST(Generators, CompleteStructure) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(Generators, StarStructure) {
+  const Graph g = make_star(7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.degree(0), 6);
+  for (VertexId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1);
+}
+
+TEST(Generators, GridStructure) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17);
+  EXPECT_EQ(g.degree(0), 2);   // corner
+  EXPECT_EQ(g.degree(5), 4);   // interior (row1,col1)
+  EXPECT_TRUE(g.has_coordinates());
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GridDegeneratesToPath) {
+  const Graph g = make_grid(1, 5);
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(Generators, TorusIsRegular) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 40);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Generators, TwoCliquesBridge) {
+  const Graph g = make_two_cliques(5);
+  EXPECT_EQ(g.num_vertices(), 10);
+  // 2 * C(5,2) + 1 bridge.
+  EXPECT_EQ(g.num_edges(), 21);
+  EXPECT_TRUE(g.has_edge(4, 5));
+  EXPECT_FALSE(g.has_edge(0, 9));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CliqueChainStructure) {
+  const Graph g = make_clique_chain(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // 3 * C(4,2) + 2 joints.
+  EXPECT_EQ(g.num_edges(), 20);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomGraphEdgeCountNearExpectation) {
+  Rng rng(13);
+  const Graph g = make_random_graph(60, 0.2, rng);
+  const double expected = 0.2 * 60 * 59 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(Generators, RandomGraphZeroProbabilityIsEmpty) {
+  Rng rng(13);
+  EXPECT_EQ(make_random_graph(20, 0.0, rng).num_edges(), 0);
+}
+
+TEST(Generators, RandomGraphFullProbabilityIsComplete) {
+  Rng rng(13);
+  EXPECT_EQ(make_random_graph(10, 1.0, rng).num_edges(), 45);
+}
+
+TEST(Generators, GeometricEdgesRespectRadius) {
+  Rng rng(17);
+  const Graph g = make_random_geometric(80, 0.2, rng);
+  ASSERT_TRUE(g.has_coordinates());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      EXPECT_LE(squared_distance(g.coordinate(v), g.coordinate(u)),
+                0.2 * 0.2 + 1e-12);
+    }
+  }
+}
+
+TEST(Generators, ConnectedGeometricAlwaysConnected) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    Rng rng(seed);
+    // Radius far below the connectivity threshold forces stitching.
+    const Graph g = make_connected_geometric(60, 0.05, rng);
+    EXPECT_TRUE(is_connected(g)) << "seed " << seed;
+    EXPECT_EQ(g.num_vertices(), 60);
+  }
+}
+
+TEST(Generators, InvalidArgumentsRejected) {
+  Rng rng(1);
+  EXPECT_THROW(make_path(0), Error);
+  EXPECT_THROW(make_cycle(2), Error);
+  EXPECT_THROW(make_star(1), Error);
+  EXPECT_THROW(make_two_cliques(1), Error);
+  EXPECT_THROW(make_random_graph(5, 1.5, rng), Error);
+  EXPECT_THROW(make_random_geometric(5, 0.0, rng), Error);
+  EXPECT_THROW(make_torus(2, 5), Error);
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,199 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.total_vertex_weight(), 0.0);
+}
+
+TEST(GraphBuilder, SingleEdgeSymmetric) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  ASSERT_EQ(g.degree(0), 1);
+  ASSERT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.neighbors(0)[0], 1);
+  EXPECT_EQ(g.neighbors(1)[0], 0);
+}
+
+TEST(GraphBuilder, AdjacencySortedAscending) {
+  GraphBuilder b(5);
+  b.add_edge(0, 4);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(GraphBuilder, DuplicateEdgesMergeWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1.5);
+  b.add_edge(1, 0, 2.5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1).value(), 4.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0).value(), 4.0);
+}
+
+TEST(GraphBuilder, SelfLoopsIgnored) {
+  GraphBuilder b(3);
+  b.add_edge(1, 1);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(GraphBuilder, OutOfRangeRejected) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), Error);
+  EXPECT_THROW(b.add_edge(-1, 1), Error);
+  EXPECT_THROW(b.set_vertex_weight(5, 1.0), Error);
+}
+
+TEST(GraphBuilder, NonPositiveWeightsRejected) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 1, 0.0), Error);
+  EXPECT_THROW(b.add_edge(0, 1, -1.0), Error);
+  EXPECT_THROW(b.set_vertex_weight(0, 0.0), Error);
+}
+
+TEST(GraphBuilder, VertexWeightsDefaultToUnit) {
+  GraphBuilder b(4);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.unit_weights());
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 4.0);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(g.vertex_weight(v), 1.0);
+  }
+}
+
+TEST(GraphBuilder, WeightedGraphDetected) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.set_vertex_weight(0, 3.0);
+  const Graph g = b.build();
+  EXPECT_FALSE(g.unit_weights());
+  EXPECT_DOUBLE_EQ(g.total_vertex_weight(), 4.0);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  b.add_edge(1, 2);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1);
+  EXPECT_EQ(g2.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g2.total_vertex_weight(), 3.0);
+}
+
+TEST(Graph, HasEdgeAndWeightLookup) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1).value(), 2.0);
+  EXPECT_FALSE(g.edge_weight(0, 2).has_value());
+}
+
+TEST(Graph, WeightedDegree) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(0, 2, 0.5);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 2.5);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 2.0);
+}
+
+TEST(Graph, CoordinatesRoundTrip) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.set_coordinate(0, {1.0, 2.0});
+  b.set_coordinate(1, {-3.0, 4.5});
+  const Graph g = b.build();
+  ASSERT_TRUE(g.has_coordinates());
+  EXPECT_EQ(g.coordinate(0), (Point2{1.0, 2.0}));
+  EXPECT_EQ(g.coordinate(1), (Point2{-3.0, 4.5}));
+}
+
+TEST(Graph, SetCoordinatesBulkSizeChecked) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.set_coordinates({{0, 0}, {1, 1}}), Error);
+}
+
+TEST(Graph, NoCoordinatesByDefault) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(b.build().has_coordinates());
+}
+
+TEST(Graph, EdgeWeightsParallelToNeighbors) {
+  GraphBuilder b(3);
+  b.add_edge(1, 0, 10.0);
+  b.add_edge(1, 2, 20.0);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(1);
+  const auto wgts = g.edge_weights(1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  ASSERT_EQ(wgts.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_DOUBLE_EQ(wgts[0], 10.0);
+  EXPECT_EQ(nbrs[1], 2);
+  EXPECT_DOUBLE_EQ(wgts[1], 20.0);
+}
+
+TEST(Graph, SummaryMentionsSizes) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto s = b.build().summary();
+  EXPECT_NE(s.find("|V|=3"), std::string::npos);
+  EXPECT_NE(s.find("|E|=1"), std::string::npos);
+}
+
+TEST(Graph, CsrConsistencyOnRandomGraph) {
+  Rng rng(7);
+  GraphBuilder b(50);
+  for (int e = 0; e < 200; ++e) {
+    const auto u = static_cast<VertexId>(rng.uniform_int(50));
+    const auto v = static_cast<VertexId>(rng.uniform_int(50));
+    if (u != v) b.add_edge(u, v);
+  }
+  const Graph g = b.build();
+  // Symmetry + sortedness + no self loops + degree sums.
+  std::int64_t directed = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+    for (VertexId u : nbrs) {
+      EXPECT_NE(u, v);
+      EXPECT_TRUE(g.has_edge(u, v)) << u << "<->" << v;
+    }
+    directed += g.degree(v);
+  }
+  EXPECT_EQ(directed, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace gapart

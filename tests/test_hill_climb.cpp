@@ -1,0 +1,113 @@
+#include "core/hill_climb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(HillClimb, FixesSingleMisplacedVertex) {
+  // Path split 0|1 with one vertex stranded on the wrong side.
+  const Graph g = make_path(8);
+  Assignment a = {0, 0, 0, 1, 0, 1, 1, 1};  // vertex 4 misplaced
+  HillClimbOptions opt;
+  const auto res = hill_climb(g, a, 2, opt);
+  EXPECT_GT(res.moves, 0);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 1.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(HillClimb, MonotoneNonDecreasingFitness) {
+  Rng rng(3);
+  const Mesh mesh = paper_mesh(98);
+  for (Objective obj : {Objective::kTotalComm, Objective::kWorstComm}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      Assignment a(static_cast<std::size_t>(mesh.graph.num_vertices()));
+      for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(4));
+      HillClimbOptions opt;
+      opt.fitness = {obj, 1.0};
+      opt.max_passes = 10;
+      const double before = evaluate_fitness(mesh.graph, a, 4, opt.fitness);
+      const auto res = hill_climb(mesh.graph, a, 4, opt);
+      const double after = evaluate_fitness(mesh.graph, a, 4, opt.fitness);
+      EXPECT_GE(after, before);
+      EXPECT_NEAR(after - before, res.fitness_gain, 1e-9);
+    }
+  }
+}
+
+TEST(HillClimb, StopsAtLocalOptimum) {
+  const Graph g = make_two_cliques(6);
+  Assignment a(12, 0);
+  for (std::size_t i = 6; i < 12; ++i) a[i] = 1;  // already optimal
+  HillClimbOptions opt;
+  opt.max_passes = 10;
+  const auto res = hill_climb(g, a, 2, opt);
+  EXPECT_EQ(res.moves, 0);
+  EXPECT_EQ(res.passes, 1);  // one scan that finds nothing
+}
+
+TEST(HillClimb, RespectsPassBudget) {
+  Rng rng(7);
+  const Mesh mesh = paper_mesh(144);
+  Assignment a(static_cast<std::size_t>(mesh.graph.num_vertices()));
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(8));
+  HillClimbOptions opt;
+  opt.max_passes = 2;
+  const auto res = hill_climb(mesh.graph, a, 8, opt);
+  EXPECT_LE(res.passes, 2);
+}
+
+TEST(HillClimb, OnlyBoundaryVerticesConsidered) {
+  // Well-separated blocks: interior vertices must not move even with many
+  // passes (they are never boundary).
+  const Graph g = make_grid(4, 8);
+  Assignment a(32);
+  for (VertexId v = 0; v < 32; ++v) {
+    a[static_cast<std::size_t>(v)] = (v % 8 < 4) ? 0 : 1;
+  }
+  HillClimbOptions opt;
+  opt.max_passes = 5;
+  hill_climb(g, a, 2, opt);
+  // Column 0 and column 7 vertices are interior to their parts.
+  for (VertexId r = 0; r < 4; ++r) {
+    EXPECT_EQ(a[static_cast<std::size_t>(r * 8)], 0);
+    EXPECT_EQ(a[static_cast<std::size_t>(r * 8 + 7)], 1);
+  }
+}
+
+TEST(HillClimb, StateOverloadMatchesChromosomeOverload) {
+  Rng rng(11);
+  const Graph g = make_grid(6, 6);
+  Assignment a(36);
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(3));
+  Assignment b = a;
+
+  HillClimbOptions opt;
+  hill_climb(g, a, 3, opt);
+
+  PartitionState state(g, b, 3);
+  hill_climb(state, opt);
+  EXPECT_EQ(a, state.assignment());
+}
+
+TEST(HillClimb, WorstCommObjectiveReducesMaxCut) {
+  Rng rng(13);
+  const Mesh mesh = paper_mesh(144);
+  Assignment a(static_cast<std::size_t>(mesh.graph.num_vertices()));
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(4));
+  const double before = compute_metrics(mesh.graph, a, 4).max_part_cut;
+  HillClimbOptions opt;
+  opt.fitness = {Objective::kWorstComm, 1.0};
+  opt.max_passes = 20;
+  hill_climb(mesh.graph, a, 4, opt);
+  const auto m = compute_metrics(mesh.graph, a, 4);
+  EXPECT_LT(m.max_part_cut + m.imbalance_sq, before + 1.0);
+}
+
+}  // namespace
+}  // namespace gapart

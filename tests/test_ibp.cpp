@@ -1,0 +1,117 @@
+#include "sfc/ibp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "graph/partition.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::all_parts_used;
+using testing::max_size_deviation;
+
+class IbpSchemeTest
+    : public ::testing::TestWithParam<std::tuple<IndexScheme, int>> {};
+
+TEST_P(IbpSchemeTest, BalancedValidOnPaperMesh) {
+  const auto [scheme, k] = GetParam();
+  const Mesh mesh = paper_mesh(167);
+  IbpOptions opt;
+  opt.scheme = scheme;
+  const auto a = ibp_partition(mesh.graph, static_cast<PartId>(k), opt);
+  ASSERT_TRUE(is_valid_assignment(mesh.graph, a, static_cast<PartId>(k)));
+  EXPECT_TRUE(all_parts_used(a, static_cast<PartId>(k)));
+  EXPECT_LE(max_size_deviation(a, static_cast<PartId>(k)), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndParts, IbpSchemeTest,
+    ::testing::Combine(::testing::Values(IndexScheme::kRowMajor,
+                                         IndexScheme::kShuffledRowMajor,
+                                         IndexScheme::kHilbert),
+                       ::testing::Values(2, 4, 8)));
+
+TEST(Ibp, GridPartitionIsSpatiallyCoherent) {
+  // On a regular grid, the shuffled-row-major IBP into 4 parts should give
+  // a cut far below the worst case (locality-preserving index).
+  const Graph g = make_grid(16, 16);
+  const auto a = ibp_partition(g, 4);
+  const auto m = compute_metrics(g, a, 4);
+  // Worst case would approach |E|; a quadrant-ish split cuts ~32.
+  EXPECT_LE(m.total_cut(), 64.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(Ibp, HilbertBeatsOrEqualsRowMajorOnGrid) {
+  const Graph g = make_grid(16, 16);
+  IbpOptions row;
+  row.scheme = IndexScheme::kRowMajor;
+  IbpOptions hil;
+  hil.scheme = IndexScheme::kHilbert;
+  const double cut_row =
+      compute_metrics(g, ibp_partition(g, 8, row), 8).total_cut();
+  const double cut_hil =
+      compute_metrics(g, ibp_partition(g, 8, hil), 8).total_cut();
+  EXPECT_LE(cut_hil, cut_row);
+}
+
+TEST(Ibp, SortingPhaseOrdersByIndex) {
+  const Mesh mesh = paper_mesh(78);
+  const auto idx = ibp_indices(mesh.graph);
+  ASSERT_EQ(idx.size(), static_cast<std::size_t>(mesh.graph.num_vertices()));
+  // Partition boundaries in sorted order: part ids must be monotone along
+  // the sorted index sequence.
+  const auto a = ibp_partition(mesh.graph, 4);
+  std::vector<VertexId> order(idx.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&idx](VertexId x, VertexId y) {
+    return idx[static_cast<std::size_t>(x)] != idx[static_cast<std::size_t>(y)]
+               ? idx[static_cast<std::size_t>(x)] <
+                     idx[static_cast<std::size_t>(y)]
+               : x < y;
+  });
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_LE(a[static_cast<std::size_t>(order[i])],
+              a[static_cast<std::size_t>(order[i + 1])]);
+  }
+}
+
+TEST(Ibp, WeightedVerticesSplitByWeight) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.set_coordinate(0, {0.0, 0.0});
+  b.set_coordinate(1, {0.3, 0.0});
+  b.set_coordinate(2, {0.6, 0.0});
+  b.set_coordinate(3, {0.9, 0.0});
+  b.set_vertex_weight(0, 3.0);  // as heavy as the other three combined
+  const Graph g = b.build();
+  const auto a = ibp_partition(g, 2);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);  // 3 | 1+1+1
+}
+
+TEST(Ibp, GraphWithoutCoordinatesRejected) {
+  const Graph g = make_complete(5);
+  EXPECT_THROW(ibp_partition(g, 2), Error);
+}
+
+TEST(Ibp, SchemeParsing) {
+  EXPECT_EQ(parse_index_scheme("row-major"), IndexScheme::kRowMajor);
+  EXPECT_EQ(parse_index_scheme("shuffled"), IndexScheme::kShuffledRowMajor);
+  EXPECT_EQ(parse_index_scheme("morton"), IndexScheme::kShuffledRowMajor);
+  EXPECT_EQ(parse_index_scheme("hilbert"), IndexScheme::kHilbert);
+  EXPECT_THROW(parse_index_scheme("zigzag"), Error);
+  EXPECT_STREQ(index_scheme_name(IndexScheme::kHilbert), "hilbert");
+}
+
+}  // namespace
+}  // namespace gapart

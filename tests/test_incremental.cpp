@@ -1,0 +1,124 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_incremental.hpp"
+#include "common/rng.hpp"
+#include "core/contracted_ga.hpp"
+#include "core/init.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "spectral/rsb.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::max_size_deviation;
+
+IncrementalGaOptions small_incremental(PartId k, int gens) {
+  IncrementalGaOptions opt;
+  opt.dpga.num_islands = 4;
+  opt.dpga.ga.num_parts = k;
+  opt.dpga.ga.population_size = 64;
+  opt.dpga.ga.max_generations = gens;
+  return opt;
+}
+
+TEST(IncrementalGa, RepartitionsGrownMesh) {
+  const Mesh base = paper_mesh(118);
+  const Mesh grown = paper_incremental_mesh(base, 118, 21);
+  Rng rng(3);
+  const auto prev = rsb_partition(base.graph, 4, rng);
+  const auto opt = small_incremental(4, 60);
+  const auto res =
+      incremental_repartition(grown.graph, prev, opt, rng);
+  ASSERT_TRUE(is_valid_assignment(grown.graph, res.best, 4));
+  EXPECT_LE(max_size_deviation(res.best, 4), 3);
+  EXPECT_GT(res.generations, 0);
+}
+
+TEST(IncrementalGa, BeatsGreedyDeterministicAssignment) {
+  // The paper's conclusion: "The incremental partitioning results obtained
+  // using DKNUX could not be obtained by a simple deterministic algorithm
+  // that assigns new nodes to the part to which most of its nearest
+  // neighbors belong."
+  const Mesh base = paper_mesh(183);
+  const Mesh grown = paper_incremental_mesh(base, 183, 60);
+  Rng rng(5);
+  const auto prev = rsb_partition(base.graph, 8, rng);
+
+  const auto greedy = greedy_incremental_assign(grown.graph, prev, 8);
+  const FitnessParams params{Objective::kTotalComm, 1.0};
+  const double greedy_fitness =
+      evaluate_fitness(grown.graph, greedy, 8, params);
+
+  auto opt = small_incremental(8, 120);
+  const auto res = incremental_repartition(grown.graph, prev, opt, rng);
+  EXPECT_GT(res.best_fitness, greedy_fitness);
+}
+
+TEST(IncrementalGa, SeedNeverLost) {
+  // The GA result can never be worse than the best balanced extension it
+  // was seeded with.
+  const Mesh base = paper_mesh(78);
+  const Mesh grown = paper_incremental_mesh(base, 78, 10);
+  Rng rng(7);
+  const auto prev = rsb_partition(base.graph, 4, rng);
+  auto opt = small_incremental(4, 30);
+  Rng seed_rng(99);
+  const auto seed = incremental_seed_assignment(grown.graph, prev, 4, seed_rng);
+  const double seed_fitness = evaluate_fitness(
+      grown.graph, seed, 4, opt.dpga.ga.fitness);
+  const auto res = incremental_repartition(grown.graph, prev, opt, rng);
+  // Not exactly the same seed (random placement), but the GA explored a
+  // population of such seeds, so its best must be at least competitive.
+  EXPECT_GE(res.best_fitness, seed_fitness - 10.0);
+}
+
+TEST(IncrementalGa, ValidatesPreviousSize) {
+  const Mesh base = paper_mesh(78);
+  Rng rng(9);
+  const Assignment too_big(200, 0);
+  const auto opt = small_incremental(2, 5);
+  EXPECT_THROW(
+      incremental_repartition(base.graph, too_big, opt, rng), Error);
+}
+
+TEST(ContractedGa, PartitionsLargerMesh) {
+  Rng rng(11);
+  const Domain domain(DomainShape::kRectangle);
+  const Mesh mesh = generate_mesh(domain, 600, rng);
+  ContractedGaOptions opt;
+  opt.dpga.num_islands = 4;
+  opt.dpga.ga.num_parts = 4;
+  opt.dpga.ga.population_size = 64;
+  opt.dpga.ga.max_generations = 60;
+  opt.coarse_vertices_per_part = 20;
+  const auto res = contracted_ga_partition(mesh.graph, opt, rng);
+  ASSERT_TRUE(is_valid_assignment(mesh.graph, res.assignment, 4));
+  EXPECT_LT(res.coarse_vertices, 200);
+  EXPECT_GE(res.levels, 1);
+  const auto m = compute_metrics(mesh.graph, res.assignment, 4);
+  // Sanity: a real partition, not shredded.
+  EXPECT_LT(m.total_cut(), 0.25 * static_cast<double>(mesh.graph.num_edges()));
+  EXPECT_LE(m.imbalance_sq, 64.0);
+}
+
+TEST(ContractedGa, SmallGraphSkipsCoarsening) {
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(13);
+  ContractedGaOptions opt;
+  opt.dpga.num_islands = 2;
+  opt.dpga.ga.num_parts = 2;
+  opt.dpga.ga.population_size = 32;
+  opt.dpga.ga.max_generations = 20;
+  opt.coarse_vertices_per_part = 100;  // 2*100 > 78: no contraction
+  const auto res = contracted_ga_partition(mesh.graph, opt, rng);
+  EXPECT_EQ(res.levels, 0);
+  EXPECT_EQ(res.coarse_vertices, 78);
+  ASSERT_TRUE(is_valid_assignment(mesh.graph, res.assignment, 2));
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,178 @@
+#include "sfc/indexing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(Interleave, PaperExampleEqualWidths) {
+  // Appendix: index1 = 001, index2 = 010, index3 = 110 -> 001011100.
+  const std::uint64_t idx[3] = {0b001, 0b010, 0b110};
+  const int bits[3] = {3, 3, 3};
+  EXPECT_EQ(interleave_bits(idx, bits), 0b001011100u);
+}
+
+TEST(Interleave, PaperExampleUnequalWidths) {
+  // Appendix: index1 = 101, index2 = 01, index3 = 0 -> 100110.
+  const std::uint64_t idx[3] = {0b101, 0b01, 0b0};
+  const int bits[3] = {3, 2, 1};
+  EXPECT_EQ(interleave_bits(idx, bits), 0b100110u);
+}
+
+TEST(Interleave, SingleDimensionIsIdentity) {
+  const std::uint64_t idx[1] = {0b1011};
+  const int bits[1] = {4};
+  EXPECT_EQ(interleave_bits(idx, bits), 0b1011u);
+}
+
+TEST(Interleave, ZeroWidthDimensionSkipped) {
+  const std::uint64_t idx[2] = {0b11, 0};
+  const int bits[2] = {2, 0};
+  EXPECT_EQ(interleave_bits(idx, bits), 0b11u);
+}
+
+TEST(Interleave, IndexExceedingWidthRejected) {
+  const std::uint64_t idx[2] = {0b100, 0b1};
+  const int bits[2] = {2, 1};
+  EXPECT_THROW(interleave_bits(idx, bits), Error);
+}
+
+TEST(Interleave, BijectiveOnSmallGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      const std::uint64_t idx[2] = {a, b};
+      const int bits[2] = {3, 2};
+      seen.insert(interleave_bits(idx, bits));
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(RowMajor, Figure1aGrid) {
+  // Figure 1(a): row-major indexing of the 8x8 grid, row r col c -> 8r + c.
+  EXPECT_EQ(row_major_index(0, 0, 8), 0u);
+  EXPECT_EQ(row_major_index(0, 7, 8), 7u);
+  EXPECT_EQ(row_major_index(1, 0, 8), 8u);
+  EXPECT_EQ(row_major_index(3, 5, 8), 29u);
+  EXPECT_EQ(row_major_index(7, 7, 8), 63u);
+}
+
+TEST(RowMajor, ColumnOutOfRangeRejected) {
+  EXPECT_THROW(row_major_index(0, 8, 8), Error);
+}
+
+TEST(Morton, Figure1bGrid) {
+  // Figure 1(b): shuffled row-major indexing of the 8x8 grid.  The full
+  // expected matrix is transcribed from the paper.
+  const std::uint64_t expected[8][8] = {
+      {0, 1, 4, 5, 16, 17, 20, 21},
+      {2, 3, 6, 7, 18, 19, 22, 23},
+      {8, 9, 12, 13, 24, 25, 28, 29},
+      {10, 11, 14, 15, 26, 27, 30, 31},
+      {32, 33, 36, 37, 48, 49, 52, 53},
+      {34, 35, 38, 39, 50, 51, 54, 55},
+      {40, 41, 44, 45, 56, 57, 60, 61},
+      {42, 43, 46, 47, 58, 59, 62, 63},
+  };
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    for (std::uint64_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(morton_index(r, c, 3), expected[r][c])
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Morton, BijectiveAndMonotoneInBlocks) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t r = 0; r < 16; ++r) {
+    for (std::uint64_t c = 0; c < 16; ++c) {
+      seen.insert(morton_index(r, c, 4));
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  // 2x2 blocks are contiguous index runs.
+  for (std::uint64_t r = 0; r < 16; r += 2) {
+    for (std::uint64_t c = 0; c < 16; c += 2) {
+      const auto base = morton_index(r, c, 4);
+      EXPECT_EQ(morton_index(r, c + 1, 4), base + 1);
+      EXPECT_EQ(morton_index(r + 1, c, 4), base + 2);
+      EXPECT_EQ(morton_index(r + 1, c + 1, 4), base + 3);
+    }
+  }
+}
+
+TEST(Hilbert, FirstOrderCurve) {
+  // Order-1 Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+  EXPECT_EQ(hilbert_index(0, 0, 1), 0u);
+  EXPECT_EQ(hilbert_index(0, 1, 1), 1u);
+  EXPECT_EQ(hilbert_index(1, 1, 1), 2u);
+  EXPECT_EQ(hilbert_index(1, 0, 1), 3u);
+}
+
+TEST(Hilbert, BijectiveOnGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      seen.insert(hilbert_index(x, y, 4));
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining locality property: successive curve positions are adjacent
+  // cells (Manhattan distance exactly 1).  Morton does NOT have this.
+  const int order = 4;
+  const std::uint64_t n = 16;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_index(n * n);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    for (std::uint64_t y = 0; y < n; ++y) {
+      by_index[hilbert_index(x, y, order)] = {x, y};
+    }
+  }
+  for (std::size_t i = 0; i + 1 < by_index.size(); ++i) {
+    const auto [x1, y1] = by_index[i];
+    const auto [x2, y2] = by_index[i + 1];
+    const auto dx = x1 > x2 ? x1 - x2 : x2 - x1;
+    const auto dy = y1 > y2 ? y1 - y2 : y2 - y1;
+    EXPECT_EQ(dx + dy, 1u) << "positions " << i << " and " << i + 1;
+  }
+}
+
+TEST(Hilbert, OutOfGridRejected) {
+  EXPECT_THROW(hilbert_index(2, 0, 1), Error);
+}
+
+TEST(Quantize, MapsToFullRange) {
+  const std::vector<Point2> pts = {{0.0, 0.0}, {1.0, 2.0}, {0.5, 1.0}};
+  const auto q = quantize_points(pts, 4);
+  EXPECT_EQ(q.x[0], 0u);
+  EXPECT_EQ(q.y[0], 0u);
+  EXPECT_EQ(q.x[1], 15u);
+  EXPECT_EQ(q.y[1], 15u);
+  EXPECT_EQ(q.x[2], 8u);
+  EXPECT_EQ(q.y[2], 8u);
+}
+
+TEST(Quantize, DegenerateAxisMapsToZero) {
+  const std::vector<Point2> pts = {{0.0, 3.0}, {1.0, 3.0}};
+  const auto q = quantize_points(pts, 3);
+  EXPECT_EQ(q.y[0], 0u);
+  EXPECT_EQ(q.y[1], 0u);
+  EXPECT_EQ(q.x[1], 7u);
+}
+
+TEST(Quantize, PreservesOrdering) {
+  const std::vector<Point2> pts = {{0.1, 0.0}, {0.4, 0.0}, {0.9, 0.0}};
+  const auto q = quantize_points(pts, 8);
+  EXPECT_LT(q.x[0], q.x[1]);
+  EXPECT_LT(q.x[1], q.x[2]);
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "spectral/eigen.hpp"
+#include "spectral/fiedler.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(Lanczos, PathLambda2Analytic) {
+  const int n = 40;
+  const Graph g = make_path(n);
+  Rng rng(3);
+  const auto res = fiedler_pair_lanczos(g, rng);
+  EXPECT_TRUE(res.converged);
+  const double expected =
+      4.0 * std::pow(std::sin(std::numbers::pi / (2.0 * n)), 2);
+  EXPECT_NEAR(res.pair.value, expected, 1e-7);
+}
+
+TEST(Lanczos, MatchesDenseOnRandomGraphs) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Rng rng(seed);
+    Graph g = make_connected_geometric(60, 0.25, rng);
+    const auto res = fiedler_pair_lanczos(g, rng);
+    const auto ed = jacobi_eigen(dense_laplacian(g), 60);
+    EXPECT_TRUE(res.converged) << "seed " << seed;
+    EXPECT_NEAR(res.pair.value, ed.values[1], 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(Lanczos, VectorIsActuallyAnEigenvector) {
+  Rng rng(7);
+  const Graph g = make_grid(10, 10);
+  const auto res = fiedler_pair_lanczos(g, rng);
+  ASSERT_TRUE(res.converged);
+  std::vector<double> y(res.pair.vector.size());
+  apply_laplacian(g, res.pair.vector, y);
+  axpy(-res.pair.value, res.pair.vector, y);
+  EXPECT_LT(norm2(y), 1e-6);
+}
+
+TEST(Lanczos, VectorOrthogonalToOnes) {
+  Rng rng(11);
+  const Graph g = make_grid(8, 8);
+  const auto res = fiedler_pair_lanczos(g, rng);
+  double sum = 0.0;
+  for (double v : res.pair.vector) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-8);
+  EXPECT_NEAR(norm2(res.pair.vector), 1.0, 1e-10);
+}
+
+TEST(Lanczos, GridLambda2Analytic) {
+  // For an r x c grid, lambda_2 = 4 sin^2(pi / (2*max(r,c))).
+  const Graph g = make_grid(4, 12);
+  Rng rng(13);
+  const auto res = fiedler_pair_lanczos(g, rng);
+  const double expected =
+      4.0 * std::pow(std::sin(std::numbers::pi / 24.0), 2);
+  EXPECT_NEAR(res.pair.value, expected, 1e-7);
+}
+
+TEST(Lanczos, TinyGraph) {
+  const Graph g = make_path(2);
+  Rng rng(17);
+  const auto res = fiedler_pair_lanczos(g, rng);
+  EXPECT_NEAR(res.pair.value, 2.0, 1e-9);  // P2: eigenvalues 0, 2
+}
+
+TEST(Lanczos, RequiresAtLeastTwoVertices) {
+  const Graph g = make_path(1);
+  Rng rng(1);
+  EXPECT_THROW(fiedler_pair_lanczos(g, rng), Error);
+}
+
+TEST(Fiedler, DensePathMatchesAnalytic) {
+  const int n = 24;
+  Rng rng(19);
+  const double lam = algebraic_connectivity(make_path(n), rng);
+  EXPECT_NEAR(lam,
+              4.0 * std::pow(std::sin(std::numbers::pi / (2.0 * n)), 2),
+              1e-8);
+}
+
+TEST(Fiedler, DenseAndLanczosPathsAgree) {
+  Rng rng(23);
+  const Graph g = make_connected_geometric(120, 0.18, rng);
+  FiedlerOptions dense_opt;
+  dense_opt.dense_threshold = 200;  // force dense
+  FiedlerOptions lanczos_opt;
+  lanczos_opt.dense_threshold = 2;  // force Lanczos
+  const double a = algebraic_connectivity(g, rng, dense_opt);
+  const double b = algebraic_connectivity(g, rng, lanczos_opt);
+  EXPECT_NEAR(a, b, 1e-6);
+}
+
+TEST(Fiedler, SignStructureSeparatesTwoCliques) {
+  // The Fiedler vector of two cliques joined by one edge must separate the
+  // cliques by sign.
+  const Graph g = make_two_cliques(8);
+  Rng rng(29);
+  const auto f = fiedler_vector(g, rng);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GT(f[static_cast<std::size_t>(i)] * f[0], 0.0) << i;
+    EXPECT_LT(f[static_cast<std::size_t>(i + 8)] * f[0], 0.0) << i + 8;
+  }
+}
+
+TEST(Fiedler, PathVectorMonotone) {
+  // The Fiedler vector of a path is a sampled cosine: strictly monotone.
+  const Graph g = make_path(16);
+  Rng rng(31);
+  auto f = fiedler_vector(g, rng);
+  if (f.front() > f.back()) {
+    for (auto& v : f) v = -v;
+  }
+  for (std::size_t i = 0; i + 1 < f.size(); ++i) {
+    EXPECT_LT(f[i], f[i + 1]) << "position " << i;
+  }
+}
+
+TEST(Fiedler, DisconnectedRejected) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  Rng rng(37);
+  EXPECT_THROW(fiedler_vector(b.build(), rng), Error);
+}
+
+TEST(Fiedler, AlgebraicConnectivityOfCompleteGraph) {
+  Rng rng(41);
+  EXPECT_NEAR(algebraic_connectivity(make_complete(10), rng), 10.0, 1e-7);
+}
+
+TEST(Fiedler, MeshConvergesUnderLanczos) {
+  const Mesh mesh = paper_mesh(309);
+  Rng rng(43);
+  FiedlerOptions opt;
+  opt.dense_threshold = 8;  // force the Lanczos path on the full mesh
+  const double lam = algebraic_connectivity(mesh.graph, rng, opt);
+  EXPECT_GT(lam, 0.0);
+  // Cross-check against the dense solver.
+  const auto ed = jacobi_eigen(dense_laplacian(mesh.graph),
+                               static_cast<int>(mesh.graph.num_vertices()));
+  EXPECT_NEAR(lam, ed.values[1], 1e-5);
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,129 @@
+#include "spectral/laplacian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(Laplacian, ConstantVectorInKernel) {
+  const Graph g = make_grid(4, 4);
+  std::vector<double> x(16, 1.0);
+  std::vector<double> y(16);
+  apply_laplacian(g, x, y);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-14);
+}
+
+TEST(Laplacian, MatchesDenseMatrix) {
+  Rng rng(3);
+  const Graph g = make_random_graph(20, 0.3, rng);
+  const auto L = dense_laplacian(g);
+  std::vector<double> x(20);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y_fast(20);
+  apply_laplacian(g, x, y_fast);
+  for (std::size_t i = 0; i < 20; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < 20; ++j) acc += L[i * 20 + j] * x[j];
+    EXPECT_NEAR(y_fast[i], acc, 1e-12);
+  }
+}
+
+TEST(Laplacian, DenseMatrixStructure) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, 3.0);
+  const auto L = dense_laplacian(b.build());
+  // Row 1: degree 5, off-diagonals -2 and -3.
+  EXPECT_DOUBLE_EQ(L[1 * 3 + 1], 5.0);
+  EXPECT_DOUBLE_EQ(L[1 * 3 + 0], -2.0);
+  EXPECT_DOUBLE_EQ(L[1 * 3 + 2], -3.0);
+  EXPECT_DOUBLE_EQ(L[0 * 3 + 2], 0.0);
+  // Symmetry and zero row sums.
+  for (int i = 0; i < 3; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      row += L[static_cast<std::size_t>(i * 3 + j)];
+      EXPECT_DOUBLE_EQ(L[static_cast<std::size_t>(i * 3 + j)],
+                       L[static_cast<std::size_t>(j * 3 + i)]);
+    }
+    EXPECT_NEAR(row, 0.0, 1e-14);
+  }
+}
+
+TEST(Laplacian, QuadraticFormEqualsCutEnergy) {
+  // x^T L x = sum over edges w_uv (x_u - x_v)^2.
+  Rng rng(7);
+  const Graph g = make_grid(5, 5);
+  std::vector<double> x(25);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y(25);
+  apply_laplacian(g, x, y);
+  const double quad = dot(x, y);
+  double energy = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > u) {
+        const double d = x[static_cast<std::size_t>(u)] -
+                         x[static_cast<std::size_t>(nbrs[i])];
+        energy += wgts[i] * d * d;
+      }
+    }
+  }
+  EXPECT_NEAR(quad, energy, 1e-10);
+  EXPECT_GE(quad, -1e-12);  // PSD
+}
+
+TEST(Laplacian, CutIndicatorQuadraticFormIsCutSize) {
+  // For x in {0,1}^n marking a side, x^T L x = cut edges.
+  const Graph g = make_grid(4, 4);
+  std::vector<double> x(16, 0.0);
+  for (int i = 0; i < 8; ++i) x[static_cast<std::size_t>(i)] = 1.0;  // rows 0-1
+  std::vector<double> y(16);
+  apply_laplacian(g, x, y);
+  EXPECT_NEAR(dot(x, y), 4.0, 1e-12);  // 4 vertical edges cut
+}
+
+TEST(RayleighQuotient, BoundsOnPath) {
+  const Graph g = make_path(10);
+  std::vector<double> x(10);
+  for (std::size_t i = 0; i < 10; ++i) x[i] = static_cast<double>(i) - 4.5;
+  const double rq = rayleigh_quotient(g, x);
+  EXPECT_GT(rq, 0.0);
+  EXPECT_LT(rq, 4.0);  // max Laplacian eigenvalue of a path < 4
+}
+
+TEST(RayleighQuotient, ZeroVectorRejected) {
+  const Graph g = make_path(4);
+  std::vector<double> x(4, 0.0);
+  EXPECT_THROW(rayleigh_quotient(g, x), Error);
+}
+
+TEST(DeflateConstant, RemovesMean) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 6.0};
+  deflate_constant(x);
+  EXPECT_NEAR(x[0] + x[1] + x[2] + x[3], 0.0, 1e-14);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+}
+
+TEST(VectorOps, DotNormAxpyScale) {
+  std::vector<double> a = {3.0, 4.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  axpy(2.0, b, a);  // a += 2b
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[1], 8.0);
+  scale(0.5, a);
+  EXPECT_DOUBLE_EQ(a[0], 2.5);
+}
+
+}  // namespace
+}  // namespace gapart

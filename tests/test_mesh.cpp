@@ -1,0 +1,201 @@
+#include "graph/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "graph/components.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(Domain, RectangleContains) {
+  const Domain d(DomainShape::kRectangle);
+  EXPECT_TRUE(d.contains({0.5, 0.5}));
+  EXPECT_TRUE(d.contains({0.0, 1.0}));
+  EXPECT_FALSE(d.contains({1.1, 0.5}));
+  EXPECT_FALSE(d.contains({0.5, -0.1}));
+  EXPECT_DOUBLE_EQ(d.area(), 1.0);
+}
+
+TEST(Domain, DiscContains) {
+  const Domain d(DomainShape::kDisc);
+  EXPECT_TRUE(d.contains({0.5, 0.5}));
+  EXPECT_TRUE(d.contains({0.95, 0.5}));
+  EXPECT_FALSE(d.contains({0.99, 0.99}));
+  EXPECT_NEAR(d.area(), 0.785398, 1e-5);
+}
+
+TEST(Domain, AnnulusHasHole) {
+  const Domain d(DomainShape::kAnnulus);
+  EXPECT_FALSE(d.contains({0.5, 0.5}));  // inside the hole
+  EXPECT_TRUE(d.contains({0.9, 0.5}));
+  EXPECT_FALSE(d.contains({1.2, 0.5}));
+}
+
+TEST(Domain, LShapeMissingQuadrant) {
+  const Domain d(DomainShape::kLShape);
+  EXPECT_TRUE(d.contains({0.25, 0.25}));
+  EXPECT_TRUE(d.contains({0.25, 0.75}));
+  EXPECT_TRUE(d.contains({0.75, 0.25}));
+  EXPECT_FALSE(d.contains({0.75, 0.75}));
+  EXPECT_DOUBLE_EQ(d.area(), 0.75);
+}
+
+TEST(Domain, EllipseBoundingBox) {
+  const Domain d(DomainShape::kEllipse);
+  EXPECT_TRUE(d.contains({0.5, 0.5}));
+  EXPECT_FALSE(d.contains({0.5, 0.8}));  // outside the 2:1 ellipse
+  EXPECT_LT(d.bbox_lo().y, d.bbox_hi().y);
+}
+
+class MeshGenerationTest
+    : public ::testing::TestWithParam<std::tuple<DomainShape, int>> {};
+
+TEST_P(MeshGenerationTest, ExactCountConnectedPlanarish) {
+  const auto [shape, n] = GetParam();
+  Rng rng(99);
+  const Domain domain(shape);
+  const Mesh mesh = generate_mesh(domain, static_cast<VertexId>(n), rng);
+
+  EXPECT_EQ(mesh.graph.num_vertices(), n);
+  EXPECT_EQ(mesh.points.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(mesh.graph.has_coordinates());
+  EXPECT_TRUE(is_connected(mesh.graph));
+  // Planar graph bound: |E| <= 3|V| - 6.
+  EXPECT_LE(mesh.graph.num_edges(), 3 * static_cast<std::int64_t>(n) - 6);
+  // FE-style meshes keep modest degrees.
+  for (VertexId v = 0; v < mesh.graph.num_vertices(); ++v) {
+    EXPECT_LE(mesh.graph.degree(v), 14);
+  }
+  // All points inside the domain.
+  for (const auto& p : mesh.points) {
+    EXPECT_TRUE(domain.contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, MeshGenerationTest,
+    ::testing::Combine(::testing::Values(DomainShape::kRectangle,
+                                         DomainShape::kDisc,
+                                         DomainShape::kEllipse,
+                                         DomainShape::kAnnulus,
+                                         DomainShape::kLShape),
+                       ::testing::Values(60, 144)));
+
+TEST(Mesh, DeterministicForSameSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  const Domain d(DomainShape::kRectangle);
+  const Mesh a = generate_mesh(d, 80, rng1);
+  const Mesh b = generate_mesh(d, 80, rng2);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i], b.points[i]);
+  }
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(Mesh, DensifyPreservesOldVertices) {
+  Rng rng(7);
+  const Domain d(DomainShape::kRectangle);
+  const Mesh base = generate_mesh(d, 100, rng);
+  const Mesh grown = densify_mesh(base, d, 25, rng);
+  ASSERT_EQ(grown.graph.num_vertices(), 125);
+  for (std::size_t i = 0; i < base.points.size(); ++i) {
+    EXPECT_EQ(grown.points[i], base.points[i]) << "old vertex " << i << " moved";
+  }
+  EXPECT_TRUE(is_connected(grown.graph));
+}
+
+TEST(Mesh, DensifyIsLocal) {
+  Rng rng(21);
+  const Domain d(DomainShape::kRectangle);
+  const Mesh base = generate_mesh(d, 150, rng);
+  const Mesh grown = densify_mesh(base, d, 30, rng, 0.15);
+  // New points concentrate in a disc: their bounding box must be far
+  // smaller than the domain.
+  double lox = 1e9;
+  double hix = -1e9;
+  double loy = 1e9;
+  double hiy = -1e9;
+  for (std::size_t i = base.points.size(); i < grown.points.size(); ++i) {
+    lox = std::min(lox, grown.points[i].x);
+    hix = std::max(hix, grown.points[i].x);
+    loy = std::min(loy, grown.points[i].y);
+    hiy = std::max(hiy, grown.points[i].y);
+  }
+  EXPECT_LE(hix - lox, 0.35);
+  EXPECT_LE(hiy - loy, 0.35);
+}
+
+TEST(Mesh, PaperMeshSizesExact) {
+  for (VertexId n : {78, 88, 98, 118, 139, 144, 167, 183, 213, 243, 249, 279,
+                     309}) {
+    const Mesh mesh = paper_mesh(n);
+    EXPECT_EQ(mesh.graph.num_vertices(), n) << "size " << n;
+    EXPECT_TRUE(is_connected(mesh.graph)) << "size " << n;
+  }
+}
+
+TEST(Mesh, PaperMeshDeterministicAcrossCalls) {
+  const Mesh a = paper_mesh(144);
+  const Mesh b = paper_mesh(144);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (VertexId v = 0; v < a.graph.num_vertices(); ++v) {
+    EXPECT_EQ(a.graph.degree(v), b.graph.degree(v));
+  }
+}
+
+TEST(Mesh, PaperIncrementalMeshSizes) {
+  const Mesh base = paper_mesh(118);
+  const Mesh grown = paper_incremental_mesh(base, 118, 21);
+  EXPECT_EQ(grown.graph.num_vertices(), 139);
+  EXPECT_TRUE(is_connected(grown.graph));
+  for (std::size_t i = 0; i < base.points.size(); ++i) {
+    EXPECT_EQ(grown.points[i], base.points[i]);
+  }
+}
+
+TEST(Mesh, InvalidArgumentsRejected) {
+  Rng rng(1);
+  const Domain d(DomainShape::kRectangle);
+  EXPECT_THROW(generate_mesh(d, 3, rng), Error);
+  MeshOptions bad;
+  bad.jitter = 0.7;
+  EXPECT_THROW(generate_mesh(d, 50, rng, bad), Error);
+  const Mesh base = generate_mesh(d, 50, rng);
+  EXPECT_THROW(densify_mesh(base, d, 0, rng), Error);
+  EXPECT_THROW(densify_mesh(base, d, 5, rng, 0.0), Error);
+}
+
+TEST(Mesh, AnnulusGraphAvoidsHoleCrossings) {
+  Rng rng(31);
+  const Domain d(DomainShape::kAnnulus);
+  const Mesh mesh = generate_mesh(d, 160, rng);
+  // Count edges whose midpoint falls inside the hole; the triangle filter
+  // plus stitching should keep these to (almost) none.
+  int crossings = 0;
+  for (VertexId v = 0; v < mesh.graph.num_vertices(); ++v) {
+    for (VertexId u : mesh.graph.neighbors(v)) {
+      if (u <= v) continue;
+      const Point2 mid = 0.5 * (mesh.graph.coordinate(v) +
+                                mesh.graph.coordinate(u));
+      const double r2 = squared_distance(mid, {0.5, 0.5});
+      if (r2 < 0.18 * 0.18) ++crossings;
+    }
+  }
+  EXPECT_LE(crossings, 2);
+}
+
+TEST(DomainName, AllNamed) {
+  EXPECT_STREQ(domain_name(DomainShape::kRectangle), "rectangle");
+  EXPECT_STREQ(domain_name(DomainShape::kDisc), "disc");
+  EXPECT_STREQ(domain_name(DomainShape::kEllipse), "ellipse");
+  EXPECT_STREQ(domain_name(DomainShape::kAnnulus), "annulus");
+  EXPECT_STREQ(domain_name(DomainShape::kLShape), "l-shape");
+}
+
+}  // namespace
+}  // namespace gapart

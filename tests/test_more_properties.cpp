@@ -1,0 +1,187 @@
+// Second property batch: determinism contracts, exhaustive small-space
+// checks, and weighted-graph fuzzing for the refinement stack.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/kl.hpp"
+#include "common/rng.hpp"
+#include "core/dpga.hpp"
+#include "core/hill_climb.hpp"
+#include "core/init.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "sfc/indexing.hpp"
+#include "spectral/rsb.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Determinism contracts: same seed -> identical output, for every stochastic
+// public entry point.
+TEST(Determinism, RsbSameSeedSameResult) {
+  const Mesh mesh = paper_mesh(118);
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(rsb_partition(mesh.graph, 8, a), rsb_partition(mesh.graph, 8, b));
+}
+
+TEST(Determinism, MeshGenerationSameSeedSameGraph) {
+  Rng a(9);
+  Rng b(9);
+  const Domain d(DomainShape::kLShape);
+  const Mesh ma = generate_mesh(d, 120, a);
+  const Mesh mb = generate_mesh(d, 120, b);
+  EXPECT_EQ(ma.graph.num_edges(), mb.graph.num_edges());
+  EXPECT_EQ(ma.triangles.size(), mb.triangles.size());
+}
+
+TEST(Determinism, DensifySameSeedSameMesh) {
+  Rng a(11);
+  Rng b(11);
+  const Domain d(DomainShape::kDisc);
+  Rng base_rng(1);
+  const Mesh base = generate_mesh(d, 90, base_rng);
+  const Mesh ga = densify_mesh(base, d, 20, a);
+  const Mesh gb = densify_mesh(base, d, 20, b);
+  for (std::size_t i = 0; i < ga.points.size(); ++i) {
+    EXPECT_EQ(ga.points[i], gb.points[i]);
+  }
+}
+
+TEST(Determinism, IncrementalSeedSameSeedSameAssignment) {
+  const Mesh base = paper_mesh(78);
+  const Mesh grown = paper_incremental_mesh(base, 78, 10);
+  Rng prev_rng(3);
+  const auto prev = random_balanced_assignment(78, 4, prev_rng);
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(incremental_seed_assignment(grown.graph, prev, 4, a),
+            incremental_seed_assignment(grown.graph, prev, 4, b));
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive small-space checks.
+TEST(Exhaustive, InterleaveBijectiveForMixedWidths) {
+  // All 2^3 * 2^2 * 2^1 combinations of a (3,2,1)-bit space map to distinct
+  // 6-bit codes covering exactly [0, 64).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i1 = 0; i1 < 8; ++i1) {
+    for (std::uint64_t i2 = 0; i2 < 4; ++i2) {
+      for (std::uint64_t i3 = 0; i3 < 2; ++i3) {
+        const std::uint64_t idx[3] = {i1, i2, i3};
+        const int bits[3] = {3, 2, 1};
+        const auto code = interleave_bits(idx, bits);
+        EXPECT_LT(code, 64u);
+        seen.insert(code);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Exhaustive, BisectionFitnessOptimumOnTinyPath) {
+  // Enumerate all 2^6 bisections of P6 and verify the GA objective's
+  // optimum is the canonical half/half split — pinning the fitness ordering
+  // end to end.
+  const Graph g = make_path(6);
+  const FitnessParams params{Objective::kTotalComm, 1.0};
+  double best = -1e18;
+  Assignment best_a;
+  for (int mask = 0; mask < 64; ++mask) {
+    Assignment a(6);
+    for (int v = 0; v < 6; ++v) a[static_cast<std::size_t>(v)] = (mask >> v) & 1;
+    const double f = evaluate_fitness(g, a, 2, params);
+    if (f > best) {
+      best = f;
+      best_a = a;
+    }
+  }
+  const auto m = compute_metrics(g, best_a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 1.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+  EXPECT_DOUBLE_EQ(best, -2.0);  // one cut edge counted twice in sum_q C(q)
+}
+
+TEST(Exhaustive, HillClimbReachesEnumeratedOptimumOnTinyGraph) {
+  const Graph g = make_path(6);
+  // From every boundary-adjacent start, §3.6 hill climbing ends at a local
+  // optimum whose fitness is >= its start (and often the global -2).
+  HillClimbOptions opt;
+  opt.max_passes = 10;
+  for (int mask = 0; mask < 64; ++mask) {
+    Assignment a(6);
+    for (int v = 0; v < 6; ++v) a[static_cast<std::size_t>(v)] = (mask >> v) & 1;
+    const double before = evaluate_fitness(g, a, 2, opt.fitness);
+    Assignment climbed = a;
+    hill_climb(g, climbed, 2, opt);
+    EXPECT_GE(evaluate_fitness(g, climbed, 2, opt.fitness), before);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted-graph fuzz for the refinement stack.
+class WeightedRefinementFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedRefinementFuzz, KlAndHillClimbNeverWorsenWeightedFitness) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Random weighted graph: weights in [0.5, 3], edges in [0.2, 5].
+  const VertexId n = 40;
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) {
+    b.set_vertex_weight(v, rng.uniform(0.5, 3.0));
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.12)) b.add_edge(u, v, rng.uniform(0.2, 5.0));
+    }
+  }
+  const Graph g = b.build();
+
+  for (Objective obj : {Objective::kTotalComm, Objective::kWorstComm}) {
+    Assignment a(static_cast<std::size_t>(n));
+    for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(4));
+    const FitnessParams params{obj, 1.0};
+    const double before = evaluate_fitness(g, a, 4, params);
+
+    PartitionState kl_state(g, a, 4);
+    KlOptions kl;
+    kl.fitness = params;
+    kl_refine(kl_state, kl);
+    EXPECT_GE(kl_state.fitness(params), before - 1e-9);
+
+    Assignment hc = a;
+    HillClimbOptions opt;
+    opt.fitness = params;
+    hill_climb(g, hc, 4, opt);
+    EXPECT_GE(evaluate_fitness(g, hc, 4, params), before - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedRefinementFuzz,
+                         ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// DPGA with multiple migrants.
+TEST(DpgaMigrants, MultipleMigrantsStillValid) {
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(13);
+  DpgaConfig cfg;
+  cfg.num_islands = 4;
+  cfg.migrants_per_exchange = 3;
+  cfg.ga.num_parts = 4;
+  cfg.ga.population_size = 48;
+  cfg.ga.max_generations = 20;
+  auto init = make_random_population(78, 4, cfg.ga.population_size, rng);
+  const auto res = run_dpga(mesh.graph, cfg, std::move(init), rng.split());
+  EXPECT_TRUE(is_valid_assignment(mesh.graph, res.best, 4));
+  // More aggressive mixing must not break the monotone global history.
+  for (std::size_t i = 1; i < res.history.size(); ++i) {
+    EXPECT_GE(res.history[i].best_fitness, res.history[i - 1].best_fitness);
+  }
+}
+
+}  // namespace
+}  // namespace gapart

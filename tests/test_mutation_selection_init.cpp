@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/init.hpp"
+#include "core/mutation.hpp"
+#include "core/selection.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "graph/partition.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::max_size_deviation;
+using testing::part_sizes;
+
+TEST(PointMutation, RateZeroChangesNothing) {
+  Rng rng(3);
+  Assignment a(100, 1);
+  EXPECT_EQ(point_mutation(a, 4, 0.0, rng), 0);
+  for (PartId p : a) EXPECT_EQ(p, 1);
+}
+
+TEST(PointMutation, RateOneChangesEverythingToOtherParts) {
+  Rng rng(5);
+  Assignment a(100, 1);
+  EXPECT_EQ(point_mutation(a, 4, 1.0, rng), 100);
+  for (PartId p : a) {
+    EXPECT_NE(p, 1);  // always a *different* part
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 4);
+  }
+}
+
+TEST(PointMutation, EmpiricalRateMatchesConfigured) {
+  Rng rng(7);
+  int changed = 0;
+  constexpr int kTrials = 200;
+  constexpr int kGenes = 500;
+  for (int t = 0; t < kTrials; ++t) {
+    Assignment a(kGenes, 0);
+    changed += point_mutation(a, 8, 0.01, rng);
+  }
+  const double rate =
+      static_cast<double>(changed) / (kTrials * kGenes);
+  EXPECT_NEAR(rate, 0.01, 0.002);
+}
+
+TEST(PointMutation, SinglePartIsNoOp) {
+  Rng rng(9);
+  Assignment a(10, 0);
+  EXPECT_EQ(point_mutation(a, 1, 1.0, rng), 0);
+}
+
+TEST(PointMutation, OtherPartsUniform) {
+  Rng rng(11);
+  std::map<PartId, int> counts;
+  for (int t = 0; t < 30000; ++t) {
+    Assignment a(1, 2);
+    point_mutation(a, 4, 1.0, rng);
+    ++counts[a[0]];
+  }
+  EXPECT_EQ(counts.count(2), 0u);
+  for (PartId p : {0, 1, 3}) {
+    EXPECT_NEAR(counts[p], 10000, 400) << "part " << p;
+  }
+}
+
+TEST(BoundaryMutation, OnlyBoundaryVerticesMove) {
+  const Graph g = make_path(9);
+  Rng rng(13);
+  Assignment a = {0, 0, 0, 0, 1, 1, 1, 1, 1};
+  boundary_mutation(a, g, 2, 1.0, rng);
+  // Interior vertices (0..2, 5..8) cannot have moved; only 3 and 4 may.
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(a[2], 0);
+  EXPECT_EQ(a[6], 1);
+  EXPECT_EQ(a[8], 1);
+}
+
+TEST(BoundaryMutation, MovesIntoAdjacentPartsOnly) {
+  const Graph g = make_path(6);
+  Rng rng(17);
+  for (int t = 0; t < 100; ++t) {
+    Assignment a = {0, 0, 1, 1, 2, 2};
+    boundary_mutation(a, g, 3, 1.0, rng);
+    // Vertex 0 touches only part 0/…: its only neighbour (1) is part 0, so
+    // it never moves; vertex 2 may only become 0 or stay 1, never 2.
+    EXPECT_EQ(a[0], 0);
+    EXPECT_NE(a[2], 2);
+  }
+}
+
+TEST(PerturbBySwaps, PreservesPartSizes) {
+  Rng rng(19);
+  Assignment a(60);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<PartId>(i % 4);
+  }
+  const auto before = part_sizes(a, 4);
+  perturb_by_swaps(a, 30, rng);
+  EXPECT_EQ(part_sizes(a, 4), before);
+}
+
+TEST(PerturbBySwaps, ActuallyPerturbs) {
+  Rng rng(21);
+  Assignment a(60);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<PartId>(i % 4);
+  }
+  const Assignment original = a;
+  perturb_by_swaps(a, 30, rng);
+  EXPECT_NE(a, original);
+}
+
+TEST(Selection, TournamentPrefersFitter) {
+  std::vector<Individual> pop(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    pop[i].fitness = static_cast<double>(i);  // individual 9 is best
+    pop[i].evaluated = true;
+  }
+  Rng rng(23);
+  const Selector sel(pop, SelectionScheme::kTournament, 3);
+  double mean = 0.0;
+  constexpr int kDraws = 20000;
+  for (int d = 0; d < kDraws; ++d) {
+    mean += static_cast<double>(sel.draw(rng));
+  }
+  mean /= kDraws;
+  // Expected index of max of 3 uniform draws from 0..9 is ~6.8.
+  EXPECT_GT(mean, 6.0);
+  EXPECT_LT(mean, 7.6);
+}
+
+TEST(Selection, TournamentSizeOneIsUniform) {
+  std::vector<Individual> pop(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    pop[i].fitness = static_cast<double>(i);
+    pop[i].evaluated = true;
+  }
+  Rng rng(29);
+  const Selector sel(pop, SelectionScheme::kTournament, 1);
+  std::vector<int> counts(5, 0);
+  for (int d = 0; d < 25000; ++d) {
+    ++counts[sel.draw(rng)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 5000, 300);
+}
+
+TEST(Selection, RouletteHandlesNegativeFitness) {
+  // Partitioning fitness is always <= 0; roulette must still give better
+  // individuals more weight without crashing.
+  std::vector<Individual> pop(4);
+  pop[0].fitness = -100.0;
+  pop[1].fitness = -50.0;
+  pop[2].fitness = -20.0;
+  pop[3].fitness = -10.0;
+  for (auto& ind : pop) ind.evaluated = true;
+  Rng rng(31);
+  const Selector sel(pop, SelectionScheme::kRoulette, 2);
+  std::vector<int> counts(4, 0);
+  for (int d = 0; d < 40000; ++d) ++counts[sel.draw(rng)];
+  EXPECT_GT(counts[3], counts[0]);
+  EXPECT_GT(counts[2], counts[0]);
+  for (int c : counts) EXPECT_GT(c, 0);  // floor weight keeps everyone alive
+}
+
+TEST(Selection, RouletteAllEqualIsUniform) {
+  std::vector<Individual> pop(4);
+  for (auto& ind : pop) {
+    ind.fitness = -7.0;
+    ind.evaluated = true;
+  }
+  Rng rng(37);
+  const Selector sel(pop, SelectionScheme::kRoulette, 2);
+  std::vector<int> counts(4, 0);
+  for (int d = 0; d < 20000; ++d) ++counts[sel.draw(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(Selection, RankLinearPressure) {
+  std::vector<Individual> pop(4);
+  pop[0].fitness = -1000.0;  // rank 3 (worst) -> weight 1
+  pop[1].fitness = -5.0;     // rank 1 -> weight 3
+  pop[2].fitness = -500.0;   // rank 2 -> weight 2
+  pop[3].fitness = -1.0;     // rank 0 (best) -> weight 4
+  for (auto& ind : pop) ind.evaluated = true;
+  Rng rng(41);
+  const Selector sel(pop, SelectionScheme::kRank, 2);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 50000;
+  for (int d = 0; d < kDraws; ++d) ++counts[sel.draw(rng)];
+  // Expected proportions 4:3:2:1 over indices 3,1,2,0.
+  EXPECT_NEAR(counts[3], kDraws * 0.4, kDraws * 0.02);
+  EXPECT_NEAR(counts[1], kDraws * 0.3, kDraws * 0.02);
+  EXPECT_NEAR(counts[2], kDraws * 0.2, kDraws * 0.02);
+  EXPECT_NEAR(counts[0], kDraws * 0.1, kDraws * 0.02);
+}
+
+TEST(Selection, NamesParse) {
+  EXPECT_EQ(parse_selection("tournament"), SelectionScheme::kTournament);
+  EXPECT_EQ(parse_selection("roulette"), SelectionScheme::kRoulette);
+  EXPECT_EQ(parse_selection("rank"), SelectionScheme::kRank);
+  EXPECT_THROW(parse_selection("lottery"), Error);
+}
+
+TEST(Selection, EmptyPopulationRejected) {
+  std::vector<Individual> pop;
+  EXPECT_THROW(Selector(pop, SelectionScheme::kTournament, 2), Error);
+}
+
+TEST(Init, RandomBalancedIsBalanced) {
+  Rng rng(43);
+  for (PartId k : {2, 3, 8}) {
+    const auto a = random_balanced_assignment(100, k, rng);
+    EXPECT_LE(max_size_deviation(a, k), 1) << "k=" << k;
+  }
+}
+
+TEST(Init, RandomBalancedIsRandom) {
+  Rng rng(47);
+  const auto a = random_balanced_assignment(64, 2, rng);
+  const auto b = random_balanced_assignment(64, 2, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(Init, RandomUniformInRange) {
+  Rng rng(53);
+  const auto a = random_uniform_assignment(500, 5, rng);
+  for (PartId p : a) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 5);
+  }
+}
+
+TEST(Init, IncrementalSeedKeepsOldAndBalances) {
+  const Mesh base = paper_mesh(118);
+  const Mesh grown = paper_incremental_mesh(base, 118, 41);
+  Rng rng(59);
+  const auto prev = random_balanced_assignment(118, 8, rng);
+  const auto seeded =
+      incremental_seed_assignment(grown.graph, prev, 8, rng);
+  for (std::size_t v = 0; v < prev.size(); ++v) {
+    ASSERT_EQ(seeded[v], prev[v]);
+  }
+  EXPECT_LE(max_size_deviation(seeded, 8), 1);
+}
+
+TEST(Init, IncrementalSeedRandomizesNewNodes) {
+  const Mesh base = paper_mesh(78);
+  const Mesh grown = paper_incremental_mesh(base, 78, 20);
+  Rng rng(61);
+  const auto prev = random_balanced_assignment(78, 4, rng);
+  const auto s1 = incremental_seed_assignment(grown.graph, prev, 4, rng);
+  const auto s2 = incremental_seed_assignment(grown.graph, prev, 4, rng);
+  EXPECT_NE(s1, s2);  // random placement of new nodes
+}
+
+TEST(Init, SeededPopulationContainsSeedFirst) {
+  Rng rng(67);
+  const auto seed = random_balanced_assignment(60, 4, rng);
+  const auto pop = make_seeded_population(seed, 10, 0.1, rng);
+  ASSERT_EQ(pop.size(), 10u);
+  EXPECT_EQ(pop[0], seed);
+  int identical = 0;
+  for (const auto& member : pop) {
+    if (member == seed) ++identical;
+    EXPECT_EQ(part_sizes(member, 4), part_sizes(seed, 4));  // swaps only
+  }
+  EXPECT_LE(identical, 2);  // clones are actually perturbed
+}
+
+TEST(Init, RandomPopulationSizeAndValidity) {
+  Rng rng(71);
+  const auto pop = make_random_population(50, 4, 8, rng);
+  ASSERT_EQ(pop.size(), 8u);
+  for (const auto& member : pop) {
+    EXPECT_LE(max_size_deviation(member, 4), 1);
+  }
+}
+
+TEST(Init, IncrementalPopulationAllExtendPrevious) {
+  const Mesh base = paper_mesh(78);
+  const Mesh grown = paper_incremental_mesh(base, 78, 10);
+  Rng rng(73);
+  const auto prev = random_balanced_assignment(78, 4, rng);
+  const auto pop =
+      make_incremental_population(grown.graph, prev, 4, 6, 0.05, rng);
+  ASSERT_EQ(pop.size(), 6u);
+  // First member: unperturbed extension.
+  for (std::size_t v = 0; v < prev.size(); ++v) {
+    EXPECT_EQ(pop[0][v], prev[v]);
+  }
+  for (const auto& member : pop) {
+    EXPECT_TRUE(is_valid_assignment(grown.graph, member, 4));
+    EXPECT_LE(max_size_deviation(member, 4), 1);
+  }
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,169 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::brute_force_metrics;
+using testing::expect_metrics_near;
+
+TEST(PartitionMetrics, PathBisection) {
+  const Graph g = make_path(8);
+  const Assignment a = {0, 0, 0, 0, 1, 1, 1, 1};
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 1.0);
+  EXPECT_DOUBLE_EQ(m.sum_part_cut, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_part_cut, 1.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(PartitionMetrics, PaperExampleStrings) {
+  // The paper's §3.1 example: an 8-node path where node i is adjacent to
+  // node i+1.  11100011 is fitter than 10101011 but less fit than 11100001.
+  const Graph g = make_path(8);
+  const FitnessParams f1{Objective::kTotalComm, 1.0};
+  const Assignment s1 = {1, 1, 1, 0, 0, 0, 1, 1};  // "11100011"
+  const Assignment s2 = {1, 1, 1, 0, 0, 0, 0, 1};  // "11100001"
+  const Assignment s3 = {1, 0, 1, 0, 1, 0, 1, 1};  // "10101011"
+  const double fit1 = evaluate_fitness(g, s1, 2, f1);
+  const double fit2 = evaluate_fitness(g, s2, 2, f1);
+  const double fit3 = evaluate_fitness(g, s3, 2, f1);
+  EXPECT_GT(fit2, fit1);  // more balanced wins
+  EXPECT_GT(fit1, fit3);  // fewer inter-part edges wins
+  // 10101011 has 6 inter-part edges, as the paper states.
+  EXPECT_DOUBLE_EQ(compute_metrics(g, s3, 2).total_cut(), 6.0);
+}
+
+TEST(PartitionMetrics, ImbalanceQuadratic) {
+  const Graph g = make_complete(4);
+  // 3-1 split of K4: weights (3,1), mean 2 -> I = 1 + 1 = 2.
+  const Assignment a = {0, 0, 0, 1};
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 2.0);
+  // All 3 edges to vertex 3 are cut.
+  EXPECT_DOUBLE_EQ(m.total_cut(), 3.0);
+}
+
+TEST(PartitionMetrics, AllInOnePart) {
+  const Graph g = make_cycle(6);
+  const Assignment a(6, 0);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_part_cut, 0.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 18.0);  // (6-3)^2 + (0-3)^2
+}
+
+TEST(PartitionMetrics, PerPartCutCountsOutgoingEdges) {
+  // Star with centre in part 0, leaves split between parts 1 and 2.
+  const Graph g = make_star(5);
+  const Assignment a = {0, 1, 1, 2, 2};
+  const auto m = compute_metrics(g, a, 3);
+  EXPECT_DOUBLE_EQ(m.part_cut[0], 4.0);
+  EXPECT_DOUBLE_EQ(m.part_cut[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.part_cut[2], 2.0);
+  EXPECT_DOUBLE_EQ(m.max_part_cut, 4.0);
+  EXPECT_DOUBLE_EQ(m.sum_part_cut, 8.0);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 4.0);
+}
+
+TEST(PartitionMetrics, WeightedEdgesAndVertices) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, 3.0);
+  b.add_edge(2, 3, 4.0);
+  b.set_vertex_weight(0, 2.0);
+  b.set_vertex_weight(3, 5.0);
+  const Graph g = b.build();
+  const Assignment a = {0, 0, 1, 1};
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 3.0);
+  // Weights: part0 = 3, part1 = 6, mean 4.5 -> I = 2*(1.5^2) = 4.5.
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 4.5);
+}
+
+TEST(Fitness, Fitness1VersusFitness2) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(3);
+  const Assignment a = {0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3};
+  const auto m = compute_metrics(g, a, 4);
+  const double f1 =
+      fitness_from_metrics(m, {Objective::kTotalComm, 1.0});
+  const double f2 =
+      fitness_from_metrics(m, {Objective::kWorstComm, 1.0});
+  EXPECT_DOUBLE_EQ(f1, -(m.imbalance_sq + m.sum_part_cut));
+  EXPECT_DOUBLE_EQ(f2, -(m.imbalance_sq + m.max_part_cut));
+  EXPECT_LE(f1, f2);  // sum dominates max
+}
+
+TEST(Fitness, LambdaScalesCommunicationTerm) {
+  const Graph g = make_path(4);
+  const Assignment a = {0, 0, 1, 1};
+  const auto m = compute_metrics(g, a, 2);
+  const double base = fitness_from_metrics(m, {Objective::kTotalComm, 1.0});
+  const double doubled = fitness_from_metrics(m, {Objective::kTotalComm, 2.0});
+  EXPECT_DOUBLE_EQ(doubled - base, -m.sum_part_cut);
+}
+
+TEST(Fitness, HigherIsBetterOrientation) {
+  const Graph g = make_path(8);
+  const Assignment good = {0, 0, 0, 0, 1, 1, 1, 1};
+  const Assignment bad = {0, 1, 0, 1, 0, 1, 0, 1};
+  const FitnessParams p{Objective::kTotalComm, 1.0};
+  EXPECT_GT(evaluate_fitness(g, good, 2, p), evaluate_fitness(g, bad, 2, p));
+}
+
+TEST(IsValidAssignment, Checks) {
+  const Graph g = make_path(3);
+  EXPECT_TRUE(is_valid_assignment(g, {0, 1, 0}, 2));
+  EXPECT_FALSE(is_valid_assignment(g, {0, 1}, 2));          // wrong size
+  EXPECT_FALSE(is_valid_assignment(g, {0, 2, 0}, 2));       // part too large
+  EXPECT_FALSE(is_valid_assignment(g, {0, -1, 0}, 2));      // negative part
+  EXPECT_TRUE(is_valid_assignment(g, {0, 0, 0}, 1));
+}
+
+TEST(PartitionMetrics, InvalidInputsThrow) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(compute_metrics(g, {0, 1}, 2), Error);
+  EXPECT_THROW(compute_metrics(g, {0, 1, 2}, 2), Error);
+  EXPECT_THROW(compute_metrics(g, {0, 1, 0}, 0), Error);
+}
+
+TEST(ObjectiveName, Stable) {
+  EXPECT_STREQ(objective_name(Objective::kTotalComm),
+               "fitness1 (total communication)");
+  EXPECT_STREQ(objective_name(Objective::kWorstComm),
+               "fitness2 (worst-case communication)");
+}
+
+// Property sweep: metrics must agree with an independent brute-force
+// implementation on random graphs and random assignments.
+class MetricsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(MetricsPropertyTest, MatchesBruteForce) {
+  const auto [n, k, p] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 1000 + k * 10) +
+          static_cast<std::uint64_t>(p * 100));
+  const Graph g = make_random_graph(static_cast<VertexId>(n), p, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Assignment a(static_cast<std::size_t>(n));
+    for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(k));
+    const auto fast = compute_metrics(g, a, static_cast<PartId>(k));
+    const auto slow = brute_force_metrics(g, a, static_cast<PartId>(k));
+    expect_metrics_near(fast, slow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, MetricsPropertyTest,
+    ::testing::Combine(::testing::Values(5, 20, 60),
+                       ::testing::Values(2, 3, 8),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace gapart

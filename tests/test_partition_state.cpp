@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::brute_force_metrics;
+using testing::expect_metrics_near;
+
+TEST(PartitionState, InitialMetricsMatchComputeMetrics) {
+  const Graph g = make_grid(4, 5);
+  const Assignment a = {0, 0, 0, 1, 1, 0, 0, 0, 1, 1,
+                        2, 2, 3, 3, 3, 2, 2, 3, 3, 3};
+  PartitionState state(g, a, 4);
+  expect_metrics_near(state.metrics(), compute_metrics(g, a, 4));
+}
+
+TEST(PartitionState, SingleMoveUpdatesEverything) {
+  const Graph g = make_path(6);
+  PartitionState state(g, {0, 0, 0, 1, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(state.total_cut(), 1.0);
+  state.move(3, 0);
+  EXPECT_EQ(state.part_of(3), 0);
+  EXPECT_DOUBLE_EQ(state.total_cut(), 1.0);  // cut moved to edge (3,4)
+  EXPECT_DOUBLE_EQ(state.part_weight(0), 4.0);
+  EXPECT_DOUBLE_EQ(state.part_weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(state.imbalance_sq(), 2.0);  // (4-3)^2 + (2-3)^2
+  expect_metrics_near(state.metrics(),
+                      compute_metrics(g, state.assignment(), 2));
+}
+
+TEST(PartitionState, MoveToSamePartIsNoOp) {
+  const Graph g = make_cycle(5);
+  PartitionState state(g, {0, 0, 1, 1, 1}, 2);
+  const auto before = state.metrics();
+  state.move(0, 0);
+  expect_metrics_near(state.metrics(), before);
+}
+
+TEST(PartitionState, BoundaryDetection) {
+  const Graph g = make_path(5);
+  PartitionState state(g, {0, 0, 1, 1, 1}, 2);
+  EXPECT_FALSE(state.is_boundary(0));
+  EXPECT_TRUE(state.is_boundary(1));
+  EXPECT_TRUE(state.is_boundary(2));
+  EXPECT_FALSE(state.is_boundary(3));
+  EXPECT_FALSE(state.is_boundary(4));
+  const auto boundary = state.boundary_vertices();
+  ASSERT_EQ(boundary.size(), 2u);
+  EXPECT_EQ(boundary[0], 1);
+  EXPECT_EQ(boundary[1], 2);
+}
+
+TEST(PartitionState, NeighborPartsDeduplicated) {
+  const Graph g = make_star(5);
+  PartitionState state(g, {0, 1, 1, 2, 0}, 3);
+  const auto np = state.neighbor_parts(0);
+  ASSERT_EQ(np.size(), 2u);
+  EXPECT_EQ(np[0], 1);
+  EXPECT_EQ(np[1], 2);
+}
+
+TEST(PartitionState, MoveGainMatchesActualMove) {
+  const Graph g = make_grid(3, 3);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Assignment a(9);
+    for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(3));
+    PartitionState state(g, a, 3);
+    const auto v = static_cast<VertexId>(rng.uniform_int(9));
+    const auto to = static_cast<PartId>(rng.uniform_int(3));
+    for (Objective obj : {Objective::kTotalComm, Objective::kWorstComm}) {
+      const FitnessParams params{obj, 1.0};
+      const double before = state.fitness(params);
+      const double predicted = state.move_gain(v, to, params);
+      PartitionState applied = state;
+      applied.move(v, to);
+      EXPECT_NEAR(applied.fitness(params) - before, predicted, 1e-9)
+          << "trial " << trial << " objective "
+          << objective_name(obj);
+    }
+  }
+}
+
+TEST(PartitionState, FitnessMatchesFreeFunction) {
+  const Graph g = make_two_cliques(4);
+  const Assignment a = {0, 0, 0, 0, 1, 1, 1, 1};
+  PartitionState state(g, a, 2);
+  for (Objective obj : {Objective::kTotalComm, Objective::kWorstComm}) {
+    const FitnessParams params{obj, 1.0};
+    EXPECT_DOUBLE_EQ(state.fitness(params),
+                     evaluate_fitness(g, a, 2, params));
+  }
+}
+
+TEST(PartitionState, InvalidConstructionThrows) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(PartitionState(g, {0, 1}, 2), Error);
+  EXPECT_THROW(PartitionState(g, {0, 5, 0}, 2), Error);
+}
+
+// Fuzz: long random move sequences must keep incremental state identical to
+// from-scratch recomputation, across graph families and part counts.
+class PartitionStateFuzz
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionStateFuzz, RandomMoveSequences) {
+  const auto [graph_kind, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(graph_kind * 100 + k));
+  Graph g;
+  switch (graph_kind) {
+    case 0:
+      g = make_grid(6, 6);
+      break;
+    case 1:
+      g = make_random_graph(40, 0.15, rng);
+      break;
+    case 2:
+      g = make_connected_geometric(50, 0.2, rng);
+      break;
+    default:
+      g = make_clique_chain(4, 5);
+      break;
+  }
+  const VertexId n = g.num_vertices();
+  Assignment a(static_cast<std::size_t>(n));
+  for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(k));
+  PartitionState state(g, a, static_cast<PartId>(k));
+
+  for (int mv = 0; mv < 300; ++mv) {
+    const auto v = static_cast<VertexId>(rng.uniform_int(n));
+    const auto to = static_cast<PartId>(rng.uniform_int(k));
+    state.move(v, to);
+    if (mv % 25 == 0) {
+      expect_metrics_near(
+          state.metrics(),
+          brute_force_metrics(g, state.assignment(), static_cast<PartId>(k)));
+    }
+  }
+  expect_metrics_near(
+      state.metrics(),
+      brute_force_metrics(g, state.assignment(), static_cast<PartId>(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, PartitionStateFuzz,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(2, 4, 7)));
+
+}  // namespace
+}  // namespace gapart

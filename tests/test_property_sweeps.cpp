@@ -1,0 +1,220 @@
+// Cross-cutting parameterized property suites: invariants that must hold for
+// EVERY combination of operator / objective / partitioner / graph family.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/rcb.hpp"
+#include "baselines/rgb.hpp"
+#include "common/rng.hpp"
+#include "core/crossover.hpp"
+#include "core/dpga.hpp"
+#include "core/init.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "graph/partition.hpp"
+#include "sfc/ibp.hpp"
+#include "spectral/rsb.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::all_parts_used;
+using testing::max_size_deviation;
+
+// ---------------------------------------------------------------------------
+// Crossover invariants: for every operator, offspring genes come from a
+// parent at the same locus; loci where the parents agree are inherited
+// verbatim; chromosome length is preserved.
+class CrossoverInvariants
+    : public ::testing::TestWithParam<std::tuple<CrossoverOp, int>> {};
+
+TEST_P(CrossoverInvariants, OffspringRespectParents) {
+  const auto [op, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(static_cast<int>(op) * 37 + k));
+  const Mesh mesh = paper_mesh(78);
+  const Graph& g = mesh.graph;
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto pk = static_cast<PartId>(k);
+    auto a = random_balanced_assignment(g.num_vertices(), pk, rng);
+    auto b = random_balanced_assignment(g.num_vertices(), pk, rng);
+    const auto ref = random_balanced_assignment(g.num_vertices(), pk, rng);
+    CrossoverContext ctx;
+    ctx.graph = &g;
+    ctx.reference = &ref;
+    Assignment c1;
+    Assignment c2;
+    apply_crossover(op, ctx, a, b, rng, c1, c2);
+    ASSERT_EQ(c1.size(), a.size());
+    ASSERT_EQ(c2.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(c1[i] == a[i] || c1[i] == b[i]);
+      EXPECT_TRUE(c2[i] == a[i] || c2[i] == b[i]);
+      if (a[i] == b[i]) {
+        EXPECT_EQ(c1[i], a[i]);
+        EXPECT_EQ(c2[i], a[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, CrossoverInvariants,
+    ::testing::Combine(::testing::Values(CrossoverOp::kOnePoint,
+                                         CrossoverOp::kTwoPoint,
+                                         CrossoverOp::kKPoint,
+                                         CrossoverOp::kUniform,
+                                         CrossoverOp::kKnux,
+                                         CrossoverOp::kDknux),
+                       ::testing::Values(2, 4, 8)));
+
+// ---------------------------------------------------------------------------
+// GA progress: from a random start, every operator must strictly improve
+// best fitness on an easy structured instance, under both objectives.
+class GaProgress
+    : public ::testing::TestWithParam<std::tuple<CrossoverOp, Objective>> {};
+
+TEST_P(GaProgress, ImprovesOnCliqueChain) {
+  const auto [op, objective] = GetParam();
+  const Graph g = make_clique_chain(4, 5);
+  GaConfig cfg;
+  cfg.num_parts = 4;
+  cfg.population_size = 60;
+  cfg.crossover = op;
+  cfg.fitness.objective = objective;
+  cfg.max_generations = 80;
+  Rng rng(static_cast<std::uint64_t>(static_cast<int>(op) * 10 +
+                                     static_cast<int>(objective)));
+  // Unbalanced uniform-random start: every operator has easy imbalance
+  // repairs available, so progress must be strict.
+  std::vector<Assignment> init;
+  for (int i = 0; i < cfg.population_size; ++i) {
+    init.push_back(random_uniform_assignment(g.num_vertices(), 4, rng));
+  }
+  GaEngine engine(g, cfg, std::move(init), rng.split());
+  const double before = engine.best().fitness;
+  while (engine.generation() < cfg.max_generations) engine.step();
+  EXPECT_GT(engine.best().fitness, before)
+      << crossover_name(op) << " / " << objective_name(objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatorsAndObjectives, GaProgress,
+    ::testing::Combine(::testing::Values(CrossoverOp::kOnePoint,
+                                         CrossoverOp::kTwoPoint,
+                                         CrossoverOp::kUniform,
+                                         CrossoverOp::kKnux,
+                                         CrossoverOp::kDknux),
+                       ::testing::Values(Objective::kTotalComm,
+                                         Objective::kWorstComm)));
+
+// ---------------------------------------------------------------------------
+// Partitioner contracts: valid, balanced, all parts used — for every
+// classical method, on every mesh shape, across part counts.
+enum class Method { kRsb, kRcb, kRgb, kIbp, kIbpHilbert };
+
+class PartitionerContract
+    : public ::testing::TestWithParam<std::tuple<Method, DomainShape, int>> {};
+
+TEST_P(PartitionerContract, BalancedValidComplete) {
+  const auto [method, shape, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(static_cast<int>(method) * 100 +
+                                     static_cast<int>(shape) * 10 + k));
+  const Mesh mesh = generate_mesh(Domain(shape), 130, rng);
+  const auto pk = static_cast<PartId>(k);
+
+  Assignment a;
+  switch (method) {
+    case Method::kRsb:
+      a = rsb_partition(mesh.graph, pk, rng);
+      break;
+    case Method::kRcb:
+      a = rcb_partition(mesh.graph, pk, rng);
+      break;
+    case Method::kRgb:
+      a = rgb_partition(mesh.graph, pk, rng);
+      break;
+    case Method::kIbp:
+      a = ibp_partition(mesh.graph, pk);
+      break;
+    case Method::kIbpHilbert: {
+      IbpOptions opt;
+      opt.scheme = IndexScheme::kHilbert;
+      a = ibp_partition(mesh.graph, pk, opt);
+      break;
+    }
+  }
+  ASSERT_TRUE(is_valid_assignment(mesh.graph, a, pk));
+  EXPECT_TRUE(all_parts_used(a, pk));
+  EXPECT_LE(max_size_deviation(a, pk), 2);
+  // A geometric/spectral partition of a mesh must beat a random one.
+  Rng check_rng(1);
+  const auto random =
+      random_balanced_assignment(mesh.graph.num_vertices(), pk, check_rng);
+  EXPECT_LT(compute_metrics(mesh.graph, a, pk).total_cut(),
+            compute_metrics(mesh.graph, random, pk).total_cut());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsShapesParts, PartitionerContract,
+    ::testing::Combine(::testing::Values(Method::kRsb, Method::kRcb,
+                                         Method::kRgb, Method::kIbp,
+                                         Method::kIbpHilbert),
+                       ::testing::Values(DomainShape::kRectangle,
+                                         DomainShape::kDisc,
+                                         DomainShape::kAnnulus),
+                       ::testing::Values(2, 5, 8)));
+
+// ---------------------------------------------------------------------------
+// Mixed-seed population (portfolio seeding).
+TEST(MixedPopulation, ContainsEverySeedVerbatim) {
+  const Mesh mesh = paper_mesh(88);
+  Rng rng(3);
+  const std::vector<Assignment> seeds = {
+      ibp_partition(mesh.graph, 4),
+      rsb_partition(mesh.graph, 4, rng),
+      rcb_partition(mesh.graph, 4, rng),
+  };
+  const auto pop = make_mixed_population(seeds, 12, 0.1, rng);
+  ASSERT_EQ(pop.size(), 12u);
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    EXPECT_EQ(pop[s], seeds[s]) << "seed " << s << " not verbatim";
+  }
+  // Later clones differ from their seed.
+  int perturbed = 0;
+  for (std::size_t i = seeds.size(); i < pop.size(); ++i) {
+    if (pop[i] != seeds[i % seeds.size()]) ++perturbed;
+  }
+  EXPECT_GE(perturbed, 7);
+}
+
+TEST(MixedPopulation, RejectsMismatchedSeeds) {
+  Rng rng(5);
+  const std::vector<Assignment> bad = {{0, 1}, {0, 1, 0}};
+  EXPECT_THROW(make_mixed_population(bad, 4, 0.1, rng), Error);
+  EXPECT_THROW(make_mixed_population({}, 4, 0.1, rng), Error);
+}
+
+TEST(MixedPopulation, GaWithPortfolioSeedsBeatsWorstSeed) {
+  const Mesh mesh = paper_mesh(118);
+  Rng rng(7);
+  const std::vector<Assignment> seeds = {
+      ibp_partition(mesh.graph, 4),
+      rgb_partition(mesh.graph, 4, rng),
+  };
+  GaConfig cfg;
+  cfg.num_parts = 4;
+  cfg.population_size = 60;
+  cfg.max_generations = 50;
+  auto init = make_mixed_population(seeds, cfg.population_size, 0.1, rng);
+  const auto res = run_ga(mesh.graph, cfg, std::move(init), rng.split());
+  for (const auto& seed : seeds) {
+    EXPECT_GE(res.best_fitness,
+              evaluate_fitness(mesh.graph, seed, 4, cfg.fitness));
+  }
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,209 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace gapart {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values for seed 0 (from the published SplitMix64 algorithm).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto x0 = a.next_u64();
+  const auto x1 = a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), x0);
+  EXPECT_EQ(a.next_u64(), x1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  double mn = 1.0;
+  double mx = 0.0;
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValuesUnbiased) {
+  Rng rng(11);
+  constexpr int kBuckets = 7;
+  constexpr int kDraws = 70000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    const int v = rng.uniform_int(kBuckets);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kBuckets);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(29);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleUniformFirstElement) {
+  // Position of element 0 after shuffling should be ~uniform.
+  Rng rng(37);
+  constexpr int kN = 8;
+  constexpr int kTrials = 40000;
+  std::array<int, kN> counts{};
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> v(kN);
+    std::iota(v.begin(), v.end(), 0);
+    rng.shuffle(v);
+    for (int i = 0; i < kN; ++i) {
+      if (v[static_cast<std::size_t>(i)] == 0) {
+        ++counts[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  const double expected = static_cast<double>(kTrials) / kN;
+  for (int c : counts) EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.split();
+  // Child stream should not reproduce the parent's continuation.
+  Rng parent_copy(41);
+  (void)parent_copy.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SplitDeterministic) {
+  Rng a(51);
+  Rng b(51);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, UniformU64HandlesLargeBound) {
+  Rng rng(61);
+  const std::uint64_t bound = (std::uint64_t{1} << 63) + 12345;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+}  // namespace
+}  // namespace gapart

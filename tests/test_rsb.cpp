@@ -1,0 +1,180 @@
+#include "spectral/rsb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/mesh.hpp"
+#include "graph/partition.hpp"
+#include "graph/recursive_split.hpp"
+#include "spectral/multilevel.hpp"
+#include "test_util.hpp"
+
+namespace gapart {
+namespace {
+
+using testing::all_parts_used;
+using testing::max_size_deviation;
+
+TEST(Rsb, BisectsTwoCliquesAtTheBridge) {
+  const Graph g = make_two_cliques(8);
+  Rng rng(3);
+  const auto a = spectral_bisect(g, rng);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 1.0);  // only the bridge
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(Rsb, PathBisectionCutsOneEdge) {
+  const Graph g = make_path(20);
+  Rng rng(5);
+  const auto a = spectral_bisect(g, rng);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 1.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(Rsb, GridBisectionNearOptimal) {
+  // Optimal bisection of an 8x8 grid cuts 8 edges.
+  const Graph g = make_grid(8, 8);
+  Rng rng(7);
+  const auto a = spectral_bisect(g, rng);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_LE(m.total_cut(), 10.0);
+  EXPECT_LE(max_size_deviation(a, 2), 1);
+}
+
+class RsbPartsTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RsbPartsTest, BalancedValidAndAllPartsUsed) {
+  const auto [mesh_size, k] = GetParam();
+  const Mesh mesh = paper_mesh(static_cast<VertexId>(mesh_size));
+  Rng rng(11);
+  const auto a =
+      rsb_partition(mesh.graph, static_cast<PartId>(k), rng);
+  ASSERT_TRUE(is_valid_assignment(mesh.graph, a, static_cast<PartId>(k)));
+  EXPECT_TRUE(all_parts_used(a, static_cast<PartId>(k)));
+  EXPECT_LE(max_size_deviation(a, static_cast<PartId>(k)), 2);
+  // A spectral cut of a planar-ish mesh should be far below the edge total.
+  const auto m = compute_metrics(mesh.graph, a, static_cast<PartId>(k));
+  EXPECT_LT(m.total_cut(),
+            0.5 * static_cast<double>(mesh.graph.num_edges()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSizes, RsbPartsTest,
+    ::testing::Combine(::testing::Values(78, 144, 213),
+                       ::testing::Values(2, 4, 8)));
+
+TEST(Rsb, NonPowerOfTwoParts) {
+  const Mesh mesh = paper_mesh(98);
+  Rng rng(13);
+  const auto a = rsb_partition(mesh.graph, 3, rng);
+  ASSERT_TRUE(is_valid_assignment(mesh.graph, a, 3));
+  EXPECT_TRUE(all_parts_used(a, 3));
+  EXPECT_LE(max_size_deviation(a, 3), 2);
+}
+
+TEST(Rsb, SinglePartIsTrivial) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(17);
+  const auto a = rsb_partition(g, 1, rng);
+  for (PartId p : a) EXPECT_EQ(p, 0);
+}
+
+TEST(Rsb, PartsEqualVerticesGivesSingletons) {
+  const Graph g = make_cycle(6);
+  Rng rng(19);
+  const auto a = rsb_partition(g, 6, rng);
+  EXPECT_TRUE(all_parts_used(a, 6));
+}
+
+TEST(Rsb, MorePartsThanVerticesRejected) {
+  const Graph g = make_path(3);
+  Rng rng(23);
+  EXPECT_THROW(rsb_partition(g, 4, rng), Error);
+}
+
+TEST(Rsb, HandlesDisconnectedGraphs) {
+  GraphBuilder b(12);
+  for (VertexId v = 0; v < 5; ++v) b.add_edge(v, v + 1);  // path 0-5
+  for (VertexId v = 6; v < 11; ++v) b.add_edge(v, v + 1); // path 6-11
+  const Graph g = b.build();
+  Rng rng(29);
+  const auto a = rsb_partition(g, 2, rng);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_LE(m.total_cut(), 1.0);  // components pack into sides
+  EXPECT_LE(max_size_deviation(a, 2), 1);
+}
+
+TEST(Rsb, WeightedVerticesBalanceByWeight) {
+  GraphBuilder b(6);
+  for (VertexId v = 0; v + 1 < 6; ++v) b.add_edge(v, v + 1);
+  b.set_vertex_weight(0, 5.0);  // heavy head
+  const Graph g = b.build();
+  Rng rng(31);
+  const auto a = rsb_partition(g, 2, rng);
+  const auto m = compute_metrics(g, a, 2);
+  // Total weight 10: sides should be 5 / 5 (head alone vs the rest).
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(RecursiveSplit, OrderCallbackContract) {
+  // A deliberately reversed order: the driver must still produce a valid,
+  // balanced partition.
+  const Graph g = make_path(10);
+  Rng rng(37);
+  const auto a = recursive_split_partition(
+      g, 2, rng, [](const Graph& sub, Rng&) {
+        std::vector<VertexId> order(
+            static_cast<std::size_t>(sub.num_vertices()));
+        for (VertexId v = 0; v < sub.num_vertices(); ++v) {
+          order[static_cast<std::size_t>(v)] = sub.num_vertices() - 1 - v;
+        }
+        return order;
+      });
+  ASSERT_TRUE(is_valid_assignment(g, a, 2));
+  EXPECT_LE(max_size_deviation(a, 2), 1);
+}
+
+TEST(ComponentPackedBfsOrder, CoversAllVerticesOnce) {
+  GraphBuilder b(10);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const auto order = component_packed_bfs_order(b.build());
+  ASSERT_EQ(order.size(), 10u);
+  std::vector<char> seen(10, 0);
+  for (VertexId v : order) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+TEST(Multilevel, QualityComparableToFlatRsb) {
+  const Mesh mesh = paper_mesh(279);
+  Rng rng(41);
+  MultilevelOptions opt;
+  const auto ml = multilevel_partition(mesh.graph, 8, rng, opt);
+  ASSERT_TRUE(is_valid_assignment(mesh.graph, ml, 8));
+  EXPECT_TRUE(all_parts_used(ml, 8));
+  const auto flat = rsb_partition(mesh.graph, 8, rng);
+  const auto m_ml = compute_metrics(mesh.graph, ml, 8);
+  const auto m_flat = compute_metrics(mesh.graph, flat, 8);
+  // Multilevel with KL refinement should be within 40% of flat RSB (and is
+  // usually better).
+  EXPECT_LE(m_ml.total_cut(), 1.4 * m_flat.total_cut());
+  EXPECT_LE(m_ml.imbalance_sq, 32.0);
+}
+
+TEST(Multilevel, SmallGraphFallsThrough) {
+  // Graph already below the coarse target: no levels, plain RSB + KL.
+  const Graph g = make_grid(4, 4);
+  Rng rng(43);
+  const auto a = multilevel_partition(g, 2, rng);
+  ASSERT_TRUE(is_valid_assignment(g, a, 2));
+  EXPECT_LE(max_size_deviation(a, 2), 1);
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,98 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gapart {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(4.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, StableUnderLargeOffset) {
+  // Welford should survive a huge common offset that would destroy the
+  // naive sum-of-squares formula.
+  RunningStats rs;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) rs.add(offset + x);
+  EXPECT_NEAR(rs.mean() - offset, 2.0, 1e-3);
+  EXPECT_NEAR(rs.variance(), 1.0, 1e-3);
+}
+
+TEST(Median, OddCount) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Median, EvenCountAveragesMiddlePair) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Median, EmptyIsZero) { EXPECT_EQ(median({}), 0.0); }
+
+TEST(Median, SingleElement) { EXPECT_DOUBLE_EQ(median({7.0}), 7.0); }
+
+TEST(Median, RepeatedValues) {
+  EXPECT_DOUBLE_EQ(median({5.0, 5.0, 5.0, 5.0}), 5.0);
+}
+
+TEST(Summarize, FullBreakdown) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(MeanSeries, EqualLengths) {
+  const auto m = mean_series({{1.0, 2.0}, {3.0, 4.0}});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 3.0);
+}
+
+TEST(MeanSeries, ShortRunsPadWithFinalValue) {
+  // A converged (early-stopped) run holds its final value.
+  const auto m = mean_series({{10.0}, {0.0, 2.0, 4.0}});
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m[0], 5.0);
+  EXPECT_DOUBLE_EQ(m[1], 6.0);
+  EXPECT_DOUBLE_EQ(m[2], 7.0);
+}
+
+TEST(MeanSeries, EmptyInput) {
+  EXPECT_TRUE(mean_series({}).empty());
+}
+
+}  // namespace
+}  // namespace gapart

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/coarsen.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "graph/subgraph.hpp"
+
+namespace gapart {
+namespace {
+
+TEST(Subgraph, InducedOnPath) {
+  const Graph g = make_path(6);
+  const auto sub = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 2);  // 1-2 and 2-3
+  EXPECT_EQ(sub.to_parent[0], 1);
+  EXPECT_EQ(sub.to_parent[2], 3);
+}
+
+TEST(Subgraph, NonContiguousSelection) {
+  const Graph g = make_cycle(6);
+  const auto sub = induced_subgraph(g, {0, 2, 4});
+  EXPECT_EQ(sub.graph.num_edges(), 0);  // alternating vertices: no edges
+}
+
+TEST(Subgraph, CarriesWeightsAndCoordinates) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 2.5);
+  b.add_edge(1, 2, 1.5);
+  b.set_vertex_weight(1, 7.0);
+  b.set_coordinate(0, {0, 0});
+  b.set_coordinate(1, {1, 1});
+  b.set_coordinate(2, {2, 2});
+  b.set_coordinate(3, {3, 3});
+  const Graph g = b.build();
+  const auto sub = induced_subgraph(g, {1, 2});
+  EXPECT_DOUBLE_EQ(sub.graph.vertex_weight(0), 7.0);
+  EXPECT_DOUBLE_EQ(sub.graph.edge_weight(0, 1).value(), 1.5);
+  EXPECT_EQ(sub.graph.coordinate(0), (Point2{1, 1}));
+}
+
+TEST(Subgraph, DuplicateAndOutOfRangeRejected) {
+  const Graph g = make_path(4);
+  EXPECT_THROW(induced_subgraph(g, {0, 0}), Error);
+  EXPECT_THROW(induced_subgraph(g, {0, 9}), Error);
+}
+
+TEST(Subgraph, EmptySelection) {
+  const Graph g = make_path(4);
+  const auto sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.graph.num_vertices(), 0);
+}
+
+TEST(Coarsen, WeightConservation) {
+  Rng rng(3);
+  const Graph g = make_grid(8, 8);
+  const auto level = coarsen_once(g, rng);
+  EXPECT_LT(level.graph.num_vertices(), g.num_vertices());
+  EXPECT_GE(level.graph.num_vertices(), g.num_vertices() / 2);
+  EXPECT_DOUBLE_EQ(level.graph.total_vertex_weight(),
+                   g.total_vertex_weight());
+}
+
+TEST(Coarsen, MappingIsOntoCoarseVertices) {
+  Rng rng(5);
+  const Graph g = make_grid(6, 6);
+  const auto level = coarsen_once(g, rng);
+  std::vector<int> hit(static_cast<std::size_t>(level.graph.num_vertices()), 0);
+  for (VertexId c : level.fine_to_coarse) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, level.graph.num_vertices());
+    ++hit[static_cast<std::size_t>(c)];
+  }
+  for (int h : hit) {
+    EXPECT_GE(h, 1);
+    EXPECT_LE(h, 2);  // matching pairs at most two fine vertices
+  }
+}
+
+TEST(Coarsen, PreservesConnectivity) {
+  Rng rng(7);
+  const Graph g = make_connected_geometric(120, 0.15, rng);
+  const auto level = coarsen_once(g, rng);
+  EXPECT_TRUE(is_connected(level.graph));
+}
+
+TEST(Coarsen, CutConservedUnderProjection) {
+  // Any coarse partition must have exactly the same cut as its projection:
+  // coarse edges aggregate fine edge weights.
+  Rng rng(11);
+  const Graph g = make_grid(10, 10);
+  const auto level = coarsen_once(g, rng);
+  Assignment coarse(static_cast<std::size_t>(level.graph.num_vertices()));
+  for (auto& p : coarse) p = static_cast<PartId>(rng.uniform_int(3));
+  const auto fine = project_assignment(coarse, level.fine_to_coarse);
+  const auto mc = compute_metrics(level.graph, coarse, 3);
+  const auto mf = compute_metrics(g, fine, 3);
+  EXPECT_DOUBLE_EQ(mc.total_cut(), mf.total_cut());
+  EXPECT_DOUBLE_EQ(mc.max_part_cut, mf.max_part_cut);
+  for (PartId q = 0; q < 3; ++q) {
+    EXPECT_DOUBLE_EQ(mc.part_weight[static_cast<std::size_t>(q)],
+                     mf.part_weight[static_cast<std::size_t>(q)]);
+  }
+}
+
+TEST(Coarsen, HierarchyReachesTarget) {
+  Rng rng(13);
+  const Graph g = make_grid(16, 16);  // 256 vertices
+  const auto h = coarsen_to(g, 40, rng);
+  EXPECT_GE(h.levels.size(), 2u);
+  EXPECT_LE(h.coarsest(g).num_vertices(), 80);  // within 2x of target
+  EXPECT_DOUBLE_EQ(h.coarsest(g).total_vertex_weight(),
+                   g.total_vertex_weight());
+}
+
+TEST(Coarsen, HierarchyProjectionRoundTrip) {
+  Rng rng(17);
+  const Graph g = make_grid(12, 12);
+  const auto h = coarsen_to(g, 30, rng);
+  ASSERT_FALSE(h.levels.empty());
+  Assignment a(static_cast<std::size_t>(h.coarsest(g).num_vertices()));
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(4));
+  const double coarse_cut = compute_metrics(h.coarsest(g), a, 4).total_cut();
+  for (std::size_t li = h.levels.size(); li-- > 0;) {
+    a = project_assignment(a, h.levels[li].fine_to_coarse);
+  }
+  EXPECT_EQ(static_cast<VertexId>(a.size()), g.num_vertices());
+  EXPECT_DOUBLE_EQ(compute_metrics(g, a, 4).total_cut(), coarse_cut);
+}
+
+TEST(Coarsen, StarStalls) {
+  // A star can halve at most once (centre matches one leaf); the hierarchy
+  // must stop rather than loop.
+  Rng rng(19);
+  const Graph g = make_star(101);
+  const auto h = coarsen_to(g, 4, rng);
+  EXPECT_GE(h.coarsest(g).num_vertices(), 4);
+}
+
+TEST(Coarsen, TargetValidation) {
+  Rng rng(1);
+  const Graph g = make_path(10);
+  EXPECT_THROW(coarsen_to(g, 1, rng), Error);
+}
+
+}  // namespace
+}  // namespace gapart

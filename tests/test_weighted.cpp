@@ -1,0 +1,156 @@
+// End-to-end coverage of weighted graphs.  The paper assumes unit weights in
+// its experiments but states "weighted edges and nodes can also be handled
+// easily" (§4) — these tests hold the library to that: every partitioner and
+// the GA must balance by VERTEX WEIGHT and cut by EDGE WEIGHT.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/kl.hpp"
+#include "common/rng.hpp"
+#include "core/dpga.hpp"
+#include "core/init.hpp"
+#include "core/presets.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/mesh.hpp"
+#include "graph/partition.hpp"
+#include "sfc/ibp.hpp"
+#include "spectral/rsb.hpp"
+
+namespace gapart {
+namespace {
+
+/// A weighted line: heavy head vertex, and one heavy edge that any sane
+/// bisection must avoid cutting.
+Graph weighted_line() {
+  GraphBuilder b(6);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 3, 10.0);  // heavy edge
+  b.add_edge(3, 4, 1.0);
+  b.add_edge(4, 5, 1.0);
+  b.set_vertex_weight(0, 4.0);
+  return b.build();
+}
+
+/// Copy of a mesh graph with heterogeneous vertex weights: vertices in the
+/// left half of the domain cost 3x (e.g. a physics region with more work).
+Graph reweighted_mesh(const Mesh& mesh) {
+  const Graph& g = mesh.graph;
+  GraphBuilder b(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    b.set_vertex_weight(v, g.coordinate(v).x < 0.5 ? 3.0 : 1.0);
+    b.set_coordinate(v, g.coordinate(v));
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v) b.add_edge(v, nbrs[i]);
+    }
+  }
+  return b.build();
+}
+
+TEST(Weighted, MetricsUseWeights) {
+  const Graph g = weighted_line();
+  // Split between the heavy edge: cut weight 10.
+  const auto m_bad = compute_metrics(g, {0, 0, 0, 1, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(m_bad.total_cut(), 10.0);
+  // Split after vertex 0 (weight 4): perfectly weight-balanced (4.5 vs 4.5
+  // is impossible; 4 vs 5 gives imbalance 0.5 under the quadratic).
+  const auto m_head = compute_metrics(g, {0, 1, 1, 1, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(m_head.total_cut(), 1.0);
+  EXPECT_DOUBLE_EQ(m_head.part_weight[0], 4.0);
+  EXPECT_DOUBLE_EQ(m_head.part_weight[1], 5.0);
+}
+
+TEST(Weighted, GaAvoidsHeavyEdgeAndBalancesWeight) {
+  const Graph g = weighted_line();
+  GaConfig cfg;
+  cfg.num_parts = 2;
+  cfg.population_size = 60;
+  cfg.max_generations = 150;
+  Rng rng(3);
+  auto init = make_random_population(g.num_vertices(), 2,
+                                     cfg.population_size, rng);
+  const auto res = run_ga(g, cfg, std::move(init), rng.split());
+  // Optimal: {0} | {1..5}: cut 1, weights 4 vs 5.
+  EXPECT_DOUBLE_EQ(res.best_metrics.total_cut(), 1.0);
+  EXPECT_LE(res.best_metrics.imbalance_sq, 0.51);
+}
+
+TEST(Weighted, RsbBalancesByWeightOnMesh) {
+  const Graph g = reweighted_mesh(paper_mesh(144));
+  Rng rng(5);
+  const auto a = rsb_partition(g, 4, rng);
+  const auto m = compute_metrics(g, a, 4);
+  const double mean = g.total_vertex_weight() / 4.0;
+  for (double w : m.part_weight) {
+    EXPECT_NEAR(w, mean, 4.0) << "part weight far from weighted mean";
+  }
+}
+
+TEST(Weighted, IbpBalancesByWeightOnMesh) {
+  const Graph g = reweighted_mesh(paper_mesh(144));
+  const auto a = ibp_partition(g, 4);
+  const auto m = compute_metrics(g, a, 4);
+  const double mean = g.total_vertex_weight() / 4.0;
+  for (double w : m.part_weight) {
+    EXPECT_NEAR(w, mean, 4.0);
+  }
+}
+
+TEST(Weighted, DpgaOnWeightedMeshBeatsItsSeedAndKeepsWeightBalance) {
+  const Graph g = reweighted_mesh(paper_mesh(98));
+  Rng rng(7);
+  const auto seed = rsb_partition(g, 4, rng);
+  auto cfg = paper_dpga_config(4, Objective::kTotalComm);
+  cfg.num_islands = 4;
+  cfg.ga.population_size = 80;
+  cfg.ga.max_generations = 80;
+  const double seed_fitness = evaluate_fitness(g, seed, 4, cfg.ga.fitness);
+  auto init = make_seeded_population(seed, cfg.ga.population_size, 0.1, rng);
+  const auto res = run_dpga(g, cfg, std::move(init), rng.split());
+  EXPECT_GE(res.best_fitness, seed_fitness);
+  const double mean = g.total_vertex_weight() / 4.0;
+  for (double w : res.best_metrics.part_weight) {
+    EXPECT_NEAR(w, mean, 6.0);
+  }
+}
+
+TEST(Weighted, KlRespectsWeightedGains) {
+  const Graph g = weighted_line();
+  // Start with the heavy edge cut; KL must repair it.
+  PartitionState state(g, {0, 0, 0, 1, 1, 1}, 2);
+  kl_refine(state);
+  EXPECT_LT(state.total_cut(), 10.0);
+}
+
+TEST(Weighted, IncrementalSeedBalancesByWeight) {
+  // Grown graph where new vertices carry weight 2.
+  GraphBuilder b(8);
+  for (VertexId v = 0; v + 1 < 8; ++v) b.add_edge(v, v + 1);
+  b.set_vertex_weight(6, 2.0);
+  b.set_vertex_weight(7, 2.0);
+  const Graph g = b.build();
+  Rng rng(11);
+  const Assignment previous = {0, 0, 0, 1, 1, 1};  // 3 vs 3
+  const auto seeded = incremental_seed_assignment(g, previous, 2, rng);
+  // One heavy vertex must land on each side (4+... wait: adding both to one
+  // side gives 3 vs 7; one each gives 5 vs 5).
+  const auto m = compute_metrics(g, seeded, 2);
+  EXPECT_DOUBLE_EQ(m.part_weight[0], 5.0);
+  EXPECT_DOUBLE_EQ(m.part_weight[1], 5.0);
+}
+
+TEST(Weighted, GraphIoPreservesWeightedPartitioningResults) {
+  const Graph g = weighted_line();
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  const Assignment a = {0, 1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(evaluate_fitness(g, a, 2, {}),
+                   evaluate_fitness(h, a, 2, {}));
+}
+
+}  // namespace
+}  // namespace gapart
