@@ -1,0 +1,220 @@
+// Evaluation-throughput microbench for the unified evaluation core.
+//
+// Reports evaluations/second on a >=10k-vertex mesh for:
+//   * full O(V+E) chromosome evaluations, serial and batched on the Executor
+//     at 1/2/4/8 threads (batch = one GA generation's worth of offspring),
+//   * delta evaluations (PartitionState move_gain + move, the currency of
+//     hill climbing and KL), and
+//   * end-to-end offspring evaluation: GaEngine generations with hill
+//     climbing enabled, serial vs pooled — the number that bounds GA wall
+//     time.
+//
+// Emits a single JSON object so future PRs can track the perf trajectory:
+//   ./bench/micro_eval_throughput [--threads=1,2,4,8] [--quick] > eval.json
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/executor.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/eval.hpp"
+#include "core/ga_engine.hpp"
+#include "core/init.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace gapart;
+
+struct Entry {
+  std::string name;
+  int threads = 1;
+  double evals_per_sec = 0.0;
+  double speedup = 1.0;  ///< vs. the serial row of the same family
+  std::int64_t evaluations = 0;
+  double seconds = 0.0;
+};
+
+/// Defeats dead-code elimination of the measured evaluations.
+void benchmark_sink(const std::vector<double>& results) {
+  volatile double guard = 0.0;
+  for (const double r : results) guard = r;
+  (void)guard;
+}
+
+std::vector<int> parse_thread_list(const std::string& spec) {
+  std::vector<int> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      const int t = std::stoi(item);
+      if (t >= 1) out.push_back(t);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "ignoring bad thread count '%s'\n", item.c_str());
+    }
+  }
+  if (out.empty()) out = {1, 2, 4, 8};
+  return out;
+}
+
+/// Full evaluations of a pre-built chromosome batch, repeated for ~budget
+/// seconds on `pool` (null = serial loop).
+Entry bench_full(const EvalContext& eval,
+                 const std::vector<Assignment>& batch, Executor* pool,
+                 double budget) {
+  Entry e;
+  e.threads = pool != nullptr ? pool->num_threads() : 1;
+  // Per-index result slots keep the evaluations observable without any
+  // cross-thread writes to shared state.
+  std::vector<double> results(batch.size(), 0.0);
+  WallTimer timer;
+  std::int64_t evals = 0;
+  while (timer.seconds() < budget) {
+    if (pool != nullptr) {
+      pool->parallel_for(batch.size(), [&](std::size_t i) {
+        results[i] = eval.evaluate(batch[i]);
+      });
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        results[i] = eval.evaluate(batch[i]);
+      }
+    }
+    evals += static_cast<std::int64_t>(batch.size());
+  }
+  benchmark_sink(results);
+  e.seconds = timer.seconds();
+  e.evaluations = evals;
+  e.evals_per_sec = static_cast<double>(evals) / e.seconds;
+  return e;
+}
+
+/// Delta evaluations: sweep boundary vertices, probing every neighbouring
+/// part (move_gain) and applying the best move — the hill-climb inner loop.
+Entry bench_delta(const EvalContext& eval, const Assignment& start,
+                  double budget) {
+  Entry e;
+  e.name = "delta_eval";
+  PartitionState state(eval.graph(), start, eval.num_parts());
+  WallTimer timer;
+  std::int64_t deltas = 0;
+  while (timer.seconds() < budget) {
+    for (VertexId v = 0; v < eval.graph().num_vertices(); ++v) {
+      if (!state.is_boundary(v)) continue;
+      PartId best_to = -1;
+      double best_gain = 0.0;
+      for (PartId to : state.neighbor_parts(v)) {
+        const double gain = state.move_gain(v, to, eval.params());
+        ++deltas;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_to = to;
+        }
+      }
+      if (best_to >= 0) state.move(v, best_to);
+    }
+  }
+  e.seconds = timer.seconds();
+  e.evaluations = deltas;
+  e.evals_per_sec = static_cast<double>(deltas) / e.seconds;
+  return e;
+}
+
+/// End-to-end offspring evaluation: GA generations with §3.6 hill climbing,
+/// measuring (full + delta) evaluations per second.
+Entry bench_offspring(const Graph& g, const std::vector<Assignment>& init,
+                      Executor* pool, int generations) {
+  GaConfig cfg;
+  cfg.num_parts = 8;
+  cfg.population_size = 64;
+  cfg.hill_climb_offspring = true;
+  cfg.hill_climb_fraction = 0.25;
+  cfg.max_generations = generations;
+
+  Entry e;
+  e.threads = pool != nullptr ? pool->num_threads() : 1;
+  WallTimer timer;
+  GaEngine engine(g, cfg, init, Rng(42), pool);
+  for (int s = 0; s < generations; ++s) engine.step();
+  e.seconds = timer.seconds();
+  e.evaluations = engine.evaluations();
+  e.evals_per_sec = static_cast<double>(e.evaluations) / e.seconds;
+  return e;
+}
+
+void emit_json(const Graph& g, const std::vector<Entry>& entries) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"micro_eval_throughput\",\n");
+  std::printf("  \"graph\": {\"vertices\": %lld, \"edges\": %lld},\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()));
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::printf("    {\"name\": \"%s\", \"threads\": %d, "
+                "\"evaluations\": %lld, \"seconds\": %.4f, "
+                "\"evals_per_sec\": %.1f, \"speedup_vs_serial\": %.3f}%s\n",
+                e.name.c_str(), e.threads,
+                static_cast<long long>(e.evaluations), e.seconds,
+                e.evals_per_sec, e.speedup,
+                i + 1 < entries.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool quick = args.flag("quick") || quick_mode_enabled();
+  const double budget = args.real("seconds", quick ? 0.1 : 1.0);
+  const auto thread_list =
+      parse_thread_list(args.str("threads", "1,2,4,8"));
+  const int generations = args.integer("gens", quick ? 2 : 8);
+
+  // >=10k-vertex mesh workload (structured FE-style grid).
+  const Graph g = make_grid(100, 100);
+  Rng rng(0x9a94);
+  EvalContext eval(g, 8, FitnessParams{});
+
+  const int batch_size = 64;  // one generation's worth of offspring
+  std::vector<Assignment> batch;
+  for (int i = 0; i < batch_size; ++i) {
+    batch.push_back(random_balanced_assignment(g.num_vertices(), 8, rng));
+  }
+  const auto init = make_random_population(g.num_vertices(), 8, 16, rng);
+
+  std::vector<Entry> entries;
+
+  Entry serial_full = bench_full(eval, batch, nullptr, budget);
+  serial_full.name = "full_eval_serial";
+  entries.push_back(serial_full);
+  for (const int t : thread_list) {
+    Executor pool(t);
+    Entry e = bench_full(eval, batch, &pool, budget);
+    e.name = "full_eval_pooled";
+    e.speedup = e.evals_per_sec / serial_full.evals_per_sec;
+    entries.push_back(e);
+  }
+
+  entries.push_back(bench_delta(eval, batch.front(), budget));
+
+  Entry serial_off = bench_offspring(g, init, nullptr, generations);
+  serial_off.name = "offspring_eval_serial";
+  entries.push_back(serial_off);
+  for (const int t : thread_list) {
+    Executor pool(t);
+    Entry e = bench_offspring(g, init, &pool, generations);
+    e.name = "offspring_eval_pooled";
+    e.speedup = e.evals_per_sec / serial_off.evals_per_sec;
+    entries.push_back(e);
+  }
+
+  emit_json(g, entries);
+  return 0;
+}

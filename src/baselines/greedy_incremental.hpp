@@ -4,6 +4,7 @@
 // its GA beats this; the incremental benches measure exactly that claim.
 #pragma once
 
+#include "core/eval.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 
@@ -17,5 +18,17 @@ namespace gapart {
 Assignment greedy_incremental_assign(const Graph& grown,
                                      const Assignment& previous,
                                      PartId num_parts);
+
+/// Greedy extension plus its quality under an EvalContext's objective.
+struct GreedyIncrementalResult {
+  Assignment assignment;
+  double fitness = 0.0;
+};
+
+/// EvalContext-aware variant: the graph/num_parts come from `eval` and the
+/// final solution is evaluated (and counted) through it, so GA-vs-greedy
+/// comparisons in the benches account both sides identically.
+GreedyIncrementalResult greedy_incremental_assign(const EvalContext& eval,
+                                                  const Assignment& previous);
 
 }  // namespace gapart

@@ -37,7 +37,10 @@ Move best_move(const PartitionState& state, const std::vector<char>& locked,
 
 }  // namespace
 
-KlResult kl_refine(PartitionState& state, const KlOptions& options) {
+namespace {
+
+KlResult kl_refine_impl(PartitionState& state, const FitnessParams& params,
+                        const KlOptions& options) {
   GAPART_REQUIRE(options.max_passes >= 1, "need at least one pass");
   const Graph& g = state.graph();
   KlResult result;
@@ -61,7 +64,7 @@ KlResult kl_refine(PartitionState& state, const KlOptions& options) {
                         ? options.max_moves_per_pass
                         : g.num_vertices();
     for (int step = 0; step < cap; ++step) {
-      const Move mv = best_move(state, locked, options.fitness);
+      const Move mv = best_move(state, locked, params);
       if (mv.vertex < 0) break;
       trail.push_back({mv.vertex, state.part_of(mv.vertex)});
       state.move(mv.vertex, mv.to);
@@ -83,6 +86,19 @@ KlResult kl_refine(PartitionState& state, const KlOptions& options) {
     result.fitness_gain += best_cumulative;
     if (best_prefix == 0) break;  // pass produced nothing; converged
   }
+  return result;
+}
+
+}  // namespace
+
+KlResult kl_refine(PartitionState& state, const KlOptions& options) {
+  return kl_refine_impl(state, options.fitness, options);
+}
+
+KlResult kl_refine(const EvalContext& eval, PartitionState& state,
+                   const KlOptions& options) {
+  const KlResult result = kl_refine_impl(state, eval.params(), options);
+  eval.count_delta(result.moves_applied);
   return result;
 }
 

@@ -144,6 +144,18 @@ class Rng {
   /// Derive an independent child generator (for per-island / per-run seeds).
   Rng split() { return Rng(next_u64() ^ 0xa5a5a5a5deadbeefULL); }
 
+  /// Derives the `stream`-th independent child generator WITHOUT advancing
+  /// this generator: a pure function of (current state, stream).  Parallel
+  /// tasks can each take fork(task_index) and the resulting random sequences
+  /// are independent of scheduling order and thread count, which is what
+  /// keeps pooled GA runs bit-identical to serial runs.
+  Rng fork(std::uint64_t stream) const {
+    SplitMix64 sm(state_[0] ^ rotl(state_[2], 21));
+    const std::uint64_t base = sm.next() ^ rotl(state_[3], 43);
+    SplitMix64 sm2(base + (stream + 1) * 0x9e3779b97f4a7c15ULL);
+    return Rng(sm2.next());
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,8 +1,8 @@
 #include "core/dpga.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
-#include <thread>
 
 #include "common/assert.hpp"
 #include "common/timer.hpp"
@@ -10,7 +10,8 @@
 namespace gapart {
 
 DpgaResult run_dpga(const Graph& g, const DpgaConfig& config,
-                    std::vector<Assignment> initial, Rng rng) {
+                    std::vector<Assignment> initial, Rng rng,
+                    Executor* executor) {
   GAPART_REQUIRE(config.num_islands >= 1, "need at least one island");
   GAPART_REQUIRE(config.migration_interval >= 1,
                  "migration interval must be >= 1");
@@ -24,6 +25,30 @@ DpgaResult run_dpga(const Graph& g, const DpgaConfig& config,
   WallTimer timer;
   const auto islands = static_cast<std::size_t>(config.num_islands);
   const auto neighbors = build_topology(config.topology, config.num_islands);
+
+  // One persistent pool for the whole run (replacing the old fork-join of a
+  // fresh std::thread per island per burst).
+  std::unique_ptr<Executor> owned_pool;
+  if (executor == nullptr && config.parallel) {
+    // Default pool size: one thread per island for multi-island runs; a
+    // single-island run hands the pool to the engine (offspring batching),
+    // which wants every hardware thread.
+    const int threads =
+        config.num_threads > 0
+            ? config.num_threads
+            : (config.num_islands > 1
+                   ? std::min(config.num_islands, Executor::hardware_threads())
+                   : Executor::hardware_threads());
+    if (threads > 1) {
+      owned_pool = std::make_unique<Executor>(threads);
+      executor = owned_pool.get();
+    }
+  }
+  // Multi-island runs parallelize across islands (engines step serially
+  // inside their burst task); a single-island run hands the pool to the
+  // engine, which batch-evaluates offspring on it instead.
+  const bool pool_runs_islands = executor != nullptr && islands > 1;
+  Executor* engine_executor = pool_runs_islands ? nullptr : executor;
 
   // Deal initial chromosomes round-robin so every island sees a slice of
   // the seeds.
@@ -43,7 +68,8 @@ DpgaResult run_dpga(const Graph& g, const DpgaConfig& config,
   engines.reserve(islands);
   for (std::size_t i = 0; i < islands; ++i) {
     engines.push_back(std::make_unique<GaEngine>(
-        g, island_cfg, std::move(island_initial[i]), rng.split()));
+        g, island_cfg, std::move(island_initial[i]), rng.split(),
+        engine_executor));
   }
 
   auto global_best_fitness = [&engines]() {
@@ -60,15 +86,16 @@ DpgaResult run_dpga(const Graph& g, const DpgaConfig& config,
     const int burst = std::min(config.migration_interval,
                                config.ga.max_generations - generation);
 
-    if (config.parallel && islands > 1) {
-      std::vector<std::thread> threads;
-      threads.reserve(islands);
+    if (pool_runs_islands) {
+      // Work items = island bursts on the persistent pool.
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(islands);
       for (auto& engine : engines) {
-        threads.emplace_back([&engine, burst]() {
+        tasks.push_back([&engine, burst]() {
           for (int s = 0; s < burst; ++s) engine->step();
         });
       }
-      for (auto& t : threads) t.join();
+      executor->run_tasks(tasks);
     } else {
       for (auto& engine : engines) {
         for (int s = 0; s < burst; ++s) engine->step();
@@ -120,12 +147,14 @@ DpgaResult run_dpga(const Graph& g, const DpgaConfig& config,
   result.generations = generation;
   std::size_t best_island = 0;
   for (std::size_t i = 0; i < islands; ++i) {
-    result.evaluations += engines[i]->evaluations();
+    result.full_evaluations += engines[i]->full_evaluations();
+    result.delta_evaluations += engines[i]->delta_evaluations();
     result.island_best_fitness.push_back(engines[i]->best().fitness);
     if (engines[i]->best().fitness > engines[best_island]->best().fitness) {
       best_island = i;
     }
   }
+  result.evaluations = result.full_evaluations + result.delta_evaluations;
   const GaResult island_result = engines[best_island]->result();
   result.best = island_result.best;
   result.best_fitness = island_result.best_fitness;

@@ -7,16 +7,19 @@
 // individuals to its topology neighbours (paper: 16 subpopulations on a
 // 4-dimensional hypercube), which replace the receivers' worst members.
 //
-// Islands can be stepped serially or on one std::thread each (fork-join per
-// migration epoch).  Results are bit-identical between the two modes: every
-// island owns an independent RNG stream, and migration is applied in fixed
-// island order after the epoch barrier — mirroring a deterministic
-// message-passing (MPI-style) exchange.
+// Islands are stepped serially or as work items ("island bursts") on one
+// persistent Executor that lives for the whole run — no per-burst thread
+// fork/join.  Results are bit-identical between the two modes: every island
+// owns an independent RNG stream, and migration is applied in fixed island
+// order after the epoch barrier — mirroring a deterministic message-passing
+// (MPI-style) exchange.  With a single island the pool is handed to the
+// engine instead, which then batch-evaluates its offspring on it.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "core/ga_engine.hpp"
 #include "core/topology.hpp"
 
@@ -27,7 +30,10 @@ struct DpgaConfig {
   TopologyKind topology = TopologyKind::kHypercube;
   int migration_interval = 5;      ///< generations between exchanges
   int migrants_per_exchange = 1;   ///< best-k individuals sent per neighbour
-  bool parallel = false;           ///< one std::thread per island
+  bool parallel = false;           ///< island bursts on a shared thread pool
+  /// Pool size when `parallel` and no external Executor is supplied:
+  /// 0 = min(num_islands, hardware threads).
+  int num_threads = 0;
   /// Per-island GA settings.  ga.population_size is the TOTAL population
   /// (paper: 320); each island receives population_size / num_islands.
   GaConfig ga;
@@ -40,14 +46,19 @@ struct DpgaResult {
   /// Global best-so-far per generation (max across islands).
   std::vector<GenerationStats> history;
   int generations = 0;            ///< per-island generations executed
-  std::int64_t evaluations = 0;   ///< summed across islands
+  std::int64_t evaluations = 0;   ///< summed across islands (full + delta)
+  std::int64_t full_evaluations = 0;
+  std::int64_t delta_evaluations = 0;
   std::vector<double> island_best_fitness;
   double wall_seconds = 0.0;
 };
 
 /// Runs the DPGA.  `initial` chromosomes are dealt round-robin to islands;
-/// they are cycled if fewer than the total population.
+/// they are cycled if fewer than the total population.  `executor` (optional,
+/// non-owning) overrides the internally created pool; when null and
+/// config.parallel is set, one persistent pool is created for the run.
 DpgaResult run_dpga(const Graph& g, const DpgaConfig& config,
-                    std::vector<Assignment> initial, Rng rng);
+                    std::vector<Assignment> initial, Rng rng,
+                    Executor* executor = nullptr);
 
 }  // namespace gapart

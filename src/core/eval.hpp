@@ -1,0 +1,112 @@
+// Unified evaluation core: every fitness evaluation in gapart — GA offspring,
+// hill climbing, KL refinement, greedy incremental assignment, benches —
+// flows through one EvalContext.
+//
+// The context bundles what used to be scattered across call-sites:
+//   * the (graph, num_parts, objective) triple evaluations are made against,
+//   * the optional Executor used to batch-evaluate many chromosomes, and
+//   * honest evaluation accounting.  A *full* evaluation is an O(V+E)
+//     from-scratch metric computation (evaluate(), make_state(), the fused
+//     mutate-and-evaluate path).  A *delta* evaluation is a fitness value
+//     produced incrementally in O(deg(v)) by PartitionState bookkeeping
+//     (one per accepted hill-climb/KL move).  Keeping the two separate is
+//     what lets GaResult::evaluations stay meaningful now that hill-climbed
+//     children reuse their incrementally-maintained fitness instead of being
+//     re-evaluated from scratch.
+//
+// Counters are atomic so pool threads can evaluate concurrently; counts are
+// order-independent sums, preserving bit-reproducibility of results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/executor.hpp"
+#include "common/rng.hpp"
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+
+namespace gapart {
+
+class EvalContext {
+ public:
+  /// Non-owning views: graph and executor must outlive the context.
+  /// `executor` may be null — all batch helpers then run serially.
+  EvalContext(const Graph& g, PartId num_parts, FitnessParams params,
+              Executor* executor = nullptr)
+      : g_(&g), num_parts_(num_parts), params_(params), executor_(executor) {}
+
+  // Counters are atomics; the context is shared by reference, never copied.
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+  const Graph& graph() const { return *g_; }
+  PartId num_parts() const { return num_parts_; }
+  const FitnessParams& params() const { return params_; }
+
+  Executor* executor() const { return executor_; }
+
+  /// Full O(V+E) evaluation of one chromosome.  Higher is better (the paper
+  /// maximizes fitness).
+  double evaluate(const Assignment& genes) const {
+    count_full();
+    return evaluate_fitness(*g_, genes, num_parts_, params_);
+  }
+
+  /// Fused single-pass mutate+evaluate for children that skip hill climbing:
+  /// applies per-gene point mutation (rate `rate`, identical semantics and
+  /// RNG consumption to point_mutation) while accumulating part weights, then
+  /// one CSR edge scan for the cut terms.  One full evaluation.
+  double mutate_and_evaluate(Assignment& genes, double rate, Rng& rng) const;
+
+  /// Builds the incrementally-maintained partition state for `genes`.  The
+  /// construction performs the single O(V+E) metric computation — counted as
+  /// one full evaluation — after which every move costs O(deg(v)).
+  PartitionState make_state(Assignment genes) const {
+    count_full();
+    return PartitionState(*g_, std::move(genes), num_parts_);
+  }
+
+  /// Reads the fitness a PartitionState maintained incrementally.  Not
+  /// counted: the state's construction was already a full evaluation and
+  /// every accepted move was counted as a delta by the climber.
+  double adopt(const PartitionState& state) const {
+    return state.fitness(params_);
+  }
+
+  /// Uncounted metric snapshot (reporting only).
+  PartitionMetrics metrics(const Assignment& genes) const {
+    return compute_metrics(*g_, genes, num_parts_);
+  }
+
+  void count_full(std::int64_t n = 1) const {
+    full_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_delta(std::int64_t n = 1) const {
+    delta_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::int64_t full_evaluations() const {
+    return full_.load(std::memory_order_relaxed);
+  }
+  std::int64_t delta_evaluations() const {
+    return delta_.load(std::memory_order_relaxed);
+  }
+  std::int64_t total_evaluations() const {
+    return full_evaluations() + delta_evaluations();
+  }
+  void reset_counts() {
+    full_.store(0, std::memory_order_relaxed);
+    delta_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const Graph* g_;
+  PartId num_parts_;
+  FitnessParams params_;
+  Executor* executor_;
+  mutable std::atomic<std::int64_t> full_{0};
+  mutable std::atomic<std::int64_t> delta_{0};
+};
+
+}  // namespace gapart

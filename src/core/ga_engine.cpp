@@ -8,9 +8,10 @@
 namespace gapart {
 
 GaEngine::GaEngine(const Graph& g, const GaConfig& config,
-                   std::vector<Assignment> initial, Rng rng)
+                   std::vector<Assignment> initial, Rng rng,
+                   Executor* executor)
     : config_(config),
-      fitness_fn_(g, config.num_parts, config.fitness),
+      eval_(g, config.num_parts, config.fitness, executor),
       rng_(rng) {
   GAPART_REQUIRE(config_.population_size >= 2,
                  "population must hold at least 2 individuals");
@@ -30,13 +31,20 @@ GaEngine::GaEngine(const Graph& g, const GaConfig& config,
                    " parts");
   }
 
-  population_.reserve(static_cast<std::size_t>(config_.population_size));
+  population_.resize(static_cast<std::size_t>(config_.population_size));
   for (int i = 0; i < config_.population_size; ++i) {
-    Individual ind;
-    ind.genes = initial[static_cast<std::size_t>(i) % initial.size()];
-    ind.fitness = evaluate(ind.genes);
+    population_[static_cast<std::size_t>(i)].genes =
+        initial[static_cast<std::size_t>(i) % initial.size()];
+  }
+  auto evaluate_member = [this](std::size_t i) {
+    Individual& ind = population_[i];
+    ind.fitness = eval_.evaluate(ind.genes);
     ind.evaluated = true;
-    population_.push_back(std::move(ind));
+  };
+  if (Executor* pool = eval_.executor()) {
+    pool->parallel_for(population_.size(), evaluate_member);
+  } else {
+    for (std::size_t i = 0; i < population_.size(); ++i) evaluate_member(i);
   }
 
   best_ever_ = *std::max_element(
@@ -62,25 +70,20 @@ GaEngine::GaEngine(const Graph& g, const GaConfig& config,
   record_stats();
 }
 
-double GaEngine::evaluate(const Assignment& genes) {
-  ++evaluations_;
-  return fitness_fn_(genes);
-}
-
 void GaEngine::set_knux_reference(Assignment reference) {
-  GAPART_REQUIRE(is_valid_assignment(fitness_fn_.graph(), reference,
+  GAPART_REQUIRE(is_valid_assignment(eval_.graph(), reference,
                                      config_.num_parts),
                  "reference invalid for ", config_.num_parts, " parts");
   knux_reference_ = std::move(reference);
 }
 
 void GaEngine::inject(const Assignment& migrant) {
-  GAPART_REQUIRE(is_valid_assignment(fitness_fn_.graph(), migrant,
+  GAPART_REQUIRE(is_valid_assignment(eval_.graph(), migrant,
                                      config_.num_parts),
                  "migrant invalid for ", config_.num_parts, " parts");
   Individual ind;
   ind.genes = migrant;
-  ind.fitness = evaluate(ind.genes);
+  ind.fitness = eval_.evaluate(ind.genes);
   ind.evaluated = true;
   if (ind.fitness > best_ever_.fitness) {
     best_ever_ = ind;
@@ -97,8 +100,33 @@ std::size_t GaEngine::worst_index() const {
   return worst;
 }
 
+void GaEngine::finish_child(std::vector<Individual>& batch, std::size_t index,
+                            const Rng& stream_base) {
+  Individual& ind = batch[index];
+  Rng child_rng = stream_base.fork(index);
+  const bool climb =
+      config_.hill_climb_offspring &&
+      child_rng.bernoulli(config_.hill_climb_fraction);
+  if (climb) {
+    point_mutation(ind.genes, config_.num_parts, config_.mutation_rate,
+                   child_rng);
+    // One full evaluation (state construction); the climb then maintains the
+    // fitness incrementally, so no second from-scratch evaluation is needed.
+    PartitionState state = eval_.make_state(std::move(ind.genes));
+    HillClimbOptions hc;  // fitness params come from eval_, not hc.fitness
+    hc.max_passes = config_.hill_climb_passes;
+    hill_climb(eval_, state, hc);
+    ind.fitness = eval_.adopt(state);
+    ind.genes = std::move(state).release_assignment();
+  } else {
+    ind.fitness = eval_.mutate_and_evaluate(ind.genes, config_.mutation_rate,
+                                            child_rng);
+  }
+  ind.evaluated = true;
+}
+
 void GaEngine::step() {
-  const Graph& g = fitness_fn_.graph();
+  const Graph& g = eval_.graph();
 
   CrossoverContext ctx;
   ctx.graph = &g;
@@ -112,7 +140,8 @@ void GaEngine::step() {
   std::vector<Individual> next;
   next.reserve(static_cast<std::size_t>(config_.population_size));
 
-  // Elitism: carry over the elite_count best individuals unchanged.
+  // Elitism: carry over the elite_count best individuals unchanged (their
+  // cached fitness rides along; elites are never re-evaluated).
   if (config_.elite_count > 0) {
     std::vector<std::size_t> order(population_.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -126,9 +155,15 @@ void GaEngine::step() {
     }
   }
 
+  // Generate phase (serial): fill the offspring batch by selection and
+  // crossover.  All engine-RNG consumption happens here, in a fixed order.
+  const std::size_t batch_size =
+      static_cast<std::size_t>(config_.population_size) - next.size();
+  std::vector<Individual> batch(batch_size);
+  std::size_t produced = 0;
   Assignment child1;
   Assignment child2;
-  while (static_cast<int>(next.size()) < config_.population_size) {
+  while (produced < batch_size) {
     const std::size_t ia = selector.draw(rng_);
     const std::size_t ib = selector.draw(rng_);
     const Individual& pa = population_[ia];
@@ -142,23 +177,26 @@ void GaEngine::step() {
       child2 = pb.genes;
     }
 
-    for (Assignment* child : {&child1, &child2}) {
-      if (static_cast<int>(next.size()) >= config_.population_size) break;
-      point_mutation(*child, config_.num_parts, config_.mutation_rate, rng_);
-      if (config_.hill_climb_offspring &&
-          rng_.bernoulli(config_.hill_climb_fraction)) {
-        HillClimbOptions hc;
-        hc.fitness = config_.fitness;
-        hc.max_passes = config_.hill_climb_passes;
-        hill_climb(g, *child, config_.num_parts, hc);
-      }
-      Individual ind;
-      ind.genes = *child;
-      ind.fitness = evaluate(ind.genes);
-      ind.evaluated = true;
-      next.push_back(std::move(ind));
+    batch[produced++].genes = std::move(child1);
+    if (produced < batch_size) batch[produced++].genes = std::move(child2);
+  }
+
+  // Evaluate phase: mutate + (optional) hill-climb + evaluate every child,
+  // each on its own RNG stream forked by batch index, batched on the pool
+  // when one is available.  Children are independent, so the outcome is
+  // bit-identical at any thread count.
+  const Rng stream_base = rng_.split();
+  if (Executor* pool = eval_.executor()) {
+    pool->parallel_for(batch.size(), [&](std::size_t i) {
+      finish_child(batch, i, stream_base);
+    });
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      finish_child(batch, i, stream_base);
     }
   }
+
+  for (auto& ind : batch) next.push_back(std::move(ind));
 
   population_ = std::move(next);
   ++generation_;
@@ -185,7 +223,7 @@ void GaEngine::record_stats() {
   double sum = 0.0;
   for (const auto& ind : population_) sum += ind.fitness;
   s.mean_fitness = sum / static_cast<double>(population_.size());
-  const auto m = fitness_fn_.metrics(best_ever_.genes);
+  const auto m = eval_.metrics(best_ever_.genes);
   s.best_total_cut = m.total_cut();
   s.best_max_part_cut = m.max_part_cut;
   history_.push_back(s);
@@ -201,17 +239,20 @@ GaResult GaEngine::result() const {
   GaResult r;
   r.best = best_ever_.genes;
   r.best_fitness = best_ever_.fitness;
-  r.best_metrics = fitness_fn_.metrics(best_ever_.genes);
+  r.best_metrics = eval_.metrics(best_ever_.genes);
   r.history = history_;
   r.generations = generation_;
-  r.evaluations = evaluations_;
+  r.evaluations = eval_.total_evaluations();
+  r.full_evaluations = eval_.full_evaluations();
+  r.delta_evaluations = eval_.delta_evaluations();
   r.stalled = stalled();
   return r;
 }
 
 GaResult run_ga(const Graph& g, const GaConfig& config,
-                std::vector<Assignment> initial, Rng rng) {
-  GaEngine engine(g, config, std::move(initial), rng);
+                std::vector<Assignment> initial, Rng rng,
+                Executor* executor) {
+  GaEngine engine(g, config, std::move(initial), rng, executor);
   while (engine.generation() < config.max_generations && !engine.stalled()) {
     engine.step();
   }

@@ -1,12 +1,24 @@
 // Single-population genetic algorithm for graph partitioning.
 //
-// Generational model with elitism.  Per generation: parents are drawn by the
-// configured selection scheme; with probability p_c they recombine under the
-// configured crossover operator (two children), otherwise they are cloned;
-// children undergo per-gene point mutation (rate p_m) and — optionally —
-// the boundary hill climbing of §3.6.  For DKNUX the engine updates the
-// operator's reference solution to the best individual found so far at every
-// generation boundary (§3.3).
+// Generational model with elitism, structured as two phases per generation:
+//
+//   generate : parents are drawn by the configured selection scheme; with
+//              probability p_c they recombine under the configured crossover
+//              operator (two children), otherwise they are cloned.  This
+//              phase is serial and consumes the engine RNG, producing a batch
+//              of unevaluated children.
+//   evaluate : the batch is mutated, optionally hill-climbed (§3.6) and
+//              evaluated — in parallel on the shared Executor when one is
+//              provided.  Each child owns an independent RNG stream forked by
+//              batch index (Rng::fork), so results are bit-identical to the
+//              serial run at any thread count.  Hill-climbed children reuse
+//              the fitness their PartitionState maintained incrementally
+//              (counted as one full evaluation at state construction plus one
+//              delta per accepted move); un-climbed children take a fused
+//              single-pass mutate+evaluate path (one full evaluation).
+//
+// For DKNUX the engine updates the operator's reference solution to the best
+// individual found so far at every generation boundary (§3.3).
 //
 // The engine exposes a step() interface so the distributed-population model
 // (core/dpga.hpp) can drive many engines in lockstep and migrate individuals
@@ -18,9 +30,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/rng.hpp"
 #include "core/crossover.hpp"
-#include "core/fitness.hpp"
+#include "core/eval.hpp"
 #include "core/hill_climb.hpp"
 #include "core/individual.hpp"
 #include "core/selection.hpp"
@@ -73,21 +86,35 @@ struct GaResult {
   PartitionMetrics best_metrics;
   std::vector<GenerationStats> history;
   int generations = 0;
+  /// Total evaluation count = full + delta (kept for continuity with the
+  /// paper's convergence figures, which count fitness computations).
   std::int64_t evaluations = 0;
+  std::int64_t full_evaluations = 0;   ///< O(V+E) from-scratch evaluations
+  std::int64_t delta_evaluations = 0;  ///< O(deg) incremental updates
   bool stalled = false;  ///< true when the stall window triggered the stop
 };
 
 class GaEngine {
  public:
   /// `initial` chromosomes fill the population: cycled if fewer than
-  /// population_size, truncated if more.  Must not be empty.
+  /// population_size, truncated if more.  Must not be empty.  `executor`
+  /// (optional, non-owning, must outlive the engine) batch-evaluates
+  /// offspring; results are identical with or without it.
   GaEngine(const Graph& g, const GaConfig& config,
-           std::vector<Assignment> initial, Rng rng);
+           std::vector<Assignment> initial, Rng rng,
+           Executor* executor = nullptr);
 
   const GaConfig& config() const { return config_; }
-  const Graph& graph() const { return fitness_fn_.graph(); }
+  const Graph& graph() const { return eval_.graph(); }
   int generation() const { return generation_; }
-  std::int64_t evaluations() const { return evaluations_; }
+
+  /// Evaluation accounting (see core/eval.hpp for full-vs-delta semantics).
+  std::int64_t evaluations() const { return eval_.total_evaluations(); }
+  std::int64_t full_evaluations() const { return eval_.full_evaluations(); }
+  std::int64_t delta_evaluations() const { return eval_.delta_evaluations(); }
+
+  /// The evaluation context the engine shares with its climbers.
+  const EvalContext& eval_context() const { return eval_; }
 
   const std::vector<Individual>& population() const { return population_; }
 
@@ -104,7 +131,7 @@ class GaEngine {
   /// Replaces the worst individual with `migrant` (DPGA migration).
   void inject(const Assignment& migrant);
 
-  /// Runs one generation.
+  /// Runs one generation (generate phase, then batched evaluate phase).
   void step();
 
   /// True when the configured stall window has elapsed without improvement.
@@ -117,25 +144,29 @@ class GaEngine {
   GaResult result() const;
 
  private:
-  double evaluate(const Assignment& genes);
+  /// Mutates, optionally climbs, and evaluates batch[index] using its own
+  /// forked RNG stream.  Safe to run concurrently for distinct indices.
+  void finish_child(std::vector<Individual>& batch, std::size_t index,
+                    const Rng& stream_base);
   void record_stats();
   std::size_t worst_index() const;
 
   GaConfig config_;
-  FitnessFunction fitness_fn_;
+  EvalContext eval_;
   Rng rng_;
   std::vector<Individual> population_;
   Individual best_ever_;
   Assignment knux_reference_;
   int generation_ = 0;
   int last_improvement_generation_ = 0;
-  std::int64_t evaluations_ = 0;
   std::vector<GenerationStats> history_;
 };
 
 /// Convenience driver: constructs an engine and steps until max_generations
-/// or the stall window fires.
+/// or the stall window fires.  `executor`, when given, batch-evaluates
+/// offspring without changing results.
 GaResult run_ga(const Graph& g, const GaConfig& config,
-                std::vector<Assignment> initial, Rng rng);
+                std::vector<Assignment> initial, Rng rng,
+                Executor* executor = nullptr);
 
 }  // namespace gapart

@@ -4,8 +4,11 @@
 
 namespace gapart {
 
-HillClimbResult hill_climb(PartitionState& state,
-                           const HillClimbOptions& options) {
+namespace {
+
+HillClimbResult climb_impl(PartitionState& state, const FitnessParams& params,
+                           const HillClimbOptions& options,
+                           const EvalContext* eval) {
   GAPART_REQUIRE(options.max_passes >= 1, "need at least one pass");
   HillClimbResult result;
   const Graph& g = state.graph();
@@ -19,7 +22,7 @@ HillClimbResult hill_climb(PartitionState& state,
       PartId best_to = -1;
       double best_gain = options.min_gain;
       for (PartId to : state.neighbor_parts(v)) {
-        const double gain = state.move_gain(v, to, options.fitness);
+        const double gain = state.move_gain(v, to, params);
         if (gain > best_gain) {
           best_gain = gain;
           best_to = to;
@@ -34,15 +37,28 @@ HillClimbResult hill_climb(PartitionState& state,
     result.moves += moves_this_pass;
     if (moves_this_pass == 0) break;  // local optimum reached
   }
+  if (eval != nullptr) eval->count_delta(result.moves);
   return result;
+}
+
+}  // namespace
+
+HillClimbResult hill_climb(PartitionState& state,
+                           const HillClimbOptions& options) {
+  return climb_impl(state, options.fitness, options, nullptr);
 }
 
 HillClimbResult hill_climb(const Graph& g, Assignment& genes, PartId num_parts,
                            const HillClimbOptions& options) {
   PartitionState state(g, std::move(genes), num_parts);
   const HillClimbResult result = hill_climb(state, options);
-  genes = state.assignment();
+  genes = std::move(state).release_assignment();
   return result;
+}
+
+HillClimbResult hill_climb(const EvalContext& eval, PartitionState& state,
+                           const HillClimbOptions& options) {
+  return climb_impl(state, eval.params(), options, &eval);
 }
 
 }  // namespace gapart

@@ -4,6 +4,7 @@
 // budget is exhausted.
 #pragma once
 
+#include "core/eval.hpp"
 #include "graph/partition.hpp"
 #include "graph/types.hpp"
 
@@ -29,6 +30,13 @@ HillClimbResult hill_climb(PartitionState& state,
 
 /// Convenience overload operating on a chromosome.
 HillClimbResult hill_climb(const Graph& g, Assignment& genes, PartId num_parts,
+                           const HillClimbOptions& options = {});
+
+/// EvalContext-aware climb: gains are measured under eval.params() (which
+/// overrides options.fitness) and every accepted move is accounted as one
+/// delta evaluation, so callers that adopt the state's incrementally-
+/// maintained fitness keep the evaluation totals honest.
+HillClimbResult hill_climb(const EvalContext& eval, PartitionState& state,
                            const HillClimbOptions& options = {});
 
 }  // namespace gapart

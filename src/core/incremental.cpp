@@ -8,14 +8,15 @@ namespace gapart {
 DpgaResult incremental_repartition(const Graph& grown,
                                    const Assignment& previous,
                                    const IncrementalGaOptions& options,
-                                   Rng& rng) {
+                                   Rng& rng, Executor* executor) {
   GAPART_REQUIRE(static_cast<VertexId>(previous.size()) <=
                      grown.num_vertices(),
                  "previous assignment larger than grown graph");
   auto initial = make_incremental_population(
       grown, previous, options.dpga.ga.num_parts,
       options.dpga.ga.population_size, options.swap_fraction, rng);
-  return run_dpga(grown, options.dpga, std::move(initial), rng.split());
+  return run_dpga(grown, options.dpga, std::move(initial), rng.split(),
+                  executor);
 }
 
 }  // namespace gapart

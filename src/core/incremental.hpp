@@ -24,9 +24,11 @@ struct IncrementalGaOptions {
 
 /// Repartitions `grown` (whose first |previous| vertices carry over from the
 /// old graph) into options.dpga.ga.num_parts parts, seeded from `previous`.
+/// `executor` (optional, non-owning) is handed to the DPGA as its shared
+/// evaluation pool.
 DpgaResult incremental_repartition(const Graph& grown,
                                    const Assignment& previous,
                                    const IncrementalGaOptions& options,
-                                   Rng& rng);
+                                   Rng& rng, Executor* executor = nullptr);
 
 }  // namespace gapart

@@ -11,6 +11,7 @@
 
 #include "common/assert.hpp"    // IWYU pragma: export
 #include "common/cli.hpp"       // IWYU pragma: export
+#include "common/executor.hpp"  // IWYU pragma: export
 #include "common/rng.hpp"       // IWYU pragma: export
 #include "common/stats.hpp"     // IWYU pragma: export
 #include "common/table.hpp"     // IWYU pragma: export
@@ -46,7 +47,7 @@
 #include "core/contracted_ga.hpp"  // IWYU pragma: export
 #include "core/crossover.hpp"      // IWYU pragma: export
 #include "core/dpga.hpp"           // IWYU pragma: export
-#include "core/fitness.hpp"        // IWYU pragma: export
+#include "core/eval.hpp"           // IWYU pragma: export
 #include "core/ga_engine.hpp"      // IWYU pragma: export
 #include "core/hill_climb.hpp"     // IWYU pragma: export
 #include "core/incremental.hpp"    // IWYU pragma: export

@@ -14,6 +14,7 @@
 // Fitness1 experiments and max_q C(q) for Fitness2 experiments.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -77,6 +78,10 @@ class PartitionState {
   const Graph& graph() const { return *g_; }
   PartId num_parts() const { return num_parts_; }
   const Assignment& assignment() const { return assign_; }
+
+  /// Steals the assignment from an expiring state (avoids the O(V) copy when
+  /// the state is discarded right after, e.g. a finished hill climb).
+  Assignment release_assignment() && { return std::move(assign_); }
   PartId part_of(VertexId v) const { return assign_[static_cast<std::size_t>(v)]; }
 
   double part_weight(PartId q) const { return part_weight_[static_cast<std::size_t>(q)]; }

@@ -262,8 +262,45 @@ TEST(GaEngine, EvaluationsCounted) {
   cfg.elite_count = 0;
   auto init = make_random_population(16, 2, cfg.population_size, rng);
   const auto res = run_ga(g, cfg, std::move(init), rng.split());
-  // Initial population + 5 generations of full replacement.
+  // Initial population + 5 generations of full replacement; without hill
+  // climbing every evaluation is a full one.
   EXPECT_EQ(res.evaluations, 40 + 5 * 40);
+  EXPECT_EQ(res.full_evaluations, 40 + 5 * 40);
+  EXPECT_EQ(res.delta_evaluations, 0);
+}
+
+TEST(GaEngine, HillClimbedChildrenAreNotEvaluatedTwice) {
+  // Every child is hill-climbed; each must cost exactly ONE full evaluation
+  // (the PartitionState construction) — the climbed fitness is adopted from
+  // the incrementally-maintained state, never recomputed from scratch.
+  const Mesh mesh = paper_mesh(98);
+  Rng rng(53);
+  auto cfg = small_config(4, CrossoverOp::kDknux, 4);
+  cfg.elite_count = 0;
+  cfg.population_size = 20;
+  cfg.hill_climb_offspring = true;
+  cfg.hill_climb_fraction = 1.0;
+  cfg.hill_climb_passes = 2;
+  auto init = make_random_population(98, 4, cfg.population_size, rng);
+  const auto res = run_ga(mesh.graph, cfg, std::move(init), rng.split());
+  EXPECT_EQ(res.full_evaluations, 20 + 4 * 20);
+  // Random offspring on a mesh essentially always admit improving moves.
+  EXPECT_GT(res.delta_evaluations, 0);
+  EXPECT_EQ(res.evaluations, res.full_evaluations + res.delta_evaluations);
+}
+
+TEST(GaEngine, EvaluationSplitConsistentViaAccessors) {
+  const Graph g = make_grid(5, 5);
+  Rng rng(59);
+  auto cfg = small_config(2, CrossoverOp::kUniform, 0);
+  cfg.hill_climb_offspring = true;
+  cfg.hill_climb_fraction = 0.5;
+  auto init = make_random_population(25, 2, cfg.population_size, rng);
+  GaEngine engine(g, cfg, std::move(init), rng.split());
+  for (int s = 0; s < 3; ++s) engine.step();
+  EXPECT_EQ(engine.evaluations(),
+            engine.full_evaluations() + engine.delta_evaluations());
+  EXPECT_EQ(engine.eval_context().total_evaluations(), engine.evaluations());
 }
 
 TEST(GaEngine, PaperPresetValues) {
