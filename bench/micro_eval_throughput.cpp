@@ -94,8 +94,10 @@ Entry bench_full(const EvalContext& eval,
   return e;
 }
 
-/// Delta evaluations: sweep boundary vertices, probing every neighbouring
-/// part (move_gain) and applying the best move — the hill-climb inner loop.
+/// Delta evaluations: sweep boundary vertices via the single-scan gain
+/// kernel and apply the best move — the hill-climb inner loop.  One "delta"
+/// is one candidate part evaluated, matching the per-part move_gain() count
+/// this bench used before the kernel existed.
 Entry bench_delta(const EvalContext& eval, const Assignment& start,
                   double budget) {
   Entry e;
@@ -106,17 +108,9 @@ Entry bench_delta(const EvalContext& eval, const Assignment& start,
   while (timer.seconds() < budget) {
     for (VertexId v = 0; v < eval.graph().num_vertices(); ++v) {
       if (!state.is_boundary(v)) continue;
-      PartId best_to = -1;
-      double best_gain = 0.0;
-      for (PartId to : state.neighbor_parts(v)) {
-        const double gain = state.move_gain(v, to, eval.params());
-        ++deltas;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_to = to;
-        }
-      }
-      if (best_to >= 0) state.move(v, best_to);
+      const BestMove best = state.best_move(v, eval.params(), 0.0);
+      deltas += best.candidates;
+      if (best.to >= 0) state.move(v, best.to);
     }
   }
   e.seconds = timer.seconds();

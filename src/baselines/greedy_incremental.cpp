@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "graph/connectivity_scratch.hpp"
 
 namespace gapart {
 
@@ -28,24 +29,32 @@ Assignment greedy_incremental_assign(const Graph& grown,
         grown.vertex_weight(v);
   }
 
-  auto assigned_neighbor_count = [&](VertexId v) {
-    int c = 0;
-    for (VertexId u : grown.neighbors(v)) {
-      if (out[static_cast<std::size_t>(u)] >= 0) ++c;
-    }
-    return c;
-  };
-
+  // Assigned-neighbour counts maintained incrementally: +1 to each pending
+  // neighbour when a vertex gets its part, instead of rescanning every
+  // pending adjacency list per pick.
+  std::vector<std::int32_t> assigned_nbrs(static_cast<std::size_t>(n), 0);
   std::vector<VertexId> pending;
-  for (VertexId v = n_old; v < n; ++v) pending.push_back(v);
+  for (VertexId v = n_old; v < n; ++v) {
+    std::int32_t c = 0;
+    for (VertexId u : grown.neighbors(v)) {
+      c += out[static_cast<std::size_t>(u)] >= 0;
+    }
+    assigned_nbrs[static_cast<std::size_t>(v)] = c;
+    pending.push_back(v);
+  }
+
+  // Edge-weighted majority votes accumulate in an epoch-stamped scratch:
+  // no per-vertex allocation, no O(num_parts) clear.
+  ConnectivityScratch votes(static_cast<std::size_t>(num_parts));
 
   while (!pending.empty()) {
     // Most-constrained-first: the pending vertex with the most assigned
     // neighbours (stable tie-break on id for determinism).
     std::size_t pick = 0;
-    int pick_count = -1;
+    std::int32_t pick_count = -1;
     for (std::size_t i = 0; i < pending.size(); ++i) {
-      const int c = assigned_neighbor_count(pending[i]);
+      const std::int32_t c =
+          assigned_nbrs[static_cast<std::size_t>(pending[i])];
       if (c > pick_count) {
         pick_count = c;
         pick = i;
@@ -54,26 +63,30 @@ Assignment greedy_incremental_assign(const Graph& grown,
     const VertexId v = pending[pick];
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
 
-    // Majority vote among assigned neighbours (edge-weighted).
-    std::vector<double> votes(static_cast<std::size_t>(num_parts), 0.0);
+    votes.begin();
     const auto nbrs = grown.neighbors(v);
     const auto wgts = grown.edge_weights(v);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const PartId p = out[static_cast<std::size_t>(nbrs[i])];
-      if (p >= 0) votes[static_cast<std::size_t>(p)] += wgts[i];
+      if (p >= 0) votes.add(p, wgts[i]);
     }
 
     PartId choice = 0;
     for (PartId q = 1; q < num_parts; ++q) {
       const auto uq = static_cast<std::size_t>(q);
       const auto uc = static_cast<std::size_t>(choice);
-      if (votes[uq] > votes[uc] ||
-          (votes[uq] == votes[uc] && part_weight[uq] < part_weight[uc])) {
+      if (votes[q] > votes[choice] ||
+          (votes[q] == votes[choice] && part_weight[uq] < part_weight[uc])) {
         choice = q;
       }
     }
     out[static_cast<std::size_t>(v)] = choice;
     part_weight[static_cast<std::size_t>(choice)] += grown.vertex_weight(v);
+    for (VertexId u : nbrs) {
+      if (out[static_cast<std::size_t>(u)] < 0) {
+        ++assigned_nbrs[static_cast<std::size_t>(u)];
+      }
+    }
   }
   return out;
 }

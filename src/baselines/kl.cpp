@@ -1,6 +1,7 @@
 #include "baselines/kl.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -16,20 +17,24 @@ struct Move {
 };
 
 /// Best (vertex, part) move among unlocked boundary vertices; gain may be
-/// negative.  Returns vertex == -1 when no candidate exists.
+/// negative.  Returns vertex == -1 when no candidate exists.  Iterates the
+/// incrementally maintained frontier (sorted into `order` for deterministic
+/// tie-breaks) instead of scanning all V vertices, and probes each vertex
+/// with the single-scan gain kernel.
 Move best_move(const PartitionState& state, const std::vector<char>& locked,
-               const FitnessParams& params) {
+               const FitnessParams& params, std::vector<VertexId>& order) {
   Move best;
   bool found = false;
-  const Graph& g = state.graph();
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (locked[static_cast<std::size_t>(v)] || !state.is_boundary(v)) continue;
-    for (PartId to : state.neighbor_parts(v)) {
-      const double gain = state.move_gain(v, to, params);
-      if (!found || gain > best.gain) {
-        best = {v, to, gain};
-        found = true;
-      }
+  order.assign(state.frontier().begin(), state.frontier().end());
+  std::sort(order.begin(), order.end());
+  for (const VertexId v : order) {
+    if (locked[static_cast<std::size_t>(v)]) continue;
+    const BestMove bm = state.best_move(
+        v, params, -std::numeric_limits<double>::infinity());
+    if (bm.to < 0) continue;
+    if (!found || bm.gain > best.gain) {
+      best = {v, bm.to, bm.gain};
+      found = true;
     }
   }
   return best;
@@ -63,8 +68,9 @@ KlResult kl_refine_impl(PartitionState& state, const FitnessParams& params,
     const int cap = options.max_moves_per_pass > 0
                         ? options.max_moves_per_pass
                         : g.num_vertices();
+    std::vector<VertexId> order;
     for (int step = 0; step < cap; ++step) {
-      const Move mv = best_move(state, locked, params);
+      const Move mv = best_move(state, locked, params, order);
       if (mv.vertex < 0) break;
       trail.push_back({mv.vertex, state.part_of(mv.vertex)});
       state.move(mv.vertex, mv.to);

@@ -1,15 +1,20 @@
 #include "core/hill_climb.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/assert.hpp"
 
 namespace gapart {
 
 namespace {
 
-HillClimbResult climb_impl(PartitionState& state, const FitnessParams& params,
-                           const HillClimbOptions& options,
-                           const EvalContext* eval) {
-  GAPART_REQUIRE(options.max_passes >= 1, "need at least one pass");
+/// Paper-faithful sweep: ascending vertex scan per pass.  The boundary test
+/// is an O(1) flag and best_move() is the single-scan gain kernel, but the
+/// decisions (move order, destinations, gains) are identical to probing
+/// every neighbouring part with move_gain().
+HillClimbResult climb_sweep(PartitionState& state, const FitnessParams& params,
+                            const HillClimbOptions& options) {
   HillClimbResult result;
   const Graph& g = state.graph();
 
@@ -18,25 +23,101 @@ HillClimbResult climb_impl(PartitionState& state, const FitnessParams& params,
     int moves_this_pass = 0;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (!state.is_boundary(v)) continue;
-      // Best neighbouring part for v under the objective.
-      PartId best_to = -1;
-      double best_gain = options.min_gain;
-      for (PartId to : state.neighbor_parts(v)) {
-        const double gain = state.move_gain(v, to, params);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_to = to;
-        }
-      }
-      if (best_to >= 0) {
-        state.move(v, best_to);
+      const BestMove best = state.best_move(v, params, options.min_gain);
+      if (best.to >= 0) {
+        state.move(v, best.to);
         ++moves_this_pass;
-        result.fitness_gain += best_gain;
+        result.fitness_gain += best.gain;
       }
     }
     result.moves += moves_this_pass;
     if (moves_this_pass == 0) break;  // local optimum reached
   }
+  return result;
+}
+
+/// Frontier worklist: after a pass over the seed boundary, follow-up passes
+/// examine only vertices enqueued when a move changed their neighbourhood.
+/// Each pass processes its worklist ascending, so runs are deterministic.
+/// Because the composite objective couples distant vertices through the
+/// part weights (and, under kWorstComm, the max-cut term), a drained
+/// worklist does not by itself prove optimality: whenever it drains after
+/// productive passes, one full-boundary verification pass re-seeds it, and
+/// the climb only stops once a full pass finds nothing — the same
+/// fixed-point class as sweep, without ever scanning interior vertices.
+///
+/// max_passes budgets *full-boundary rounds* (the analogue of one sweep
+/// pass); the worklist cascade between rounds is not charged against it and
+/// terminates on its own because every accepted move improves fitness by
+/// more than min_gain > 0.
+HillClimbResult climb_frontier(PartitionState& state,
+                               const FitnessParams& params,
+                               const HillClimbOptions& options) {
+  GAPART_REQUIRE(options.min_gain > 0.0,
+                 "frontier mode needs min_gain > 0 to terminate, got ",
+                 options.min_gain);
+  HillClimbResult result;
+  const Graph& g = state.graph();
+
+  std::vector<char> queued(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<VertexId> current = state.boundary_vertices();
+  for (const VertexId v : current) queued[static_cast<std::size_t>(v)] = 1;
+  std::vector<VertexId> next;
+
+  const auto enqueue = [&](VertexId u) {
+    if (!queued[static_cast<std::size_t>(u)] && state.is_boundary(u)) {
+      queued[static_cast<std::size_t>(u)] = 1;
+      next.push_back(u);
+    }
+  };
+
+  bool full_pass = true;  // current covers the entire boundary
+  int full_rounds = 1;    // the seed pass is round 1
+  bool moved_since_full_pass = false;
+  while (!current.empty()) {
+    ++result.passes;
+    int moves_this_pass = 0;
+    for (const VertexId v : current) {
+      queued[static_cast<std::size_t>(v)] = 0;
+      if (!state.is_boundary(v)) continue;
+      const BestMove best = state.best_move(v, params, options.min_gain);
+      if (best.to < 0) continue;
+      state.move(v, best.to);
+      ++moves_this_pass;
+      result.fitness_gain += best.gain;
+      enqueue(v);
+      for (const VertexId u : g.neighbors(v)) enqueue(u);
+    }
+    result.moves += moves_this_pass;
+    if (full_pass && moves_this_pass == 0) break;  // verified fixed point
+    moved_since_full_pass |= moves_this_pass > 0;
+
+    if (!next.empty()) {
+      std::sort(next.begin(), next.end());
+      current.swap(next);
+      next.clear();
+      full_pass = false;
+    } else if (moved_since_full_pass && full_rounds < options.max_passes) {
+      current = state.boundary_vertices();
+      for (const VertexId v : current) queued[static_cast<std::size_t>(v)] = 1;
+      full_pass = true;
+      ++full_rounds;
+      moved_since_full_pass = false;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+HillClimbResult climb_impl(PartitionState& state, const FitnessParams& params,
+                           const HillClimbOptions& options,
+                           const EvalContext* eval) {
+  GAPART_REQUIRE(options.max_passes >= 1, "need at least one pass");
+  const HillClimbResult result =
+      options.mode == HillClimbMode::kFrontier
+          ? climb_frontier(state, params, options)
+          : climb_sweep(state, params, options);
   if (eval != nullptr) eval->count_delta(result.moves);
   return result;
 }

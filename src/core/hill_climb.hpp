@@ -2,6 +2,17 @@
 // examined, and a vertex migrates to a neighbouring part whenever that
 // strictly improves fitness.  Passes repeat until a fixed point or the pass
 // budget is exhausted.
+//
+// Two drive modes over PartitionState's incrementally maintained boundary:
+//   kSweep     — the paper-faithful ascending vertex scan per pass.  Kept
+//                bit-identical to the original implementation (the O(1)
+//                boundary flag and the single-scan gain kernel change the
+//                cost, not the decisions), so all paper tables reproduce.
+//   kFrontier  — a worklist seeded with the boundary, re-enqueueing only
+//                vertices whose neighbourhood changed; skips the O(V) scan
+//                per pass entirely and reaches the same kind of local
+//                optimum (no boundary vertex has an improving move), though
+//                possibly via a different move order.
 #pragma once
 
 #include "core/eval.hpp"
@@ -10,10 +21,19 @@
 
 namespace gapart {
 
+enum class HillClimbMode {
+  kSweep,     ///< Paper §3.6: full ascending vertex scan per pass.
+  kFrontier,  ///< Boundary worklist; revisit only changed neighbourhoods.
+};
+
 struct HillClimbOptions {
   FitnessParams fitness;
+  HillClimbMode mode = HillClimbMode::kSweep;
+  /// kSweep: full vertex scans.  kFrontier: full-boundary rounds — the
+  /// worklist cascade between rounds is not charged against this budget.
   int max_passes = 4;
-  /// Minimum fitness improvement for a move to be taken.
+  /// Minimum fitness improvement for a move to be taken.  Must be positive
+  /// in kFrontier mode (it bounds the worklist cascade).
   double min_gain = 1e-9;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -83,43 +84,67 @@ void GraphBuilder::set_coordinates(std::vector<Point2> coords) {
 
 Graph GraphBuilder::build() {
   const auto n = static_cast<std::size_t>(num_vertices_);
+  const std::size_t m2 = edges_.size() * 2;
 
-  // Symmetrize: store each undirected edge in both directions, then sort and
-  // merge duplicates per row.
-  std::vector<GraphBuilder::RawEdge> directed;
-  directed.reserve(edges_.size() * 2);
+  // Counting-sort CSR construction, O(E + sum_v deg(v) log deg(v)): every
+  // array below is sized from the raw edge count up front, so building large
+  // benchmark meshes never reallocates mid-construction and there is no
+  // global O(E log E) sort of edge records.
+
+  // Pass 1: raw per-vertex degrees (duplicates included) -> scatter offsets.
+  std::vector<std::int32_t> cursor(n, 0);
   for (const auto& e : edges_) {
-    directed.push_back({e.u, e.v, e.w});
-    directed.push_back({e.v, e.u, e.w});
+    ++cursor[static_cast<std::size_t>(e.u)];
+    ++cursor[static_cast<std::size_t>(e.v)];
   }
-  std::sort(directed.begin(), directed.end(),
-            [](const RawEdge& a, const RawEdge& b) {
-              return a.u != b.u ? a.u < b.u : a.v < b.v;
-            });
+  std::vector<std::int32_t> offset(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offset[v + 1] = offset[v] + cursor[v];
+  }
 
+  // Pass 2: scatter both directions of every edge into row-major slots.
+  std::vector<VertexId> raw_adj(m2);
+  std::vector<double> raw_wgt(m2);
+  std::copy(offset.begin(), offset.end() - 1, cursor.begin());
+  for (const auto& e : edges_) {
+    auto& cu = cursor[static_cast<std::size_t>(e.u)];
+    raw_adj[static_cast<std::size_t>(cu)] = e.v;
+    raw_wgt[static_cast<std::size_t>(cu)] = e.w;
+    ++cu;
+    auto& cv = cursor[static_cast<std::size_t>(e.v)];
+    raw_adj[static_cast<std::size_t>(cv)] = e.u;
+    raw_wgt[static_cast<std::size_t>(cv)] = e.w;
+    ++cv;
+  }
+
+  // Pass 3: sort each row, merge duplicates (weights summed).
   Graph g;
   g.xadj_.assign(n + 1, 0);
   g.adjncy_.clear();
   g.ewgt_.clear();
-  g.adjncy_.reserve(directed.size());
-  g.ewgt_.reserve(directed.size());
+  g.adjncy_.reserve(m2);
+  g.ewgt_.reserve(m2);
 
-  std::size_t i = 0;
-  for (VertexId u = 0; u < num_vertices_; ++u) {
-    while (i < directed.size() && directed[i].u == u) {
-      const VertexId v = directed[i].v;
-      double w = 0.0;
-      while (i < directed.size() && directed[i].u == u && directed[i].v == v) {
-        w += directed[i].w;
-        ++i;
-      }
-      g.adjncy_.push_back(v);
-      g.ewgt_.push_back(w);
+  std::vector<std::pair<VertexId, double>> row;
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto begin = static_cast<std::size_t>(offset[u]);
+    const auto end = static_cast<std::size_t>(offset[u + 1]);
+    row.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      row.emplace_back(raw_adj[i], raw_wgt[i]);
     }
-    g.xadj_[static_cast<std::size_t>(u) + 1] =
-        static_cast<std::int32_t>(g.adjncy_.size());
+    std::sort(row.begin(), row.end());
+    const std::size_t row_start = g.adjncy_.size();
+    for (const auto& [v, w] : row) {
+      if (g.adjncy_.size() > row_start && g.adjncy_.back() == v) {
+        g.ewgt_.back() += w;
+      } else {
+        g.adjncy_.push_back(v);
+        g.ewgt_.push_back(w);
+      }
+    }
+    g.xadj_[u + 1] = static_cast<std::int32_t>(g.adjncy_.size());
   }
-  GAPART_ASSERT(i == directed.size());
 
   // Copy (not move) so the builder stays usable: callers may add more edges
   // and build() again (e.g. connectivity stitching loops).

@@ -82,10 +82,40 @@ PartitionState::PartitionState(const Graph& g, Assignment a, PartId num_parts)
   sum_part_cut_ = m.sum_part_cut;
   imbalance_sq_ = m.imbalance_sq;
   mean_weight_ = g.total_vertex_weight() / static_cast<double>(num_parts_);
+
+  const auto it = std::max_element(part_cut_.begin(), part_cut_.end());
+  max_cut_cache_ = *it;
+  max_cut_part_ = static_cast<PartId>(it - part_cut_.begin());
+  max_cut_dirty_ = false;
+
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  ext_deg_.assign(n, 0);
+  frontier_pos_.assign(n, -1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId p = assign_[static_cast<std::size_t>(v)];
+    std::int32_t ext = 0;
+    for (VertexId u : g.neighbors(v)) {
+      ext += assign_[static_cast<std::size_t>(u)] != p;
+    }
+    ext_deg_[static_cast<std::size_t>(v)] = ext;
+    if (ext > 0) {
+      frontier_pos_[static_cast<std::size_t>(v)] =
+          static_cast<std::int32_t>(frontier_.size());
+      frontier_.push_back(v);
+    }
+  }
+
+  conn_.resize(static_cast<std::size_t>(num_parts_));
 }
 
 double PartitionState::max_part_cut() const {
-  return *std::max_element(part_cut_.begin(), part_cut_.end());
+  if (max_cut_dirty_) {
+    const auto it = std::max_element(part_cut_.begin(), part_cut_.end());
+    max_cut_cache_ = *it;
+    max_cut_part_ = static_cast<PartId>(it - part_cut_.begin());
+    max_cut_dirty_ = false;
+  }
+  return max_cut_cache_;
 }
 
 double PartitionState::fitness(const FitnessParams& params) const {
@@ -93,6 +123,22 @@ double PartitionState::fitness(const FitnessParams& params) const {
                           ? sum_part_cut_
                           : max_part_cut();
   return -(imbalance_sq_ + params.lambda * comm);
+}
+
+void PartitionState::sync_frontier(VertexId u) {
+  const auto i = static_cast<std::size_t>(u);
+  const bool boundary = ext_deg_[i] > 0;
+  const std::int32_t pos = frontier_pos_[i];
+  if (boundary && pos < 0) {
+    frontier_pos_[i] = static_cast<std::int32_t>(frontier_.size());
+    frontier_.push_back(u);
+  } else if (!boundary && pos >= 0) {
+    const VertexId last = frontier_.back();
+    frontier_[static_cast<std::size_t>(pos)] = last;
+    frontier_pos_[static_cast<std::size_t>(last)] = pos;
+    frontier_.pop_back();
+    frontier_pos_[i] = -1;
+  }
 }
 
 void PartitionState::move(VertexId v, PartId to) {
@@ -104,15 +150,34 @@ void PartitionState::move(VertexId v, PartId to) {
   const auto nbrs = g_->neighbors(v);
   const auto wgts = g_->edge_weights(v);
 
-  // Retract v's edge contributions while it sits in `from`.
+  // Single scan: connectivity of v into `from`/`to` plus the neighbours'
+  // external-degree updates (v's part flips from `from` to `to`, so only
+  // neighbours sitting in one of those two parts change boundary status).
+  double wdeg = 0.0;
+  double cf = 0.0;  // weight of v's edges into `from`
+  double ct = 0.0;
+  std::int32_t ext_after = 0;
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const PartId p = assign_[static_cast<std::size_t>(nbrs[i])];
-    if (p != from) {
-      part_cut_[static_cast<std::size_t>(from)] -= wgts[i];
-      part_cut_[static_cast<std::size_t>(p)] -= wgts[i];
-      sum_part_cut_ -= 2.0 * wgts[i];
+    const VertexId u = nbrs[i];
+    const PartId p = assign_[static_cast<std::size_t>(u)];
+    wdeg += wgts[i];
+    ext_after += p != to;
+    if (p == from) {
+      cf += wgts[i];
+      ++ext_deg_[static_cast<std::size_t>(u)];
+      sync_frontier(u);
+    } else if (p == to) {
+      ct += wgts[i];
+      --ext_deg_[static_cast<std::size_t>(u)];
+      sync_frontier(u);
     }
   }
+
+  // Cut update: only C(from) and C(to) change — an edge into a third part
+  // stays cut either way.
+  part_cut_[static_cast<std::size_t>(from)] += 2.0 * cf - wdeg;
+  part_cut_[static_cast<std::size_t>(to)] += wdeg - 2.0 * ct;
+  sum_part_cut_ += 2.0 * (cf - ct);
 
   // Load / imbalance update.
   const double w = g_->vertex_weight(v);
@@ -126,16 +191,132 @@ void PartitionState::move(VertexId v, PartId to) {
   imbalance_sq_ += (wt + w - mean_weight_) * (wt + w - mean_weight_);
 
   assign_[static_cast<std::size_t>(v)] = to;
+  ext_deg_[static_cast<std::size_t>(v)] = ext_after;
+  sync_frontier(v);
 
-  // Re-add v's edge contributions from `to`.
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const PartId p = assign_[static_cast<std::size_t>(nbrs[i])];
-    if (p != to) {
-      part_cut_[static_cast<std::size_t>(to)] += wgts[i];
-      part_cut_[static_cast<std::size_t>(p)] += wgts[i];
-      sum_part_cut_ += 2.0 * wgts[i];
+  // Max-cut cache: O(1) refresh, unless the arg-max part shrank.
+  if (!max_cut_dirty_) {
+    if (max_cut_part_ == from || max_cut_part_ == to) {
+      const double at = part_cut_[static_cast<std::size_t>(max_cut_part_)];
+      if (at < max_cut_cache_) {
+        max_cut_dirty_ = true;
+      } else {
+        max_cut_cache_ = at;
+      }
+    }
+    if (!max_cut_dirty_) {
+      for (const PartId q : {from, to}) {
+        if (part_cut_[static_cast<std::size_t>(q)] > max_cut_cache_) {
+          max_cut_cache_ = part_cut_[static_cast<std::size_t>(q)];
+          max_cut_part_ = q;
+        }
+      }
     }
   }
+}
+
+double PartitionState::scan_connectivity(VertexId v) const {
+  const auto nbrs = g_->neighbors(v);
+  const auto wgts = g_->edge_weights(v);
+  conn_.begin();
+  double wdeg = 0.0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    conn_.add(assign_[static_cast<std::size_t>(nbrs[i])], wgts[i]);
+    wdeg += wgts[i];
+  }
+  return wdeg;
+}
+
+PartitionState::ScanGainContext PartitionState::make_scan_context(
+    VertexId v, PartId from, double wdeg,
+    const FitnessParams& params) const {
+  ScanGainContext ctx;
+  ctx.from = from;
+  ctx.wdeg = wdeg;
+  ctx.w = g_->vertex_weight(v);
+  const double wf = part_weight_[static_cast<std::size_t>(from)];
+  ctx.imb_base = imbalance_sq_ -
+                 (wf - mean_weight_) * (wf - mean_weight_) +
+                 (wf - ctx.w - mean_weight_) * (wf - ctx.w - mean_weight_);
+  ctx.base_fitness = fitness(params);
+  return ctx;
+}
+
+double PartitionState::gain_from_scan(const ScanGainContext& ctx, PartId to,
+                                      double others_max,
+                                      const FitnessParams& params) const {
+  const double cf = conn_[ctx.from];
+  const double ct = conn_[to];
+
+  const double wt = part_weight_[static_cast<std::size_t>(to)];
+  const double new_imb =
+      ctx.imb_base - (wt - mean_weight_) * (wt - mean_weight_) +
+      (wt + ctx.w - mean_weight_) * (wt + ctx.w - mean_weight_);
+
+  double new_comm = 0.0;
+  if (params.objective == Objective::kTotalComm) {
+    new_comm = sum_part_cut_ + 2.0 * (cf - ct);
+  } else {
+    const double d_from = 2.0 * cf - ctx.wdeg;
+    const double d_to = ctx.wdeg - 2.0 * ct;
+    double mx = others_max;
+    mx = std::max(mx,
+                  part_cut_[static_cast<std::size_t>(ctx.from)] + d_from);
+    mx = std::max(mx, part_cut_[static_cast<std::size_t>(to)] + d_to);
+    new_comm = mx;
+  }
+  return -(new_imb + params.lambda * new_comm) - ctx.base_fitness;
+}
+
+BestMove PartitionState::best_move(VertexId v, const FitnessParams& params,
+                                   double min_gain) const {
+  GAPART_ASSERT(v >= 0 && v < g_->num_vertices());
+  BestMove best;
+  if (!is_boundary(v)) return best;
+
+  const PartId from = assign_[static_cast<std::size_t>(v)];
+  const double wdeg = scan_connectivity(v);
+
+  // Under kWorstComm every candidate needs max C(q) over q not in
+  // {from, to}: precompute the top-2 cuts over q != from once (floored at 0,
+  // like the legacy full scan), then each candidate is O(1).
+  double top1 = 0.0;
+  double top2 = 0.0;
+  PartId top1_part = -1;
+  if (params.objective == Objective::kWorstComm) {
+    for (PartId q = 0; q < num_parts_; ++q) {
+      if (q == from) continue;
+      const double c = part_cut_[static_cast<std::size_t>(q)];
+      if (c > top1) {
+        top2 = top1;
+        top1 = c;
+        top1_part = q;
+      } else if (c > top2) {
+        top2 = c;
+      }
+    }
+  }
+
+  // Candidates come straight from the scan's touched list (unsorted); the
+  // tie-break clause resolves equal gains to the lowest part id, exactly
+  // like the legacy ascending neighbor_parts() probe loop.  Gains that
+  // compare equal as doubles are bitwise identical, so this is
+  // order-independent and deterministic.
+  const ScanGainContext ctx = make_scan_context(v, from, wdeg, params);
+  double best_gain = min_gain;
+  for (const PartId to : conn_.touched()) {
+    if (to == from) continue;
+    const double others = to == top1_part ? top2 : top1;
+    const double gain = gain_from_scan(ctx, to, others, params);
+    ++best.candidates;
+    if (gain > best_gain ||
+        (gain == best_gain && best.to >= 0 && to < best.to)) {
+      best_gain = gain;
+      best.to = to;
+    }
+  }
+  if (best.to >= 0) best.gain = best_gain;
+  return best;
 }
 
 double PartitionState::move_gain(VertexId v, PartId to,
@@ -145,86 +326,33 @@ double PartitionState::move_gain(VertexId v, PartId to,
   const PartId from = assign_[static_cast<std::size_t>(v)];
   if (from == to) return 0.0;
 
-  const auto nbrs = g_->neighbors(v);
-  const auto wgts = g_->edge_weights(v);
-
-  // A single move only changes C(from) and C(to): an edge to a third part p
-  // stays cut, so C(p) is unaffected.
-  double d_from = 0.0;
-  double d_to = 0.0;
-  double d_sum = 0.0;
-
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const PartId p = assign_[static_cast<std::size_t>(nbrs[i])];
-    const double w = wgts[i];
-    if (p == from) {
-      // Edge becomes cut: appears in C(from) and C(to).
-      d_from += w;
-      d_to += w;
-      d_sum += 2.0 * w;
-    } else if (p == to) {
-      // Edge stops being cut.
-      d_from -= w;
-      d_to -= w;
-      d_sum -= 2.0 * w;
-    } else {
-      // Stays cut; moves from C(from) to C(to); C(p) unchanged.
-      d_from -= w;
-      d_to += w;
-    }
-  }
-
-  const double w = g_->vertex_weight(v);
-  const double wf = part_weight_[static_cast<std::size_t>(from)];
-  const double wt = part_weight_[static_cast<std::size_t>(to)];
-  double new_imb = imbalance_sq_;
-  new_imb -= (wf - mean_weight_) * (wf - mean_weight_);
-  new_imb -= (wt - mean_weight_) * (wt - mean_weight_);
-  new_imb += (wf - w - mean_weight_) * (wf - w - mean_weight_);
-  new_imb += (wt + w - mean_weight_) * (wt + w - mean_weight_);
-
-  double new_comm = 0.0;
-  if (params.objective == Objective::kTotalComm) {
-    new_comm = sum_part_cut_ + d_sum;
-  } else {
-    double mx = 0.0;
+  const double wdeg = scan_connectivity(v);
+  double others_max = 0.0;
+  if (params.objective == Objective::kWorstComm) {
     for (PartId q = 0; q < num_parts_; ++q) {
-      double c = part_cut_[static_cast<std::size_t>(q)];
-      if (q == from) c += d_from;
-      if (q == to) c += d_to;
-      mx = std::max(mx, c);
+      if (q == from || q == to) continue;
+      others_max =
+          std::max(others_max, part_cut_[static_cast<std::size_t>(q)]);
     }
-    new_comm = mx;
   }
-  const double new_fitness = -(new_imb + params.lambda * new_comm);
-  return new_fitness - fitness(params);
-}
-
-bool PartitionState::is_boundary(VertexId v) const {
-  const PartId p = assign_[static_cast<std::size_t>(v)];
-  for (VertexId u : g_->neighbors(v)) {
-    if (assign_[static_cast<std::size_t>(u)] != p) return true;
-  }
-  return false;
+  return gain_from_scan(make_scan_context(v, from, wdeg, params), to,
+                        others_max, params);
 }
 
 std::vector<VertexId> PartitionState::boundary_vertices() const {
-  std::vector<VertexId> out;
-  for (VertexId v = 0; v < g_->num_vertices(); ++v) {
-    if (is_boundary(v)) out.push_back(v);
-  }
+  std::vector<VertexId> out = frontier_;
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<PartId> PartitionState::neighbor_parts(VertexId v) const {
+  const PartId from = assign_[static_cast<std::size_t>(v)];
+  scan_connectivity(v);
   std::vector<PartId> out;
-  const PartId p = assign_[static_cast<std::size_t>(v)];
-  for (VertexId u : g_->neighbors(v)) {
-    const PartId q = assign_[static_cast<std::size_t>(u)];
-    if (q != p) out.push_back(q);
+  for (const PartId p : conn_.touched()) {
+    if (p != from) out.push_back(p);
   }
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

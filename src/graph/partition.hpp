@@ -14,9 +14,11 @@
 // Fitness1 experiments and max_q C(q) for Fitness2 experiments.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "graph/connectivity_scratch.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 
@@ -62,15 +64,37 @@ double fitness_from_metrics(const PartitionMetrics& m,
 double evaluate_fitness(const Graph& g, const Assignment& a, PartId num_parts,
                         const FitnessParams& params);
 
-/// A mutable partition with incrementally maintained metrics.
+/// Best candidate move for one vertex, as found by the single-scan gain
+/// kernel (PartitionState::best_move).
+struct BestMove {
+  PartId to = -1;      ///< Destination part; -1 when no candidate beat min_gain.
+  double gain = 0.0;   ///< Fitness delta of the winning move (0 when to < 0).
+  int candidates = 0;  ///< Adjacent parts the kernel evaluated.
+};
+
+/// A mutable partition with incrementally maintained metrics and boundary.
 ///
-/// move() updates W, C, the imbalance term and the total in O(deg(v)), which
-/// is what makes hill climbing (§3.6), Kernighan–Lin, and greedy incremental
-/// assignment affordable.  All derived quantities always match a from-scratch
-/// compute_metrics() (fuzz-tested).
+/// This is the refinement engine under hill climbing (§3.6), Kernighan–Lin,
+/// and greedy incremental assignment:
+///   * move() updates W, C, the imbalance term, the cached max-part cut, the
+///     per-vertex external-neighbour counts and the compact boundary frontier
+///     in O(deg(v)).
+///   * best_move() is a single-scan gain kernel: one pass over neighbors(v)
+///     fills a reusable epoch-stamped per-part connectivity scratch, from
+///     which the gains to all adjacent parts come out in O(deg + k_adjacent)
+///     with zero allocations (plus one O(k) top-2 precompute under
+///     kWorstComm) instead of the O(deg * k) neighbor_parts()+move_gain()
+///     pattern, which survives as thin wrappers.
+///   * is_boundary() is an O(1) flag lookup and frontier() exposes the live
+///     boundary worklist, so local search never rescans interior vertices.
+/// All derived quantities always match a from-scratch compute_metrics()
+/// (fuzz-tested).  With integer vertex/edge weights (the paper's setting)
+/// every maintained quantity and gain is bit-identical to the pre-kernel
+/// per-candidate loops, because all intermediate sums are exact.
 ///
 /// Holds a non-owning view of the graph: the Graph must outlive the state
-/// (in particular, do not bind a temporary).
+/// (in particular, do not bind a temporary).  Const accessors share mutable
+/// scratch, so a single state must not be read from two threads at once.
 class PartitionState {
  public:
   PartitionState(const Graph& g, Assignment a, PartId num_parts);
@@ -96,23 +120,67 @@ class PartitionState {
   /// Moves v to part `to` (no-op when already there).
   void move(VertexId v, PartId to);
 
+  /// Single-scan gain kernel: the best part to move v into among all parts
+  /// adjacent to v, with ties broken toward the lowest part id (matching the
+  /// legacy ascending neighbor_parts() probe loop).  Only candidates with
+  /// gain strictly above `min_gain` are returned; to == -1 otherwise.
+  /// O(deg(v) + k_adjacent), plus O(num_parts) once under kWorstComm.
+  BestMove best_move(VertexId v, const FitnessParams& params,
+                     double min_gain = 0.0) const;
+
   /// Fitness delta that move(v, to) would produce, without applying it.
-  /// O(deg(v) + num_parts).
+  /// Thin wrapper over the gain kernel; O(deg(v) + num_parts).
   double move_gain(VertexId v, PartId to, const FitnessParams& params) const;
 
-  /// True when v has at least one neighbour in a different part.
-  bool is_boundary(VertexId v) const;
+  /// True when v has at least one neighbour in a different part.  O(1).
+  bool is_boundary(VertexId v) const {
+    return ext_deg_[static_cast<std::size_t>(v)] > 0;
+  }
 
-  /// All boundary vertices, ascending.
+  /// The live boundary worklist, in no particular order.  Invalidated by
+  /// move(); copy it before interleaving reads with moves.
+  const std::vector<VertexId>& frontier() const { return frontier_; }
+
+  VertexId boundary_size() const {
+    return static_cast<VertexId>(frontier_.size());
+  }
+
+  /// All boundary vertices, ascending (sorted copy of the frontier).
   std::vector<VertexId> boundary_vertices() const;
 
   /// Parts adjacent to v (excluding v's own part), ascending, deduplicated.
+  /// Thin wrapper over the connectivity scan; prefer best_move() in hot code.
   std::vector<PartId> neighbor_parts(VertexId v) const;
 
   /// Snapshot of full metrics (recomputed from the maintained state).
   PartitionMetrics metrics() const;
 
  private:
+  /// Quantities shared by every candidate gain of one scanned vertex.
+  struct ScanGainContext {
+    PartId from = -1;
+    double wdeg = 0.0;      ///< weighted degree of v
+    double w = 0.0;         ///< vertex weight of v
+    double imb_base = 0.0;  ///< imbalance with `from`'s terms pre-swapped
+    double base_fitness = 0.0;
+  };
+
+  /// One pass over neighbors(v): fills conn_ with per-part edge weight and
+  /// returns v's weighted degree.
+  double scan_connectivity(VertexId v) const;
+
+  ScanGainContext make_scan_context(VertexId v, PartId from, double wdeg,
+                                    const FitnessParams& params) const;
+
+  /// Gain of moving the scanned vertex to `to`.  `others_max` must be
+  /// max(0, max part cut over parts other than from/to) — only read under
+  /// kWorstComm.
+  double gain_from_scan(const ScanGainContext& ctx, PartId to,
+                        double others_max, const FitnessParams& params) const;
+
+  /// Syncs the boundary flag / frontier membership of u with ext_deg_[u].
+  void sync_frontier(VertexId u);
+
   const Graph* g_;
   PartId num_parts_;
   Assignment assign_;
@@ -121,6 +189,22 @@ class PartitionState {
   double sum_part_cut_ = 0.0;
   double imbalance_sq_ = 0.0;
   double mean_weight_ = 0.0;
+
+  // Incrementally maintained boundary: ext_deg_[v] counts v's neighbours in
+  // other parts; frontier_ is the compact list of vertices with ext_deg_>0,
+  // frontier_pos_[v] its index there (-1 when interior).
+  std::vector<std::int32_t> ext_deg_;
+  std::vector<std::int32_t> frontier_pos_;
+  std::vector<VertexId> frontier_;
+
+  // Cached max_q C(q): refreshed in O(1) per move unless the move shrank the
+  // current arg-max part, which lazily triggers one O(k) rescan.
+  mutable double max_cut_cache_ = 0.0;
+  mutable PartId max_cut_part_ = 0;
+  mutable bool max_cut_dirty_ = false;
+
+  // Reusable kernel scratch (see class comment re: thread safety).
+  mutable ConnectivityScratch conn_;
 };
 
 }  // namespace gapart

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
@@ -169,6 +171,84 @@ TEST(Graph, SummaryMentionsSizes) {
   const auto s = b.build().summary();
   EXPECT_NE(s.find("|V|=3"), std::string::npos);
   EXPECT_NE(s.find("|E|=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// has_edge / edge_weight use binary search over the sorted adjacency rows;
+// guard them (and the sortedness invariant they rely on) against a linear
+// ground-truth scan across random weighted multigraph inputs.
+TEST(Graph, BinarySearchLookupsMatchLinearScan) {
+  Rng rng(0x10c4);
+  for (int round = 0; round < 8; ++round) {
+    const VertexId n = 2 + static_cast<VertexId>(rng.uniform_int(40));
+    GraphBuilder b(n);
+    const int edges = rng.uniform_int(4 * n);
+    for (int e = 0; e < edges; ++e) {
+      const auto u = static_cast<VertexId>(rng.uniform_int(n));
+      const auto v = static_cast<VertexId>(rng.uniform_int(n));
+      if (u != v) b.add_edge(u, v, 1.0 + rng.uniform_int(9));
+    }
+    const Graph g = b.build();
+
+    for (VertexId u = 0; u < n; ++u) {
+      ASSERT_TRUE(std::is_sorted(g.neighbors(u).begin(),
+                                 g.neighbors(u).end()));
+      for (VertexId v = 0; v < n; ++v) {
+        // Linear ground truth.
+        bool found = false;
+        double weight = 0.0;
+        const auto nbrs = g.neighbors(u);
+        const auto wgts = g.edge_weights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (nbrs[i] == v) {
+            found = true;
+            weight = wgts[i];
+            break;
+          }
+        }
+        ASSERT_EQ(g.has_edge(u, v), found) << u << "->" << v;
+        const auto w = g.edge_weight(u, v);
+        ASSERT_EQ(w.has_value(), found) << u << "->" << v;
+        if (found) {
+          ASSERT_DOUBLE_EQ(*w, weight) << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+// The counting-sort CSR construction must produce the same canonical graph
+// as a naive map-based symmetrize/merge, duplicates and all.
+TEST(GraphBuilder, CountingSortConstructionMatchesNaiveMerge) {
+  Rng rng(0xcc01);
+  for (int round = 0; round < 6; ++round) {
+    const VertexId n = 1 + static_cast<VertexId>(rng.uniform_int(30));
+    GraphBuilder b(n);
+    std::map<std::pair<VertexId, VertexId>, double> naive;
+    const int edges = rng.uniform_int(5 * n);
+    for (int e = 0; e < edges; ++e) {
+      const auto u = static_cast<VertexId>(rng.uniform_int(n));
+      const auto v = static_cast<VertexId>(rng.uniform_int(n));
+      const double w = 1.0 + rng.uniform_int(5);
+      if (u == v) continue;
+      b.add_edge(u, v, w);
+      naive[{std::min(u, v), std::max(u, v)}] += w;
+    }
+    const Graph g = b.build();
+
+    EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(naive.size()));
+    for (const auto& [uv, w] : naive) {
+      ASSERT_TRUE(g.has_edge(uv.first, uv.second));
+      ASSERT_DOUBLE_EQ(g.edge_weight(uv.first, uv.second).value(), w);
+      ASSERT_DOUBLE_EQ(g.edge_weight(uv.second, uv.first).value(), w);
+    }
+    // No phantom edges beyond the naive set.
+    for (VertexId u = 0; u < n; ++u) {
+      for (const VertexId v : g.neighbors(u)) {
+        ASSERT_TRUE(naive.count({std::min(u, v), std::max(u, v)}));
+      }
+    }
+  }
 }
 
 TEST(Graph, CsrConsistencyOnRandomGraph) {

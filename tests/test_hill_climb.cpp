@@ -2,12 +2,53 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string>
+
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "graph/mesh.hpp"
 
 namespace gapart {
 namespace {
+
+Assignment random_assignment(VertexId n, PartId k, std::uint64_t seed) {
+  Rng rng(seed);
+  Assignment a(static_cast<std::size_t>(n));
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(k));
+  return a;
+}
+
+std::uint64_t fnv1a(const Assignment& a) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (PartId p : a) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(p));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Deterministic integer-weighted graph used by the sweep goldens (integer
+/// weights keep every gain computation exact, so the goldens are bitwise
+/// stable across any algebraically equivalent refactor of the gain kernel).
+Graph golden_weighted_graph() {
+  Rng rng(777);
+  GraphBuilder b(60);
+  for (VertexId i = 0; i + 1 < 60; ++i) {
+    b.add_edge(i, i + 1, 1.0 + rng.uniform_int(5));
+  }
+  for (int e = 0; e < 120; ++e) {
+    const auto u = static_cast<VertexId>(rng.uniform_int(60));
+    const auto v = static_cast<VertexId>(rng.uniform_int(60));
+    const double w = 1.0 + rng.uniform_int(5);
+    if (u != v) b.add_edge(u, v, w);
+  }
+  for (VertexId v = 0; v < 60; ++v) {
+    b.set_vertex_weight(v, 1.0 + rng.uniform_int(3));
+  }
+  return b.build();
+}
 
 TEST(HillClimb, FixesSingleMisplacedVertex) {
   // Path split 0|1 with one vertex stranded on the wrong side.
@@ -93,6 +134,128 @@ TEST(HillClimb, StateOverloadMatchesChromosomeOverload) {
   PartitionState state(g, b, 3);
   hill_climb(state, opt);
   EXPECT_EQ(a, state.assignment());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-mode goldens: every value below was captured from the pre-kernel
+// implementation (commit a5da5d1, per-candidate neighbor_parts()+move_gain()
+// probing).  Sweep mode must stay bit-identical to that behaviour — same
+// passes, same moves, same accumulated gain, same final fitness and
+// assignment — so the paper tables are unaffected by the refactor.
+struct SweepGolden {
+  std::string label;
+  int passes;
+  int moves;
+  double fitness_gain;
+  double final_fitness;
+  std::uint64_t assignment_hash;
+};
+
+TEST(HillClimbGolden, SweepBitIdenticalToPreKernelImplementation) {
+  const Graph g16 = make_grid(16, 16);
+  const Graph g64 = make_grid(64, 64);
+  const Graph gw = golden_weighted_graph();
+
+  const auto run = [](const Graph& g, PartId k, std::uint64_t seed,
+                      Objective obj, int max_passes, const SweepGolden& gold) {
+    PartitionState state(g, random_assignment(g.num_vertices(), k, seed), k);
+    HillClimbOptions opt;
+    opt.fitness = {obj, 1.0};
+    opt.max_passes = max_passes;
+    const HillClimbResult res = hill_climb(state, opt);
+    EXPECT_EQ(res.passes, gold.passes) << gold.label;
+    EXPECT_EQ(res.moves, gold.moves) << gold.label;
+    EXPECT_EQ(res.fitness_gain, gold.fitness_gain) << gold.label;  // bitwise
+    EXPECT_EQ(state.fitness(opt.fitness), gold.final_fitness) << gold.label;
+    EXPECT_EQ(fnv1a(state.assignment()), gold.assignment_hash) << gold.label;
+  };
+
+  // Captured by running the pre-refactor implementation on these exact
+  // graphs, seeds, and options (hex-float literals are bit-exact).
+  run(g16, 4, 123, Objective::kTotalComm, 10,
+      {"grid16_k4_total", 5, 126, 0x1.dp+8, -0x1.7cp+8,
+       0x245c7f5c9b8b7125ULL});
+  run(g16, 4, 123, Objective::kWorstComm, 10,
+      {"grid16_k4_worst", 2, 18, 0x1.1ap+7, -0x1.58p+7,
+       0xd5c68d27687d992fULL});
+  run(g64, 16, 2024, Objective::kTotalComm, 8,
+      {"grid64_k16_total", 8, 2868, 0x1.718p+13, -0x1.fe8p+12,
+       0xb93c10f15be2ec1bULL});
+  run(gw, 5, 99, Objective::kTotalComm, 10,
+      {"weighted_k5_total", 8, 53, 0x1.13p+9, -0x1.f6p+8,
+       0xbe230a138b60bb0dULL});
+  run(gw, 5, 99, Objective::kWorstComm, 10,
+      {"weighted_k5_worst", 3, 17, 0x1.0cp+7, -0x1.76p+7,
+       0x6ae0b42ae5806b9cULL});
+}
+
+// ---------------------------------------------------------------------------
+// Frontier mode: same fixed-point class as sweep (no boundary vertex keeps
+// an improving move), monotone, deterministic.
+TEST(HillClimbFrontier, FixesSingleMisplacedVertex) {
+  const Graph g = make_path(8);
+  Assignment a = {0, 0, 0, 1, 0, 1, 1, 1};  // vertex 4 misplaced
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kFrontier;
+  const auto res = hill_climb(g, a, 2, opt);
+  EXPECT_GT(res.moves, 0);
+  const auto m = compute_metrics(g, a, 2);
+  EXPECT_DOUBLE_EQ(m.total_cut(), 1.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(HillClimbFrontier, ReachesLocalOptimumAndIsMonotone) {
+  Rng rng(17);
+  const Mesh mesh = paper_mesh(144);
+  for (Objective obj : {Objective::kTotalComm, Objective::kWorstComm}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      Assignment a(static_cast<std::size_t>(mesh.graph.num_vertices()));
+      for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(6));
+      HillClimbOptions opt;
+      opt.fitness = {obj, 1.0};
+      opt.mode = HillClimbMode::kFrontier;
+      opt.max_passes = 100;  // enough to drain the worklist
+      PartitionState state(mesh.graph, a, 6);
+      const double before = state.fitness(opt.fitness);
+      const auto res = hill_climb(state, opt);
+      const double after = state.fitness(opt.fitness);
+      EXPECT_GE(after, before);
+      EXPECT_NEAR(after - before, res.fitness_gain, 1e-9);
+      // Local optimum: no remaining boundary vertex has an improving move.
+      for (const VertexId v : state.boundary_vertices()) {
+        EXPECT_LT(state.best_move(v, opt.fitness, opt.min_gain).to, 0)
+            << "vertex " << v << " still improvable";
+      }
+    }
+  }
+}
+
+TEST(HillClimbFrontier, Deterministic) {
+  const Graph g = make_grid(12, 12);
+  const Assignment start = random_assignment(144, 5, 4242);
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kFrontier;
+  opt.max_passes = 50;
+
+  Assignment a = start;
+  Assignment b = start;
+  const auto ra = hill_climb(g, a, 5, opt);
+  const auto rb = hill_climb(g, b, 5, opt);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ra.moves, rb.moves);
+  EXPECT_EQ(ra.passes, rb.passes);
+  EXPECT_EQ(ra.fitness_gain, rb.fitness_gain);
+}
+
+TEST(HillClimbFrontier, NoOpOnLocalOptimum) {
+  const Graph g = make_two_cliques(6);
+  Assignment a(12, 0);
+  for (std::size_t i = 6; i < 12; ++i) a[i] = 1;  // already optimal
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kFrontier;
+  opt.max_passes = 10;
+  const auto res = hill_climb(g, a, 2, opt);
+  EXPECT_EQ(res.moves, 0);
 }
 
 TEST(HillClimb, WorstCommObjectiveReducesMaxCut) {

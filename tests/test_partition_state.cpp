@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "graph/connectivity_scratch.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
 #include "test_util.hpp"
@@ -10,6 +15,37 @@ namespace {
 
 using testing::brute_force_metrics;
 using testing::expect_metrics_near;
+
+/// Boundary predicate recomputed from scratch (mirrors the definition, not
+/// the maintained flags).
+bool brute_is_boundary(const Graph& g, const Assignment& a, VertexId v) {
+  const PartId p = a[static_cast<std::size_t>(v)];
+  for (VertexId u : g.neighbors(v)) {
+    if (a[static_cast<std::size_t>(u)] != p) return true;
+  }
+  return false;
+}
+
+std::vector<VertexId> brute_boundary(const Graph& g, const Assignment& a) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (brute_is_boundary(g, a, v)) out.push_back(v);
+  }
+  return out;
+}
+
+Graph fuzz_graph(int graph_kind, Rng& rng) {
+  switch (graph_kind) {
+    case 0:
+      return make_grid(6, 6);
+    case 1:
+      return make_random_graph(40, 0.15, rng);
+    case 2:
+      return make_connected_geometric(50, 0.2, rng);
+    default:
+      return make_clique_chain(4, 5);
+  }
+}
 
 TEST(PartitionState, InitialMetricsMatchComputeMetrics) {
   const Graph g = make_grid(4, 5);
@@ -149,6 +185,216 @@ TEST_P(PartitionStateFuzz, RandomMoveSequences) {
 INSTANTIATE_TEST_SUITE_P(Fuzz, PartitionStateFuzz,
                          ::testing::Combine(::testing::Values(0, 1, 2, 3),
                                             ::testing::Values(2, 4, 7)));
+
+// ---------------------------------------------------------------------------
+// Incrementally maintained boundary: flags, frontier list, and external-
+// degree bookkeeping must match a from-scratch recomputation after thousands
+// of random moves, across graph families and part counts.
+class BoundaryFuzz : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BoundaryFuzz, FrontierMatchesBruteForceAfterRandomMoves) {
+  const auto [graph_kind, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(graph_kind * 1000 + k));
+  const Graph g = fuzz_graph(graph_kind, rng);
+  const VertexId n = g.num_vertices();
+  Assignment a(static_cast<std::size_t>(n));
+  for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(k));
+  PartitionState state(g, a, static_cast<PartId>(k));
+
+  for (int mv = 0; mv < 2000; ++mv) {
+    const auto v = static_cast<VertexId>(rng.uniform_int(n));
+    const auto to = static_cast<PartId>(rng.uniform_int(k));
+    state.move(v, to);
+    if (mv % 100 == 0 || mv >= 1995) {
+      for (VertexId u = 0; u < n; ++u) {
+        ASSERT_EQ(state.is_boundary(u),
+                  brute_is_boundary(g, state.assignment(), u))
+            << "vertex " << u << " after move " << mv;
+      }
+      const auto expected = brute_boundary(g, state.assignment());
+      ASSERT_EQ(state.boundary_vertices(), expected) << "after move " << mv;
+      ASSERT_EQ(state.boundary_size(),
+                static_cast<VertexId>(expected.size()));
+      // The raw frontier is the same set, unordered and duplicate-free.
+      auto raw = state.frontier();
+      std::sort(raw.begin(), raw.end());
+      ASSERT_EQ(raw, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, BoundaryFuzz,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(2, 4, 7)));
+
+// ---------------------------------------------------------------------------
+// The single-scan gain kernel must agree with the legacy probe loop
+// (neighbor_parts() + move_gain() per candidate, ties to the lowest part)
+// bit-for-bit, and the connectivity it derives from must match a per-part
+// brute-force accumulation.
+TEST(PartitionStateKernel, BestMoveMatchesPerPartProbes) {
+  Rng rng(0xbe57);
+  for (const Objective objective :
+       {Objective::kTotalComm, Objective::kWorstComm}) {
+    for (const PartId k : {PartId{2}, PartId{4}, PartId{8}}) {
+      const Graph g = make_random_graph(45, 0.15, rng);
+      const VertexId n = g.num_vertices();
+      Assignment a(static_cast<std::size_t>(n));
+      for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(k));
+      PartitionState state(g, a, k);
+      FitnessParams params{objective, 1.0};
+
+      for (int trial = 0; trial < 300; ++trial) {
+        const auto v = static_cast<VertexId>(rng.uniform_int(n));
+        for (const double min_gain :
+             {1e-9, 0.0, -std::numeric_limits<double>::infinity()}) {
+          PartId expect_to = -1;
+          double expect_gain = min_gain;
+          int candidates = 0;
+          for (const PartId to : state.neighbor_parts(v)) {
+            const double gain = state.move_gain(v, to, params);
+            ++candidates;
+            if (gain > expect_gain) {
+              expect_gain = gain;
+              expect_to = to;
+            }
+          }
+          const BestMove got = state.best_move(v, params, min_gain);
+          ASSERT_EQ(got.to, expect_to) << "v=" << v;
+          ASSERT_EQ(got.candidates, candidates);
+          if (expect_to >= 0) {
+            ASSERT_EQ(got.gain, expect_gain) << "v=" << v;  // bitwise
+          }
+        }
+        // Random walk to a fresh configuration.
+        state.move(static_cast<VertexId>(rng.uniform_int(n)),
+                   static_cast<PartId>(rng.uniform_int(k)));
+      }
+    }
+  }
+}
+
+TEST(PartitionStateKernel, AppliedBestMoveRealizesItsGain) {
+  Rng rng(0x9a1e);
+  const Graph g = make_grid(8, 8);
+  for (const Objective objective :
+       {Objective::kTotalComm, Objective::kWorstComm}) {
+    Assignment a(64);
+    for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(5));
+    PartitionState state(g, a, 5);
+    const FitnessParams params{objective, 2.0};
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto v = static_cast<VertexId>(rng.uniform_int(64));
+      const BestMove best =
+          state.best_move(v, params, -std::numeric_limits<double>::infinity());
+      if (best.to < 0) continue;
+      const double before = state.fitness(params);
+      state.move(v, best.to);
+      EXPECT_NEAR(state.fitness(params) - before, best.gain, 1e-9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cached max-part cut: must equal a scan of the maintained per-part cuts
+// (exactly) and the brute-force metrics (to tolerance) no matter how moves
+// and kWorstComm fitness reads interleave.
+TEST(PartitionStateMaxCut, CacheMatchesScanUnderRandomMoves) {
+  Rng rng(0x3acc);
+  for (const PartId k : {PartId{2}, PartId{5}, PartId{9}}) {
+    const Graph g = make_connected_geometric(60, 0.2, rng);
+    const VertexId n = g.num_vertices();
+    Assignment a(static_cast<std::size_t>(n));
+    for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(k));
+    PartitionState state(g, a, k);
+    const FitnessParams params{Objective::kWorstComm, 1.0};
+
+    for (int mv = 0; mv < 1500; ++mv) {
+      state.move(static_cast<VertexId>(rng.uniform_int(n)),
+                 static_cast<PartId>(rng.uniform_int(k)));
+      // Exercise both orders of cache use: sometimes read fitness (which
+      // consults the cache) before the invariant check, sometimes not.
+      if (mv % 3 == 0) state.fitness(params);
+      double expect = 0.0;
+      for (PartId q = 0; q < k; ++q) {
+        expect = std::max(expect, state.part_cut(q));
+      }
+      ASSERT_DOUBLE_EQ(state.max_part_cut(), expect) << "after move " << mv;
+      if (mv % 250 == 0) {
+        const auto m = brute_force_metrics(g, state.assignment(), k);
+        ASSERT_NEAR(state.max_part_cut(), m.max_part_cut, 1e-9);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ConnectivityScratch: epoch-stamped clearing and touched-slot tracking.
+TEST(ConnectivityScratch, UsableBeforeFirstBegin) {
+  // A fresh (or freshly resized) scratch must register touched slots even
+  // when the caller forgets the initial begin().
+  ConnectivityScratch s(3);
+  s.add(1, 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  ASSERT_EQ(s.touched().size(), 1u);
+  EXPECT_EQ(s.touched()[0], 1);
+}
+
+TEST(ConnectivityScratch, AccumulatesAndClearsByEpoch) {
+  ConnectivityScratch s(4);
+  s.begin();
+  s.add(2, 1.5);
+  s.add(0, 1.0);
+  s.add(2, 0.5);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[2], 2.0);
+  ASSERT_EQ(s.touched().size(), 2u);
+  EXPECT_EQ(s.touched()[0], 2);  // first-touch order
+  EXPECT_EQ(s.touched()[1], 0);
+
+  s.begin();  // logical clear, no allocation
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+  EXPECT_TRUE(s.touched().empty());
+  s.add(3, 7.0);
+  EXPECT_DOUBLE_EQ(s[3], 7.0);
+
+  s.resize(2);
+  s.begin();
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+// Per-part connectivity derived by the kernel (via neighbor_parts) matches a
+// brute-force accumulation on weighted graphs too.
+TEST(ConnectivityScratch, NeighborPartsMatchBruteForceOnWeightedGraph) {
+  Rng rng(0xc0ed);
+  GraphBuilder b(30);
+  for (int e = 0; e < 90; ++e) {
+    const auto u = static_cast<VertexId>(rng.uniform_int(30));
+    const auto v = static_cast<VertexId>(rng.uniform_int(30));
+    if (u != v) b.add_edge(u, v, 0.25 + rng.uniform());
+  }
+  const Graph g = b.build();
+  const PartId k = 4;
+  Assignment a(30);
+  for (auto& gene : a) gene = static_cast<PartId>(rng.uniform_int(k));
+  PartitionState state(g, a, k);
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<PartId> expect;
+    const PartId p = a[static_cast<std::size_t>(v)];
+    for (VertexId u : g.neighbors(v)) {
+      const PartId q = a[static_cast<std::size_t>(u)];
+      if (q != p) expect.push_back(q);
+    }
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    EXPECT_EQ(state.neighbor_parts(v), expect) << "vertex " << v;
+  }
+}
 
 }  // namespace
 }  // namespace gapart
