@@ -1,7 +1,9 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "common/assert.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/init.hpp"
@@ -21,6 +23,45 @@ RunSettings RunSettings::from_cli(const CliArgs& args, int default_gens,
   s.base_seed = static_cast<std::uint64_t>(
       args.integer("seed", static_cast<int>(s.base_seed)));
   return s;
+}
+
+DamagedGrid damaged_block_grid(VertexId n, PartId k, int damage,
+                               std::uint64_t seed) {
+  DamagedGrid out;
+  const VertexId total = n * n;
+  out.start.resize(static_cast<std::size_t>(total));
+  for (VertexId v = 0; v < total; ++v) {
+    out.start[static_cast<std::size_t>(v)] = static_cast<PartId>(
+        std::min<std::int64_t>(k - 1, static_cast<std::int64_t>(v) * k / total));
+  }
+  // The scramble window is the 8n+1 cells around the centre — fewer on
+  // grids small enough for the clamp below to fold it onto the edges.
+  // Re-drawing on collision keeps `damaged` duplicate-free (the nominal
+  // damage count is the number of distinct scrambled vertices), so the
+  // window must stay strictly larger than the damage or the redraw loop
+  // could never find a free cell.
+  const std::int64_t window =
+      std::min<std::int64_t>(8 * static_cast<std::int64_t>(n) + 1, total);
+  GAPART_REQUIRE(damage < window, "damage ", damage, " not below the ",
+                 window, "-cell scramble window of an n = ", n, " grid");
+  Rng rng(seed);
+  const VertexId center = total / 2;
+  std::vector<char> hit(static_cast<std::size_t>(total), 0);
+  for (int i = 0; i < damage; ++i) {
+    // Scramble within a window around the centre so the damage is localized.
+    VertexId v;
+    do {
+      v = static_cast<VertexId>(std::clamp<std::int64_t>(
+          center + rng.uniform_int(-4 * static_cast<int>(n),
+                                   4 * static_cast<int>(n)),
+          0, total - 1));
+    } while (hit[static_cast<std::size_t>(v)]);
+    hit[static_cast<std::size_t>(v)] = 1;
+    out.start[static_cast<std::size_t>(v)] =
+        static_cast<PartId>(rng.uniform_int(k));
+    out.damaged.push_back(v);
+  }
+  return out;
 }
 
 DpgaConfig harness_dpga_config(PartId num_parts, Objective objective,

@@ -80,6 +80,18 @@ InitFactory incremental_init(const Graph& grown, const Assignment& previous,
                              PartId num_parts, int population,
                              double swap_fraction = 0.08);
 
+/// Contiguous block partition of an n x n grid with `damage` vertices
+/// scrambled inside a window around the grid centre — the localized-update
+/// regime shared by the seeded-repair fuzz tests and
+/// bench/micro_incremental_repair (one definition so the tests validate
+/// exactly the regime the bench measures).
+struct DamagedGrid {
+  Assignment start;
+  std::vector<VertexId> damaged;  ///< the scrambled vertices
+};
+DamagedGrid damaged_block_grid(VertexId n, PartId k, int damage,
+                               std::uint64_t seed);
+
 /// Formats a paper-vs-measured pair like "63 / 58.0".
 std::string paper_vs(double paper_value, double measured);
 

@@ -1,0 +1,228 @@
+// Incremental-repair microbench: damage size vs repair cost.
+//
+// Two question sets, emitted as JSON for the BENCH_incremental_repair.json
+// trajectory:
+//
+//   repair:   on an n x n grid with a contiguous block partition and d
+//             scrambled vertices (localized damage), how much work does each
+//             repair strategy do?  Strategies: worklist-seeded frontier
+//             climb (with and without the full-boundary verification
+//             rounds), full-boundary frontier, and the paper-faithful
+//             sweep.  "examined" (gain-kernel probes) is the work unit; the
+//             seeded cascade should track d while sweep tracks |V| — and,
+//             at >= 512^2 / k=2, the thin-front regime ROADMAP asks about,
+//             frontier vs sweep is answered by the same rows.
+//
+//   pipeline: the tiered incremental_repartition (GA tier off) on grids
+//             grown by appended rows: per-tier moves / probes / seconds, so
+//             the damage-proportionality of the whole pipeline — not just
+//             the climb — is on record.
+//
+//   ./bench/micro_incremental_repair [--seconds=0.2] [--quick] > repair.json
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/graph_delta.hpp"
+#include "core/hill_climb.hpp"
+#include "core/incremental.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace {
+
+using namespace gapart;
+
+struct RepairRow {
+  std::string method;
+  VertexId n = 0;  // grid side
+  PartId k = 2;
+  int damage = 0;
+  int reps = 0;
+  std::int64_t moves = 0;
+  std::int64_t examined = 0;
+  std::int64_t passes = 0;
+  double seconds = 0.0;
+  double final_fitness = 0.0;
+};
+
+RepairRow bench_repair(const Graph& g, VertexId n, PartId k, int damage,
+                       const std::string& method, double budget) {
+  RepairRow row;
+  row.method = method;
+  row.n = n;
+  row.k = k;
+  row.damage = damage;
+  // Same generator as the seeded-repair fuzz tests (bench_common).
+  const bench::DamagedGrid d = bench::damaged_block_grid(
+      n, k, damage,
+      0xDA11A6E ^ (static_cast<std::uint64_t>(n) * 17 +
+                   static_cast<std::uint64_t>(k)));
+
+  HillClimbOptions opt;
+  opt.max_passes = 50;
+  const bool seeded = method == "seeded" || method == "seeded_noverify";
+  if (method == "seeded_noverify") opt.verify_fixed_point = false;
+  if (method == "frontier") opt.mode = HillClimbMode::kFrontier;
+  if (method == "sweep") opt.mode = HillClimbMode::kSweep;
+
+  // The budget bounds the whole rep — the O(V+E) PartitionState rebuild
+  // included — so total bench wall-clock stays ~rows x budget even for
+  // methods whose climbs are far cheaper than the rebuild.  `seconds`
+  // reports climb time only (the quantity under measurement).
+  double climb_seconds = 0.0;
+  double elapsed = 0.0;
+  while (elapsed < budget || row.reps == 0) {
+    WallTimer rep_timer;
+    PartitionState state(g, d.start, k);
+    WallTimer timer;
+    const HillClimbResult res = seeded
+                                    ? hill_climb_from(state, d.damaged, opt)
+                                    : hill_climb(state, opt);
+    climb_seconds += timer.seconds();
+    row.moves += res.moves;
+    row.examined += res.examined;
+    row.passes += res.passes;
+    row.final_fitness = state.fitness(opt.fitness);
+    ++row.reps;
+    elapsed += rep_timer.seconds();
+  }
+  row.seconds = climb_seconds;
+  return row;
+}
+
+struct PipelineRow {
+  VertexId n = 0;      // base grid side (square)
+  VertexId grow_rows = 0;
+  PartId k = 2;
+  VertexId damage = 0;
+  std::vector<IncrementalTierStats> tiers;
+  double best_fitness = 0.0;
+  double seconds = 0.0;
+};
+
+PipelineRow bench_pipeline(VertexId n, VertexId grow_rows, PartId k) {
+  PipelineRow row;
+  row.n = n;
+  row.grow_rows = grow_rows;
+  row.k = k;
+
+  const Graph old_g = make_grid(n, n);
+  const Graph grown = make_grid(n + grow_rows, n);
+
+  // Previous partition: repaired block partition of the old grid (the
+  // shared generator with zero damage).
+  Assignment prev = bench::damaged_block_grid(n, k, /*damage=*/0, 0).start;
+  HillClimbOptions settle;
+  settle.mode = HillClimbMode::kFrontier;
+  settle.max_passes = 10;
+  hill_climb(old_g, prev, k, settle);
+
+  IncrementalGaOptions opt;
+  opt.dpga.ga.num_parts = k;
+  opt.refine_with_ga = false;  // measure the damage-proportional tiers
+  Rng rng(0x1A2B);
+  const GraphDelta delta = diff_graphs(old_g, grown);
+  WallTimer timer;
+  const IncrementalResult res =
+      incremental_repartition(grown, prev, delta, opt, rng);
+  row.seconds = timer.seconds();
+  row.damage = res.damage;
+  row.tiers = res.tiers;
+  row.best_fitness = res.best_fitness;
+  return row;
+}
+
+void emit_json(const std::vector<RepairRow>& repair,
+               const std::vector<PipelineRow>& pipeline) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"micro_incremental_repair\",\n");
+  std::printf("  \"repair\": [\n");
+  for (std::size_t i = 0; i < repair.size(); ++i) {
+    const RepairRow& r = repair[i];
+    std::printf(
+        "    {\"method\": \"%s\", \"n\": %d, \"k\": %d, \"damage\": %d, "
+        "\"reps\": %d, \"moves\": %lld, \"examined\": %lld, "
+        "\"passes\": %lld, \"seconds\": %.4f, \"examined_per_rep\": %.1f, "
+        "\"final_fitness\": %.6f}%s\n",
+        r.method.c_str(), static_cast<int>(r.n), static_cast<int>(r.k),
+        r.damage, r.reps, static_cast<long long>(r.moves),
+        static_cast<long long>(r.examined), static_cast<long long>(r.passes),
+        r.seconds,
+        r.reps > 0 ? static_cast<double>(r.examined) / r.reps : 0.0,
+        r.final_fitness, i + 1 < repair.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"pipeline\": [\n");
+  for (std::size_t i = 0; i < pipeline.size(); ++i) {
+    const PipelineRow& p = pipeline[i];
+    std::printf(
+        "    {\"n\": %d, \"grow_rows\": %d, \"k\": %d, \"damage\": %d, "
+        "\"best_fitness\": %.6f, \"seconds\": %.4f, \"tiers\": [",
+        static_cast<int>(p.n), static_cast<int>(p.grow_rows),
+        static_cast<int>(p.k), static_cast<int>(p.damage), p.best_fitness,
+        p.seconds);
+    for (std::size_t t = 0; t < p.tiers.size(); ++t) {
+      const auto& tier = p.tiers[t];
+      std::printf(
+          "{\"name\": \"%s\", \"moves\": %d, \"examined\": %lld, "
+          "\"evaluations\": %lld, \"fitness_after\": %.6f, "
+          "\"seconds\": %.4f}%s",
+          tier.name.c_str(), tier.moves,
+          static_cast<long long>(tier.examined),
+          static_cast<long long>(tier.evaluations), tier.fitness_after,
+          tier.seconds, t + 1 < p.tiers.size() ? ", " : "");
+    }
+    std::printf("]}%s\n", i + 1 < pipeline.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool quick = args.flag("quick") || quick_mode_enabled();
+  const double budget = args.real("seconds", quick ? 0.02 : 0.2);
+
+  std::vector<VertexId> sizes = quick ? std::vector<VertexId>{64, 128}
+                                      : std::vector<VertexId>{128, 256, 512};
+  std::vector<int> damages =
+      quick ? std::vector<int>{8, 64} : std::vector<int>{8, 32, 128, 512};
+
+  std::vector<RepairRow> repair;
+  for (const VertexId n : sizes) {
+    const Graph g = make_grid(n, n);
+    for (const PartId k : {PartId{2}, PartId{16}}) {
+      for (const int d : damages) {
+        if (d > static_cast<int>(n)) continue;  // keep damage localized
+        repair.push_back(bench_repair(g, n, k, d, "seeded", budget));
+        repair.push_back(bench_repair(g, n, k, d, "seeded_noverify", budget));
+      }
+      // Repartition-style baselines at one representative damage, also the
+      // >= 512^2 / k=2 thin-front frontier-vs-sweep datapoint ROADMAP asks
+      // to re-measure.
+      const int d_rep = quick ? 64 : 128;
+      repair.push_back(bench_repair(g, n, k, d_rep, "frontier", budget));
+      repair.push_back(bench_repair(g, n, k, d_rep, "sweep", budget));
+    }
+  }
+
+  std::vector<PipelineRow> pipeline;
+  const std::vector<VertexId> pipe_sizes =
+      quick ? std::vector<VertexId>{64} : std::vector<VertexId>{64, 128, 256};
+  for (const VertexId n : pipe_sizes) {
+    for (const VertexId grow : {VertexId{1}, VertexId{4}, VertexId{16}}) {
+      pipeline.push_back(bench_pipeline(n, grow, 8));
+    }
+  }
+
+  emit_json(repair, pipeline);
+  return 0;
+}

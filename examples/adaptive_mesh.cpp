@@ -97,13 +97,31 @@ int main(int argc, char** argv) {
     const Mesh refined = densify_mesh(mesh, domain, extra, rng);
     const Graph& g = refined.graph;
 
-    // (a) incremental DKNUX, seeded from `current`.
-    WallTimer t_ga;
+    // (a) the tiered incremental pipeline: greedy extension -> worklist-
+    // seeded repair -> DKNUX refinement.  densify_mesh re-triangulates, so
+    // survivors near the refinement disc get rewired: diff_graphs gives the
+    // exact damage (appended range + perturbed survivors) and the repair
+    // tier's worklist starts from precisely those vertices.
     IncrementalGaOptions inc;
     inc.dpga = config;
-    const DpgaResult ga = incremental_repartition(g, current, inc, rng);
-    const auto m_ga = compute_metrics(g, ga.best, parts);
-    const double ga_sec = t_ga.seconds();
+    const GraphDelta delta = diff_graphs(mesh.graph, g);
+    const IncrementalResult ga =
+        incremental_repartition(g, current, delta, inc, rng);
+    const PartitionMetrics& m_ga = ga.best_metrics;
+    const double ga_sec = ga.wall_seconds;
+
+    std::printf("step %d damage: %d of %d vertices (%d new, %zu rewired)\n",
+                step, static_cast<int>(ga.damage),
+                static_cast<int>(g.num_vertices()),
+                static_cast<int>(delta.num_new(g)), delta.touched_old.size());
+    for (const auto& tier : ga.tiers) {
+      std::printf(
+          "  tier %-14s fitness %10.1f  moves %5d  examined %6lld  "
+          "evals %8lld  %.3fs\n",
+          tier.name.c_str(), tier.fitness_after, tier.moves,
+          static_cast<long long>(tier.examined),
+          static_cast<long long>(tier.evaluations), tier.seconds);
+    }
 
     // (b) RSB from scratch.
     WallTimer t_rsb;

@@ -1,6 +1,8 @@
 #include "baselines/greedy_incremental.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -33,35 +35,54 @@ Assignment greedy_incremental_assign(const Graph& grown,
   // neighbour when a vertex gets its part, instead of rescanning every
   // pending adjacency list per pick.
   std::vector<std::int32_t> assigned_nbrs(static_cast<std::size_t>(n), 0);
-  std::vector<VertexId> pending;
+
+  // Most-constrained-first ("most assigned neighbours, ties toward the
+  // lowest vertex id") via a lazy bucket queue instead of an O(P) scan per
+  // pick: buckets[c] is a min-heap (by id) of vertices pushed when their
+  // count reached c.  Counts only grow, so every pending vertex keeps a
+  // live entry in buckets[count(v)] and entries left in lower buckets are
+  // stale — discarded at pop.  Total pushes are O(new + E), each pop
+  // O(log), versus Theta(P^2) for the scan; the heap makes the pick the
+  // lowest id in the highest bucket, bit-identical to the scan's tie-break.
+  using MinIdHeap =
+      std::priority_queue<VertexId, std::vector<VertexId>, std::greater<>>;
+  std::vector<MinIdHeap> buckets;
+  std::int32_t cur_max = 0;
+  const auto push_bucket = [&](VertexId v, std::int32_t c) {
+    if (static_cast<std::size_t>(c) >= buckets.size()) {
+      buckets.resize(static_cast<std::size_t>(c) + 1);
+    }
+    buckets[static_cast<std::size_t>(c)].push(v);
+    cur_max = std::max(cur_max, c);
+  };
   for (VertexId v = n_old; v < n; ++v) {
     std::int32_t c = 0;
     for (VertexId u : grown.neighbors(v)) {
       c += out[static_cast<std::size_t>(u)] >= 0;
     }
     assigned_nbrs[static_cast<std::size_t>(v)] = c;
-    pending.push_back(v);
+    push_bucket(v, c);
   }
 
   // Edge-weighted majority votes accumulate in an epoch-stamped scratch:
   // no per-vertex allocation, no O(num_parts) clear.
   ConnectivityScratch votes(static_cast<std::size_t>(num_parts));
 
-  while (!pending.empty()) {
-    // Most-constrained-first: the pending vertex with the most assigned
-    // neighbours (stable tie-break on id for determinism).
-    std::size_t pick = 0;
-    std::int32_t pick_count = -1;
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      const std::int32_t c =
-          assigned_nbrs[static_cast<std::size_t>(pending[i])];
-      if (c > pick_count) {
-        pick_count = c;
-        pick = i;
+  for (VertexId remaining = n - n_old; remaining > 0; --remaining) {
+    VertexId v = -1;
+    while (v < 0) {
+      auto& bucket = buckets[static_cast<std::size_t>(cur_max)];
+      if (bucket.empty()) {
+        --cur_max;
+        continue;
+      }
+      const VertexId cand = bucket.top();
+      bucket.pop();
+      if (out[static_cast<std::size_t>(cand)] < 0 &&
+          assigned_nbrs[static_cast<std::size_t>(cand)] == cur_max) {
+        v = cand;
       }
     }
-    const VertexId v = pending[pick];
-    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
 
     votes.begin();
     const auto nbrs = grown.neighbors(v);
@@ -84,7 +105,7 @@ Assignment greedy_incremental_assign(const Graph& grown,
     part_weight[static_cast<std::size_t>(choice)] += grown.vertex_weight(v);
     for (VertexId u : nbrs) {
       if (out[static_cast<std::size_t>(u)] < 0) {
-        ++assigned_nbrs[static_cast<std::size_t>(u)];
+        push_bucket(u, ++assigned_nbrs[static_cast<std::size_t>(u)]);
       }
     }
   }

@@ -9,6 +9,25 @@ namespace gapart {
 
 namespace {
 
+/// Preconditions shared by every overload.  Factored out so the chromosome
+/// overload can check them *before* moving the caller's genes into a
+/// PartitionState (strong guarantee).
+void validate_options(const Graph& g, const HillClimbOptions& options) {
+  GAPART_REQUIRE(options.max_passes >= 1, "need at least one pass");
+  if (options.mode == HillClimbMode::kFrontier) {
+    GAPART_REQUIRE(options.min_gain > 0.0,
+                   "frontier mode needs min_gain > 0 to terminate, got ",
+                   options.min_gain);
+    // filter_boundary re-checks seed ranges, but that happens after the
+    // chromosome overload has moved the caller's genes into a
+    // PartitionState — the strong guarantee needs the check up front.
+    for (const VertexId v : options.seed_vertices) {
+      GAPART_REQUIRE(v >= 0 && v < g.num_vertices(), "seed vertex ", v,
+                     " out of range for |V| = ", g.num_vertices());
+    }
+  }
+}
+
 /// Paper-faithful sweep: ascending vertex scan per pass.  The boundary test
 /// is an O(1) flag and best_move() is the single-scan gain kernel, but the
 /// decisions (move order, destinations, gains) are identical to probing
@@ -23,6 +42,7 @@ HillClimbResult climb_sweep(PartitionState& state, const FitnessParams& params,
     int moves_this_pass = 0;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (!state.is_boundary(v)) continue;
+      ++result.examined;
       const BestMove best = state.best_move(v, params, options.min_gain);
       if (best.to >= 0) {
         state.move(v, best.to);
@@ -36,59 +56,68 @@ HillClimbResult climb_sweep(PartitionState& state, const FitnessParams& params,
   return result;
 }
 
-/// Frontier worklist: after a pass over the seed boundary, follow-up passes
+/// Frontier worklist: after a pass over the initial worklist — the full
+/// boundary, or options.seed_vertices filtered to it — follow-up passes
 /// examine only vertices enqueued when a move changed their neighbourhood.
 /// Each pass processes its worklist ascending, so runs are deterministic.
 /// Because the composite objective couples distant vertices through the
 /// part weights (and, under kWorstComm, the max-cut term), a drained
 /// worklist does not by itself prove optimality: whenever it drains after
-/// productive passes, one full-boundary verification pass re-seeds it, and
-/// the climb only stops once a full pass finds nothing — the same
-/// fixed-point class as sweep, without ever scanning interior vertices.
+/// productive passes (or after any seeded cascade), one full-boundary
+/// verification round re-seeds it, and the climb only stops once a full
+/// round finds nothing — the same fixed-point class as sweep, without ever
+/// scanning interior vertices.  verify_fixed_point=false skips those rounds
+/// and stops at the drained worklist.
 ///
 /// max_passes budgets *full-boundary rounds* (the analogue of one sweep
-/// pass); the worklist cascade between rounds is not charged against it and
-/// terminates on its own because every accepted move improves fitness by
-/// more than min_gain > 0.
+/// pass); the worklist cascade between rounds — and the whole seeded cascade
+/// — is not charged against it and terminates on its own because every
+/// accepted move improves fitness by more than min_gain > 0.
 HillClimbResult climb_frontier(PartitionState& state,
                                const FitnessParams& params,
                                const HillClimbOptions& options) {
-  GAPART_REQUIRE(options.min_gain > 0.0,
-                 "frontier mode needs min_gain > 0 to terminate, got ",
-                 options.min_gain);
   HillClimbResult result;
   const Graph& g = state.graph();
+  const bool seeded = !options.seed_vertices.empty();
 
-  std::vector<char> queued(static_cast<std::size_t>(g.num_vertices()), 0);
-  std::vector<VertexId> current = state.boundary_vertices();
-  for (const VertexId v : current) queued[static_cast<std::size_t>(v)] = 1;
+  // Worklist-membership flags: the state's epoch-stamped scratch, so a
+  // seeded cascade touching d vertices costs O(d) — no O(V) allocation or
+  // memset per climb.
+  EpochFlags& queued = state.visit_scratch();
+  std::vector<VertexId> current = seeded
+                                      ? state.filter_boundary(options.seed_vertices)
+                                      : state.boundary_vertices();
+  for (const VertexId v : current) queued.set(v);
   std::vector<VertexId> next;
 
   const auto enqueue = [&](VertexId u) {
-    if (!queued[static_cast<std::size_t>(u)] && state.is_boundary(u)) {
-      queued[static_cast<std::size_t>(u)] = 1;
+    if (!queued.test(u) && state.is_boundary(u)) {
+      queued.set(u);
       next.push_back(u);
     }
   };
 
-  bool full_pass = true;  // current covers the entire boundary
-  int full_rounds = 1;    // the seed pass is round 1
+  bool full_pass = !seeded;  // current covers the entire boundary
+  int full_rounds = seeded ? 0 : 1;  // an unseeded seed pass is round 1
   bool moved_since_full_pass = false;
-  while (!current.empty()) {
-    ++result.passes;
+  while (true) {
     int moves_this_pass = 0;
-    for (const VertexId v : current) {
-      queued[static_cast<std::size_t>(v)] = 0;
-      if (!state.is_boundary(v)) continue;
-      const BestMove best = state.best_move(v, params, options.min_gain);
-      if (best.to < 0) continue;
-      state.move(v, best.to);
-      ++moves_this_pass;
-      result.fitness_gain += best.gain;
-      enqueue(v);
-      for (const VertexId u : g.neighbors(v)) enqueue(u);
+    if (!current.empty()) {
+      ++result.passes;
+      for (const VertexId v : current) {
+        queued.reset(v);
+        if (!state.is_boundary(v)) continue;
+        ++result.examined;
+        const BestMove best = state.best_move(v, params, options.min_gain);
+        if (best.to < 0) continue;
+        state.move(v, best.to);
+        ++moves_this_pass;
+        result.fitness_gain += best.gain;
+        enqueue(v);
+        for (const VertexId u : g.neighbors(v)) enqueue(u);
+      }
+      result.moves += moves_this_pass;
     }
-    result.moves += moves_this_pass;
     if (full_pass && moves_this_pass == 0) break;  // verified fixed point
     moved_since_full_pass |= moves_this_pass > 0;
 
@@ -97,11 +126,17 @@ HillClimbResult climb_frontier(PartitionState& state,
       current.swap(next);
       next.clear();
       full_pass = false;
-    } else if (moved_since_full_pass && full_rounds < options.max_passes) {
+    } else if (options.verify_fixed_point &&
+               (moved_since_full_pass || full_rounds == 0) &&
+               full_rounds < options.max_passes) {
+      // Drained.  A seeded climb always owes one verification round
+      // (full_rounds == 0); otherwise one is owed only after productive
+      // passes since the last full round.
       current = state.boundary_vertices();
-      for (const VertexId v : current) queued[static_cast<std::size_t>(v)] = 1;
+      for (const VertexId v : current) queued.set(v);
       full_pass = true;
       ++full_rounds;
+      ++result.verify_rounds;
       moved_since_full_pass = false;
     } else {
       break;
@@ -113,13 +148,32 @@ HillClimbResult climb_frontier(PartitionState& state,
 HillClimbResult climb_impl(PartitionState& state, const FitnessParams& params,
                            const HillClimbOptions& options,
                            const EvalContext* eval) {
-  GAPART_REQUIRE(options.max_passes >= 1, "need at least one pass");
+  validate_options(state.graph(), options);
   const HillClimbResult result =
       options.mode == HillClimbMode::kFrontier
           ? climb_frontier(state, params, options)
           : climb_sweep(state, params, options);
   if (eval != nullptr) eval->count_delta(result.moves);
   return result;
+}
+
+HillClimbOptions with_seeds(const HillClimbOptions& options,
+                            std::span<const VertexId> seeds) {
+  HillClimbOptions seeded = options;
+  seeded.mode = HillClimbMode::kFrontier;
+  seeded.seed_vertices.assign(seeds.begin(), seeds.end());
+  return seeded;
+}
+
+/// Zero seeds = zero damage: without verification rounds there is nothing to
+/// do, and falling through would run a full-boundary frontier climb — the
+/// maximum cost for the minimum damage.  Preconditions are still enforced,
+/// so a misconfigured caller fails the same way whatever its damage set.
+bool seeded_noop(const Graph& g, std::span<const VertexId> seeds,
+                 const HillClimbOptions& seeded_options) {
+  if (!seeds.empty() || seeded_options.verify_fixed_point) return false;
+  validate_options(g, seeded_options);
+  return true;
 }
 
 }  // namespace
@@ -131,6 +185,13 @@ HillClimbResult hill_climb(PartitionState& state,
 
 HillClimbResult hill_climb(const Graph& g, Assignment& genes, PartId num_parts,
                            const HillClimbOptions& options) {
+  // Every precondition — the state's own and the climber's — is checked
+  // before `genes` is moved, so a throw leaves the caller's assignment
+  // intact rather than moved-from.
+  GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  GAPART_REQUIRE(is_valid_assignment(g, genes, num_parts),
+                 "invalid assignment for ", num_parts, " parts");
+  validate_options(g, options);
   PartitionState state(g, std::move(genes), num_parts);
   const HillClimbResult result = hill_climb(state, options);
   genes = std::move(state).release_assignment();
@@ -140,6 +201,22 @@ HillClimbResult hill_climb(const Graph& g, Assignment& genes, PartId num_parts,
 HillClimbResult hill_climb(const EvalContext& eval, PartitionState& state,
                            const HillClimbOptions& options) {
   return climb_impl(state, eval.params(), options, &eval);
+}
+
+HillClimbResult hill_climb_from(PartitionState& state,
+                                std::span<const VertexId> seeds,
+                                const HillClimbOptions& options) {
+  const HillClimbOptions seeded = with_seeds(options, seeds);
+  if (seeded_noop(state.graph(), seeds, seeded)) return {};
+  return hill_climb(state, seeded);
+}
+
+HillClimbResult hill_climb_from(const EvalContext& eval, PartitionState& state,
+                                std::span<const VertexId> seeds,
+                                const HillClimbOptions& options) {
+  const HillClimbOptions seeded = with_seeds(options, seeds);
+  if (seeded_noop(state.graph(), seeds, seeded)) return {};
+  return hill_climb(eval, state, seeded);
 }
 
 }  // namespace gapart

@@ -13,7 +13,18 @@
 //                per pass entirely and reaches the same kind of local
 //                optimum (no boundary vertex has an improving move), though
 //                possibly via a different move order.
+//
+// Frontier mode additionally supports *worklist seeding*: instead of the
+// whole boundary, the initial worklist can be a caller-supplied vertex set —
+// the vertices an incremental mesh update actually touched.  The cascade
+// then costs O(damage), and the usual full-boundary verification rounds
+// (unless disabled) restore the sweep fixed-point class.  This is the
+// damage-proportional repair primitive behind incremental_repartition.
 #pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "core/eval.hpp"
 #include "graph/partition.hpp"
@@ -30,17 +41,37 @@ struct HillClimbOptions {
   FitnessParams fitness;
   HillClimbMode mode = HillClimbMode::kSweep;
   /// kSweep: full vertex scans.  kFrontier: full-boundary rounds — the
-  /// worklist cascade between rounds is not charged against this budget.
+  /// worklist cascade between rounds is not charged against this budget,
+  /// and a seeded cascade (seed_vertices non-empty) is free as well.
   int max_passes = 4;
   /// Minimum fitness improvement for a move to be taken.  Must be positive
   /// in kFrontier mode (it bounds the worklist cascade).
   double min_gain = 1e-9;
+  /// kFrontier only: when non-empty, the initial worklist is this vertex set
+  /// (filtered to the live boundary, deduplicated) instead of the whole
+  /// boundary.  The cascade from the seeds costs O(damage), after which the
+  /// verification rounds below take over.  Ignored by kSweep.
+  std::vector<VertexId> seed_vertices;
+  /// kFrontier only: once the worklist drains, re-seed it from the full
+  /// boundary and only stop when a full round finds nothing — the same
+  /// fixed-point class as sweep (the composite objective couples distant
+  /// vertices through the part weights, so a drained worklist alone proves
+  /// nothing).  Disable to stop at the drained worklist: cost then stays
+  /// proportional to the seeded cascade, but the result is only settled
+  /// around the seeds, not a verified local optimum.
+  bool verify_fixed_point = true;
 };
 
 struct HillClimbResult {
   int passes = 0;
   int moves = 0;
   double fitness_gain = 0.0;
+  /// Boundary vertices probed with the gain kernel (the unit of local-search
+  /// work; each probe is O(deg + k_adjacent)).
+  std::int64_t examined = 0;
+  /// kFrontier: full-boundary verification rounds run after a seeded or
+  /// cascaded worklist drained (0 in kSweep).
+  int verify_rounds = 0;
 };
 
 /// Climbs `state` to a local optimum (or until max_passes).  Monotone:
@@ -48,7 +79,9 @@ struct HillClimbResult {
 HillClimbResult hill_climb(PartitionState& state,
                            const HillClimbOptions& options = {});
 
-/// Convenience overload operating on a chromosome.
+/// Convenience overload operating on a chromosome.  Strong guarantee: when a
+/// precondition fails (invalid assignment, bad options) the exception leaves
+/// `genes` untouched.
 HillClimbResult hill_climb(const Graph& g, Assignment& genes, PartId num_parts,
                            const HillClimbOptions& options = {});
 
@@ -58,5 +91,21 @@ HillClimbResult hill_climb(const Graph& g, Assignment& genes, PartId num_parts,
 /// maintained fitness keep the evaluation totals honest.
 HillClimbResult hill_climb(const EvalContext& eval, PartitionState& state,
                            const HillClimbOptions& options = {});
+
+/// Damage-proportional repair entry point: a kFrontier climb whose worklist
+/// starts from `seeds` instead of the whole boundary (equivalent to setting
+/// options.seed_vertices; options.mode is ignored).  Seeds outside the
+/// current boundary are skipped; out-of-range ids throw.  An empty seed set
+/// cascades nothing: with verify_fixed_point the climb is just the
+/// verification rounds (O(boundary), still yielding a verified local
+/// optimum); without it, a no-op.
+HillClimbResult hill_climb_from(PartitionState& state,
+                                std::span<const VertexId> seeds,
+                                const HillClimbOptions& options = {});
+
+/// EvalContext-aware seeded repair (accounting as in the eval overload).
+HillClimbResult hill_climb_from(const EvalContext& eval, PartitionState& state,
+                                std::span<const VertexId> seeds,
+                                const HillClimbOptions& options = {});
 
 }  // namespace gapart

@@ -38,6 +38,12 @@ Assignment incremental_seed_assignment(const Graph& grown,
   const auto n_old = static_cast<VertexId>(previous.size());
   GAPART_REQUIRE(n_old <= n, "previous assignment larger than grown graph");
   GAPART_REQUIRE(num_parts >= 1, "need at least one part");
+  // Same contract as the greedy baseline: a stale part id would silently
+  // index the part-weight array out of range below.
+  for (const PartId p : previous) {
+    GAPART_REQUIRE(p >= 0 && p < num_parts, "previous assignment part ", p,
+                   " out of range for ", num_parts, " parts");
+  }
 
   Assignment out(static_cast<std::size_t>(n));
   std::copy(previous.begin(), previous.end(), out.begin());

@@ -49,6 +49,7 @@
 #include "core/dpga.hpp"           // IWYU pragma: export
 #include "core/eval.hpp"           // IWYU pragma: export
 #include "core/ga_engine.hpp"      // IWYU pragma: export
+#include "core/graph_delta.hpp"    // IWYU pragma: export
 #include "core/hill_climb.hpp"     // IWYU pragma: export
 #include "core/incremental.hpp"    // IWYU pragma: export
 #include "core/individual.hpp"     // IWYU pragma: export

@@ -67,4 +67,35 @@ class ConnectivityScratch {
   std::uint64_t epoch_ = 1;
 };
 
+/// Dense per-vertex flag set with O(1) logical clearing via version stamps —
+/// the vertex-indexed sibling of ConnectivityScratch (worklist membership,
+/// visited marks).  Allocated once per graph; clear() bumps the epoch, so a
+/// frontier climb touching d vertices costs O(d), not an O(V) memset.
+class EpochFlags {
+ public:
+  EpochFlags() = default;
+  explicit EpochFlags(std::size_t num_slots) { resize(num_slots); }
+
+  void resize(std::size_t num_slots) {
+    // Stamps start at 0, so the epoch must not (see ConnectivityScratch).
+    stamp_.assign(num_slots, 0);
+    epoch_ = 1;
+  }
+
+  std::size_t size() const { return stamp_.size(); }
+
+  /// All flags become logically false.
+  void clear() { ++epoch_; }
+
+  void set(VertexId v) { stamp_[static_cast<std::size_t>(v)] = epoch_; }
+  void reset(VertexId v) { stamp_[static_cast<std::size_t>(v)] = 0; }
+  bool test(VertexId v) const {
+    return stamp_[static_cast<std::size_t>(v)] == epoch_;
+  }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 1;
+};
+
 }  // namespace gapart

@@ -106,6 +106,7 @@ PartitionState::PartitionState(const Graph& g, Assignment a, PartId num_parts)
   }
 
   conn_.resize(static_cast<std::size_t>(num_parts_));
+  visit_flags_.resize(n);
 }
 
 double PartitionState::max_part_cut() const {
@@ -342,6 +343,20 @@ double PartitionState::move_gain(VertexId v, PartId to,
 std::vector<VertexId> PartitionState::boundary_vertices() const {
   std::vector<VertexId> out = frontier_;
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VertexId> PartitionState::filter_boundary(
+    std::span<const VertexId> seeds) const {
+  std::vector<VertexId> out;
+  out.reserve(seeds.size());
+  for (const VertexId v : seeds) {
+    GAPART_REQUIRE(v >= 0 && v < g_->num_vertices(), "seed vertex ", v,
+                   " out of range for |V| = ", g_->num_vertices());
+    if (is_boundary(v)) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -148,6 +149,21 @@ class PartitionState {
   /// All boundary vertices, ascending (sorted copy of the frontier).
   std::vector<VertexId> boundary_vertices() const;
 
+  /// The subset of `seeds` currently on the boundary, ascending and
+  /// deduplicated — filtered frontier seeding for worklist-seeded repair
+  /// (hill_climb_from).  O(|seeds| log |seeds|); out-of-range ids throw.
+  std::vector<VertexId> filter_boundary(std::span<const VertexId> seeds) const;
+
+  /// Graph-sized epoch-stamped flag scratch for callers' worklist
+  /// bookkeeping (frontier climbs), handed out logically cleared.  Allocated
+  /// once with the state, so a seeded repair touching d vertices costs O(d)
+  /// — not an O(V) allocation + memset per climb.  Same single-caller
+  /// discipline as the connectivity scratch: one climb at a time per state.
+  EpochFlags& visit_scratch() {
+    visit_flags_.clear();
+    return visit_flags_;
+  }
+
   /// Parts adjacent to v (excluding v's own part), ascending, deduplicated.
   /// Thin wrapper over the connectivity scan; prefer best_move() in hot code.
   std::vector<PartId> neighbor_parts(VertexId v) const;
@@ -205,6 +221,7 @@ class PartitionState {
 
   // Reusable kernel scratch (see class comment re: thread safety).
   mutable ConnectivityScratch conn_;
+  EpochFlags visit_flags_;
 };
 
 }  // namespace gapart

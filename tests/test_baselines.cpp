@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "baselines/greedy_incremental.hpp"
 #include "baselines/kl.hpp"
 #include "baselines/rcb.hpp"
@@ -211,6 +216,100 @@ TEST(GreedyIncremental, ValidatesInputs) {
   const Graph g = make_path(3);
   EXPECT_THROW(greedy_incremental_assign(g, {0, 0, 0, 0}, 2), Error);
   EXPECT_THROW(greedy_incremental_assign(g, {0, 7}, 2), Error);
+}
+
+/// Reference most-constrained-first extension, kept verbatim from the
+/// pre-optimization implementation: order-preserving erase() keeps `pending`
+/// ascending, so "first max in scan order" is the lowest-id max-count
+/// vertex.  The production code's lazy bucket queue (min-id heap per count)
+/// must pick the same vertex every round — golden-tested here.
+Assignment reference_greedy_incremental(const Graph& grown,
+                                        const Assignment& previous,
+                                        PartId num_parts) {
+  const VertexId n = grown.num_vertices();
+  const auto n_old = static_cast<VertexId>(previous.size());
+  Assignment out(static_cast<std::size_t>(n), -1);
+  std::copy(previous.begin(), previous.end(), out.begin());
+  std::vector<double> part_weight(static_cast<std::size_t>(num_parts), 0.0);
+  for (VertexId v = 0; v < n_old; ++v) {
+    part_weight[static_cast<std::size_t>(out[static_cast<std::size_t>(v)])] +=
+        grown.vertex_weight(v);
+  }
+  std::vector<VertexId> pending;
+  for (VertexId v = n_old; v < n; ++v) pending.push_back(v);
+  while (!pending.empty()) {
+    std::size_t pick = 0;
+    std::int32_t pick_count = -1;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      std::int32_t c = 0;
+      for (VertexId u : grown.neighbors(pending[i])) {
+        c += out[static_cast<std::size_t>(u)] >= 0;
+      }
+      if (c > pick_count) {
+        pick_count = c;
+        pick = i;
+      }
+    }
+    const VertexId v = pending[pick];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+    std::vector<double> votes(static_cast<std::size_t>(num_parts), 0.0);
+    const auto nbrs = grown.neighbors(v);
+    const auto wgts = grown.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const PartId p = out[static_cast<std::size_t>(nbrs[i])];
+      if (p >= 0) votes[static_cast<std::size_t>(p)] += wgts[i];
+    }
+    PartId choice = 0;
+    for (PartId q = 1; q < num_parts; ++q) {
+      const auto uq = static_cast<std::size_t>(q);
+      const auto uc = static_cast<std::size_t>(choice);
+      if (votes[uq] > votes[uc] ||
+          (votes[uq] == votes[uc] && part_weight[uq] < part_weight[uc])) {
+        choice = q;
+      }
+    }
+    out[static_cast<std::size_t>(v)] = choice;
+    part_weight[static_cast<std::size_t>(choice)] += grown.vertex_weight(v);
+  }
+  return out;
+}
+
+TEST(GreedyIncremental, BucketQueuePickMatchesReferenceGolden) {
+  // Paper incremental workloads, several part counts.
+  for (const auto& [base_n, extra] :
+       {std::pair<VertexId, VertexId>{118, 41}, {183, 60}, {78, 10}}) {
+    const Mesh base = paper_mesh(base_n);
+    const Mesh grown = paper_incremental_mesh(base, base_n, extra);
+    for (const PartId k : {2, 4, 8}) {
+      Rng rng(static_cast<std::uint64_t>(base_n) * 31 +
+              static_cast<std::uint64_t>(k));
+      const auto prev = rgb_partition(base.graph, k, rng);
+      EXPECT_EQ(greedy_incremental_assign(grown.graph, prev, k),
+                reference_greedy_incremental(grown.graph, prev, k))
+          << "base=" << base_n << "+" << extra << " k=" << k;
+    }
+  }
+  // Fuzzed random weighted graphs with many tied most-constrained counts.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 1000);
+    const VertexId n = 60;
+    const VertexId n_old = 30;
+    GraphBuilder b(n);
+    for (VertexId v = 0; v < n; ++v) {
+      b.set_vertex_weight(v, 1.0 + rng.uniform_int(3));
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(0.08)) b.add_edge(u, v, 1.0 + rng.uniform_int(4));
+      }
+    }
+    const Graph g = b.build();
+    Assignment prev(static_cast<std::size_t>(n_old));
+    for (auto& p : prev) p = static_cast<PartId>(rng.uniform_int(3));
+    EXPECT_EQ(greedy_incremental_assign(g, prev, 3),
+              reference_greedy_incremental(g, prev, 3))
+        << "fuzz seed " << seed;
+  }
 }
 
 TEST(GreedyIncremental, LocalizedGrowthUnbalancesGreedy) {

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
+#include "bench_common.hpp"
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "graph/mesh.hpp"
@@ -256,6 +260,241 @@ TEST(HillClimbFrontier, NoOpOnLocalOptimum) {
   opt.max_passes = 10;
   const auto res = hill_climb(g, a, 2, opt);
   EXPECT_EQ(res.moves, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Worklist-seeded repair: frontier mode starting from a caller-supplied
+// vertex set (the damage), not the whole boundary.
+
+// The damaged-grid generator (block partition + localized scramble) lives in
+// bench_common so these fuzz tests validate exactly the regime
+// bench/micro_incremental_repair measures.
+using bench::DamagedGrid;
+using bench::damaged_block_grid;
+
+void expect_fixed_point(PartitionState& state, const HillClimbOptions& opt,
+                        const char* label) {
+  for (const VertexId v : state.boundary_vertices()) {
+    EXPECT_LT(state.best_move(v, opt.fitness, opt.min_gain).to, 0)
+        << label << ": vertex " << v << " still improvable";
+  }
+}
+
+TEST(HillClimbSeeded, FixesDamageFromSeedsAlone) {
+  const Graph g = make_path(8);
+  Assignment a = {0, 0, 0, 1, 0, 1, 1, 1};  // vertex 4 misplaced
+  PartitionState state(g, a, 2);
+  HillClimbOptions opt;
+  const std::vector<VertexId> seeds = {4};
+  const auto res = hill_climb_from(state, seeds, opt);
+  EXPECT_GT(res.moves, 0);
+  const auto m = state.metrics();
+  EXPECT_DOUBLE_EQ(0.5 * m.sum_part_cut, 1.0);
+  EXPECT_DOUBLE_EQ(m.imbalance_sq, 0.0);
+}
+
+TEST(HillClimbSeeded, OptionsSeedVerticesEquivalentToHillClimbFrom) {
+  const Graph g = make_grid(16, 16);
+  const DamagedGrid d = damaged_block_grid(16, 4, 20, 99);
+  PartitionState sa(g, d.start, 4);
+  PartitionState sb(g, d.start, 4);
+  HillClimbOptions opt;
+  opt.max_passes = 20;
+  const auto ra = hill_climb_from(sa, d.damaged, opt);
+  HillClimbOptions seeded = opt;
+  seeded.mode = HillClimbMode::kFrontier;
+  seeded.seed_vertices = d.damaged;
+  const auto rb = hill_climb(sb, seeded);
+  EXPECT_EQ(sa.assignment(), sb.assignment());
+  EXPECT_EQ(ra.moves, rb.moves);
+  EXPECT_EQ(ra.examined, rb.examined);
+  EXPECT_EQ(ra.verify_rounds, rb.verify_rounds);
+}
+
+TEST(HillClimbSeeded, InteriorSeedsAreFilteredOut) {
+  // Seeding from interior vertices (or an already-optimal region) is a
+  // cheap no-op cascade followed by verification.
+  const Graph g = make_two_cliques(6);
+  Assignment a(12, 0);
+  for (std::size_t i = 6; i < 12; ++i) a[i] = 1;  // already optimal
+  PartitionState state(g, a, 2);
+  HillClimbOptions opt;
+  const std::vector<VertexId> seeds = {0, 1, 2};
+  const auto res = hill_climb_from(state, seeds, opt);
+  EXPECT_EQ(res.moves, 0);
+  EXPECT_EQ(res.verify_rounds, 1);  // the owed fixed-point verification
+}
+
+TEST(HillClimbSeeded, SeedVertexOutOfRangeThrows) {
+  const Graph g = make_path(8);
+  Assignment a = {0, 0, 0, 0, 1, 1, 1, 1};
+  PartitionState state(g, a, 2);
+  HillClimbOptions opt;
+  const std::vector<VertexId> seeds = {42};
+  EXPECT_THROW(hill_climb_from(state, seeds, opt), Error);
+}
+
+TEST(HillClimbSeeded, SkippingVerificationStopsAtDrainedWorklist) {
+  const Graph g = make_grid(24, 24);
+  const DamagedGrid d = damaged_block_grid(24, 4, 12, 7);
+  PartitionState state(g, d.start, 4);
+  HillClimbOptions opt;
+  opt.verify_fixed_point = false;
+  const auto res = hill_climb_from(state, d.damaged, opt);
+  EXPECT_EQ(res.verify_rounds, 0);
+  // The cascade stayed local: nowhere near one probe per vertex.
+  EXPECT_LT(res.examined, static_cast<std::int64_t>(g.num_vertices()) / 2);
+}
+
+TEST(HillClimbSeeded, EmptySeedSetWithoutVerificationIsNoOp) {
+  // Regression: zero seeds used to read as "unseeded" and fall through to a
+  // full-boundary frontier climb — the maximum cost for zero damage.
+  const Graph g = make_grid(24, 24);
+  const DamagedGrid d = damaged_block_grid(24, 4, 12, 7);
+  PartitionState state(g, d.start, 4);
+  HillClimbOptions opt;
+  opt.verify_fixed_point = false;
+  const auto res = hill_climb_from(state, {}, opt);
+  EXPECT_EQ(res.moves, 0);
+  EXPECT_EQ(res.examined, 0);
+  EXPECT_EQ(res.passes, 0);
+  EXPECT_EQ(state.assignment(), d.start);
+
+  // The no-op path still enforces option preconditions — a misconfigured
+  // caller fails the same way whatever its damage set.
+  opt.min_gain = 0.0;
+  EXPECT_THROW(hill_climb_from(state, {}, opt), Error);
+}
+
+TEST(HillClimbSeeded, EmptySeedSetWithVerificationReachesFixedPoint) {
+  // With verification on, zero seeds means "just the verification rounds":
+  // same result as an unseeded frontier climb.
+  const Graph g = make_grid(24, 24);
+  const DamagedGrid d = damaged_block_grid(24, 4, 12, 7);
+  HillClimbOptions opt;
+  opt.max_passes = 100;
+
+  PartitionState seeded(g, d.start, 4);
+  const auto res = hill_climb_from(seeded, {}, opt);
+  EXPECT_GT(res.moves, 0);
+
+  opt.mode = HillClimbMode::kFrontier;
+  PartitionState frontier(g, d.start, 4);
+  hill_climb(frontier, opt);
+  EXPECT_EQ(seeded.assignment(), frontier.assignment());
+}
+
+// Fuzz: seeded repair lands in the same fixed-point class as full-boundary
+// frontier climbing (and sweep) — no boundary vertex has an improving move —
+// on perturbed block partitions of meshes and grids.
+class SeededRepairFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeededRepairFuzz, SameFixedPointClassAsFullBoundaryFrontier) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const VertexId n = 20 + 4 * (GetParam() % 3);  // 20/24/28 per seed
+  const PartId k = 2 + GetParam() % 4;
+  const Graph g = make_grid(n, n);
+  const DamagedGrid d =
+      damaged_block_grid(n, k, 8 + (GetParam() % 5) * 8, seed);
+
+  HillClimbOptions opt;
+  opt.max_passes = 100;
+  opt.fitness = {GetParam() % 2 ? Objective::kWorstComm
+                                : Objective::kTotalComm,
+                 1.0};
+
+  PartitionState seeded(g, d.start, k);
+  const double before = seeded.fitness(opt.fitness);
+  const auto res_seeded = hill_climb_from(seeded, d.damaged, opt);
+  EXPECT_GE(seeded.fitness(opt.fitness), before);
+  EXPECT_NEAR(seeded.fitness(opt.fitness) - before, res_seeded.fitness_gain,
+              1e-9);
+  expect_fixed_point(seeded, opt, "seeded");
+
+  HillClimbOptions frontier = opt;
+  frontier.mode = HillClimbMode::kFrontier;
+  PartitionState full(g, d.start, k);
+  hill_climb(full, frontier);
+  expect_fixed_point(full, opt, "full boundary");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededRepairFuzz, ::testing::Range(0, 12));
+
+TEST(HillClimbSeeded, ExaminedScalesWithDamageNotGraphSize) {
+  // Fixed damage, growing mesh: without verification the probe count is a
+  // function of the cascade (damage-proportional), not of |V|; with
+  // verification it additionally pays O(boundary) per round — still far
+  // under |V|.
+  constexpr int kDamage = 16;
+  std::int64_t examined_small = 0;
+  std::int64_t verified_small = 0;
+  for (const VertexId n : {48, 96}) {
+    const Graph g = make_grid(n, n);
+    const DamagedGrid d = damaged_block_grid(n, 4, kDamage, 1234);
+    PartitionState state(g, d.start, 4);
+    HillClimbOptions opt;
+    opt.verify_fixed_point = false;
+    const auto res = hill_climb_from(state, d.damaged, opt);
+
+    PartitionState verified(g, d.start, 4);
+    HillClimbOptions vopt;
+    const auto vres = hill_climb_from(verified, d.damaged, vopt);
+    // Verification pays O(boundary) = O(k * sqrt(V)) per round — far below
+    // one probe per vertex even on the small grid.
+    EXPECT_LT(vres.examined, static_cast<std::int64_t>(g.num_vertices()) / 3)
+        << "verification should cost O(boundary), not O(V)";
+    expect_fixed_point(verified, vopt, "verified");
+
+    if (n == 48) {
+      examined_small = res.examined;
+      verified_small = vres.examined;
+    } else {
+      // 4x the vertices must not mean 4x the probes: the seed cascade
+      // tracks the damage (2x slack for boundary-shape noise), and the
+      // verified climb tracks the boundary (2x the side length, well under
+      // the 4x vertex ratio).
+      EXPECT_LE(res.examined, 2 * examined_small + 16)
+          << "small=" << examined_small << " large=" << res.examined;
+      EXPECT_LE(vres.examined, 3 * verified_small)
+          << "small=" << verified_small << " large=" << vres.examined;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strong guarantee of the chromosome overload: a failed precondition must
+// not leave the caller's assignment moved-from.
+TEST(HillClimb, ChromosomeOverloadStrongGuarantee) {
+  const Graph g = make_grid(4, 4);
+  Assignment genes(16, 0);
+  for (std::size_t i = 8; i < 16; ++i) genes[i] = 1;
+  const Assignment original = genes;
+
+  HillClimbOptions opt;
+  opt.max_passes = 0;  // invalid: needs at least one pass
+  EXPECT_THROW(hill_climb(g, genes, 2, opt), Error);
+  EXPECT_EQ(genes, original) << "genes moved-from after options failure";
+
+  opt.max_passes = 4;
+  genes[3] = 9;  // invalid part id for k = 2
+  const Assignment bad = genes;
+  EXPECT_THROW(hill_climb(g, genes, 2, opt), Error);
+  EXPECT_EQ(genes, bad) << "genes moved-from after assignment failure";
+  genes = original;
+
+  opt.mode = HillClimbMode::kFrontier;
+  opt.min_gain = 0.0;  // invalid in frontier mode
+  EXPECT_THROW(hill_climb(g, genes, 2, opt), Error);
+  EXPECT_EQ(genes, original) << "genes moved-from after min_gain failure";
+
+  opt.min_gain = 1e-9;
+  opt.seed_vertices = {99};  // out of range
+  EXPECT_THROW(hill_climb(g, genes, 2, opt), Error);
+  EXPECT_EQ(genes, original) << "genes moved-from after seed failure";
+
+  // And the happy path still works after all those failures.
+  opt.seed_vertices.clear();
+  EXPECT_NO_THROW(hill_climb(g, genes, 2, opt));
 }
 
 TEST(HillClimb, WorstCommObjectiveReducesMaxCut) {
