@@ -25,6 +25,16 @@ RunSettings RunSettings::from_cli(const CliArgs& args, int default_gens,
   return s;
 }
 
+Assignment column_bands(VertexId rows, VertexId cols, PartId k) {
+  Assignment a(static_cast<std::size_t>(rows * cols));
+  for (VertexId v = 0; v < rows * cols; ++v) {
+    a[static_cast<std::size_t>(v)] = static_cast<PartId>(
+        std::min<std::int64_t>(k - 1, static_cast<std::int64_t>(v % cols) * k /
+                                          cols));
+  }
+  return a;
+}
+
 DamagedGrid damaged_block_grid(VertexId n, PartId k, int damage,
                                std::uint64_t seed) {
   DamagedGrid out;

@@ -92,6 +92,12 @@ struct DamagedGrid {
 DamagedGrid damaged_block_grid(VertexId n, PartId k, int damage,
                                std::uint64_t seed);
 
+/// Column-band partition of a row-major rows x cols grid (vertex r*cols+c in
+/// the band of its column).  Appended rows cross every band boundary, which
+/// is what makes it the canonical start for growth-trace experiments — the
+/// service tests and bench/soak_service share this one definition.
+Assignment column_bands(VertexId rows, VertexId cols, PartId k);
+
 /// Formats a paper-vs-measured pair like "63 / 58.0".
 std::string paper_vs(double paper_value, double measured);
 

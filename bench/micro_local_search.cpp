@@ -86,15 +86,17 @@ std::uint64_t case_salt(const Case& c) {
 /// Repeats full hill climbs from the same start assignment until the budget
 /// is spent; state construction stays outside the timed region.
 Row bench_hill_climb(const Graph& g, const Case& c, HillClimbMode mode,
-                     double budget) {
+                     double budget, bool gain_ordered = false) {
   Row row;
-  row.name = mode == HillClimbMode::kFrontier ? "hill_climb_frontier"
-                                              : "hill_climb_sweep";
+  row.name = mode != HillClimbMode::kFrontier ? "hill_climb_sweep"
+             : gain_ordered                   ? "hill_climb_frontier_ordered"
+                                              : "hill_climb_frontier";
   row.c = c;
   const Assignment start = start_assignment(g, c.k, c.start, case_salt(c));
   HillClimbOptions opt;
   opt.fitness = {c.objective, 1.0};
   opt.mode = mode;
+  opt.gain_ordered = gain_ordered;
   opt.max_passes = 50;
 
   double elapsed = 0.0;
@@ -187,6 +189,8 @@ int main(int argc, char** argv) {
     const Graph g = make_grid(c.rows, c.cols);
     rows.push_back(bench_hill_climb(g, c, HillClimbMode::kSweep, budget));
     rows.push_back(bench_hill_climb(g, c, HillClimbMode::kFrontier, budget));
+    rows.push_back(bench_hill_climb(g, c, HillClimbMode::kFrontier, budget,
+                                    /*gain_ordered=*/true));
     if (c.rows <= 32) rows.push_back(bench_kl(g, c, budget));
   }
   emit_json(rows);

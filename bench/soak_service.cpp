@@ -1,0 +1,437 @@
+// Streaming-service soak: multi-client delta traces against a
+// PartitionService, emitted as JSON for the BENCH_service.json trajectory.
+//
+// Three experiments:
+//
+//   soak      >= 32 concurrent sessions (default) driven by several client
+//             threads over a mix of growth, churn, and adversarial hot-spot
+//             traces, with background refinement enabled on the shared pool.
+//             Reports service-wide throughput, p50/p99 per-delta repair
+//             latency, and the refinement ledger (planned/applied/discarded).
+//
+//   latency   per-delta repair latency vs damage size: churn windows of
+//             2/4/8/16 vertices on grids of several sizes, cascade-only
+//             sessions (no verification, no refinement) so the number on
+//             record is the synchronous repair plane alone.  The claim under
+//             test: latency tracks the damage, not |V|.
+//
+//   recovery  quality: after a full churn trace with background refinement,
+//             how does the session's maintained cut compare to a from-scratch
+//             DPGA repartition of the final graph?  recovery_ratio =
+//             dpga_cut / session_cut (>= 1 means the live session matches or
+//             beats the batch repartitioner; the acceptance bar is >= 0.9).
+//
+//   ./bench/soak_service [--sessions=32] [--updates=40] [--threads=0]
+//                        [--quick] > BENCH_service.json
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "core/graph_delta.hpp"
+#include "core/presets.hpp"
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace gapart;
+
+// ---------------------------------------------------------------------------
+// Delta traces.  Each trace is a deterministic function (kind, n, seed,
+// phase) -> Graph, so clients can regenerate successive snapshots and diff
+// them; building the next snapshot is the CLIENT's cost, never counted
+// against the service's repair latency.
+
+enum class TraceKind { kGrowth, kChurn, kHotspot };
+
+const char* trace_name(TraceKind t) {
+  switch (t) {
+    case TraceKind::kGrowth:
+      return "growth";
+    case TraceKind::kChurn:
+      return "churn";
+    case TraceKind::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+/// Churn/hotspot: n x n grid plus the diagonals of a w x w window whose
+/// position depends on the phase (hotspot: fixed position, so the same
+/// region is rewired over and over).  Growth: (n + phase) x n grid.
+Graph trace_graph(TraceKind kind, VertexId n, VertexId window, int phase,
+                  std::uint64_t seed) {
+  if (kind == TraceKind::kGrowth) {
+    return make_grid(n + static_cast<VertexId>(phase), n);
+  }
+  GraphBuilder b(n * n);
+  const auto at = [n](VertexId r, VertexId c) { return r * n + c; };
+  for (VertexId r = 0; r < n; ++r) {
+    for (VertexId c = 0; c < n; ++c) {
+      if (c + 1 < n) b.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < n) b.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  if (phase % 2 == 1) {
+    // Window placement: fixed for hotspot, phase-dependent for churn.
+    Rng rng(seed ^ (kind == TraceKind::kChurn
+                        ? static_cast<std::uint64_t>(phase) * 0x9e37ULL
+                        : 0ULL));
+    const VertexId span = std::max<VertexId>(1, n - window - 1);
+    const auto r0 = static_cast<VertexId>(rng.uniform_int(span));
+    const auto c0 = static_cast<VertexId>(rng.uniform_int(span));
+    for (VertexId r = r0; r < r0 + window && r + 1 < n; ++r) {
+      for (VertexId c = c0; c < c0 + window && c + 1 < n; ++c) {
+        b.add_edge(at(r, c), at(r + 1, c + 1));
+      }
+    }
+  }
+  return b.build();
+}
+
+using bench::column_bands;
+
+/// Bands with `fraction` of the vertices scrambled: a realistic "inherited
+/// from some earlier, imperfect state" start, leaving the repair and
+/// refinement planes genuine work along the whole boundary.
+Assignment scrambled_bands(VertexId rows, VertexId cols, PartId k,
+                           double fraction, std::uint64_t seed) {
+  Assignment a = column_bands(rows, cols, k);
+  Rng rng(seed);
+  const auto flips =
+      static_cast<int>(fraction * static_cast<double>(a.size()));
+  for (int i = 0; i < flips; ++i) {
+    a[rng.uniform_u64(a.size())] = static_cast<PartId>(rng.uniform_int(k));
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1: the soak.
+
+struct SoakResult {
+  int sessions = 0;
+  int client_threads = 0;
+  int updates_per_session = 0;
+  double seconds = 0.0;
+  ServiceStats stats;
+};
+
+SoakResult run_soak(int num_sessions, int updates, VertexId n, PartId k,
+                    int pool_threads, bool deep_refinement) {
+  SoakResult out;
+  out.sessions = num_sessions;
+  out.updates_per_session = updates;
+
+  PartitionService service(
+      {.num_threads = pool_threads, .background_refinement = true});
+
+  SessionConfig base_cfg;
+  base_cfg.num_parts = k;
+  base_cfg.policy.damage_threshold = 64;
+  base_cfg.policy.staleness_updates = 16;
+  base_cfg.policy.allow_deep = deep_refinement;
+  base_cfg.policy.deep_damage_threshold = 512;
+
+  struct Client {
+    SessionId id;
+    TraceKind kind;
+    std::uint64_t seed;
+    VertexId window;
+  };
+  std::vector<Client> clients;
+  for (int s = 0; s < num_sessions; ++s) {
+    const TraceKind kind = s % 3 == 0   ? TraceKind::kGrowth
+                           : s % 3 == 1 ? TraceKind::kChurn
+                                        : TraceKind::kHotspot;
+    const auto seed = 0x50aaULL + static_cast<std::uint64_t>(s) * 131;
+    const VertexId window = 4 + 2 * (s % 4);
+    const Graph g0 = trace_graph(kind, n, window, 0, seed);
+    auto graph = std::make_shared<const Graph>(g0);
+    const VertexId rows = graph->num_vertices() / n;
+    // Half the fleet is latency-strict (cascade only — refinement owns all
+    // deeper quality), half budgets 2 ms of synchronous verification.
+    SessionConfig cfg = base_cfg;
+    cfg.repair_budget_seconds = s % 2 == 0 ? 0.0 : 0.002;
+    const SessionId id = service.open_session(
+        graph, scrambled_bands(rows, n, k, 0.03, seed ^ 0xf1e5), cfg);
+    clients.push_back({id, kind, seed, window});
+  }
+
+  const int threads =
+      std::max(1, std::min<int>(8, static_cast<int>(clients.size())));
+  out.client_threads = threads;
+
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t c = static_cast<std::size_t>(t); c < clients.size();
+           c += static_cast<std::size_t>(threads)) {
+        const Client& client = clients[c];
+        auto prev = std::make_shared<const Graph>(
+            trace_graph(client.kind, n, client.window, 0, client.seed));
+        for (int u = 1; u <= updates; ++u) {
+          auto next = std::make_shared<const Graph>(
+              trace_graph(client.kind, n, client.window, u, client.seed));
+          const GraphDelta delta = diff_graphs(*prev, *next);
+          service.submit_update(client.id, next, delta);
+          prev = std::move(next);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // End-of-burst catch-up tick: refinements that kept going stale under
+  // full-throttle streaming get one clean pass per session.
+  service.quiesce();
+  service.poll();
+  service.quiesce();
+  out.seconds = timer.seconds();
+  out.stats = service.stats();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2: latency vs damage (cascade-only sessions).
+
+struct LatencyRow {
+  VertexId n = 0;
+  PartId k = 2;
+  VertexId window = 0;
+  int updates = 0;
+  double damage_mean = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  std::int64_t examined = 0;
+};
+
+LatencyRow run_latency(VertexId n, PartId k, VertexId window, int updates) {
+  LatencyRow row;
+  row.n = n;
+  row.k = k;
+  row.window = window;
+  row.updates = updates;
+
+  SessionConfig cfg;
+  cfg.num_parts = k;
+  cfg.repair_budget_seconds = 0.0;  // cascade only: the strict latency plane
+
+  const std::uint64_t seed = 0x1a7eULL ^ (static_cast<std::uint64_t>(n) << 8) ^
+                             static_cast<std::uint64_t>(window);
+  auto prev = std::make_shared<const Graph>(
+      trace_graph(TraceKind::kChurn, n, window, 0, seed));
+  PartitionSession session(
+      prev, scrambled_bands(n, n, k, 0.02, seed ^ 0x5c2a), cfg);
+
+  std::vector<double> seconds;
+  double damage = 0.0;
+  for (int u = 1; u <= updates; ++u) {
+    auto next = std::make_shared<const Graph>(
+        trace_graph(TraceKind::kChurn, n, window, u, seed));
+    const GraphDelta delta = diff_graphs(*prev, *next);
+    const RepairReport rep = session.apply_update(next, delta);
+    seconds.push_back(rep.seconds);
+    damage += static_cast<double>(rep.damage);
+    row.examined += rep.examined;
+    prev = std::move(next);
+  }
+  row.damage_mean = damage / updates;
+  row.p50_ms = quantile(seconds, 0.50) * 1e3;
+  row.p99_ms = quantile(seconds, 0.99) * 1e3;
+  double sum = 0.0;
+  for (const double s : seconds) sum += s;
+  row.mean_ms = sum / static_cast<double>(seconds.size()) * 1e3;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 3: churn-trace quality recovery vs from-scratch DPGA.
+
+struct RecoveryRow {
+  VertexId n = 0;
+  PartId k = 2;
+  int updates = 0;
+  double session_cut = 0.0;
+  double dpga_cut = 0.0;
+  double recovery_ratio = 0.0;  ///< dpga_cut / session_cut
+  int refinements_applied = 0;
+  double session_seconds = 0.0;
+  double dpga_seconds = 0.0;
+};
+
+RecoveryRow run_recovery(VertexId n, PartId k, int updates, int pool_threads,
+                         bool quick) {
+  RecoveryRow row;
+  row.n = n;
+  row.k = k;
+  row.updates = updates;
+
+  PartitionService service({.num_threads = pool_threads});
+  SessionConfig cfg;
+  cfg.num_parts = k;
+  cfg.repair_budget_seconds = 0.001;
+  cfg.policy.damage_threshold = 32;   // refine eagerly
+  cfg.policy.staleness_updates = 8;
+  cfg.policy.deep_damage_threshold = 256;
+
+  const std::uint64_t seed = 0x2ec0ULL ^ static_cast<std::uint64_t>(n);
+  auto prev = std::make_shared<const Graph>(
+      trace_graph(TraceKind::kChurn, n, 6, 0, seed));
+  const SessionId id = service.open_session(
+      prev, scrambled_bands(n, n, k, 0.05, seed ^ 0xadd), cfg);
+
+  WallTimer session_timer;
+  for (int u = 1; u <= updates; ++u) {
+    auto next = std::make_shared<const Graph>(
+        trace_graph(TraceKind::kChurn, n, 6, u, seed));
+    service.submit_update(id, next, diff_graphs(*prev, *next));
+    prev = std::move(next);
+    // A short idle gap every few deltas (clients are rarely back-to-back):
+    // drain racing refinements, take an idle tick, and let the re-planned
+    // job land with its captured epoch intact.
+    if (u % 4 == 0) {
+      service.quiesce();
+      service.poll();
+      service.quiesce();
+    }
+  }
+  // End-of-stream catch-up: tick until the policy goes quiet (each clean
+  // completion either adopts an improvement or certifies the current state
+  // and resets the accumulators).
+  for (int i = 0; i < 3; ++i) {
+    service.quiesce();
+    service.poll();
+  }
+  service.quiesce();
+  row.session_seconds = session_timer.seconds();
+  const auto snap = service.snapshot(id);
+  row.session_cut = snap->total_cut;
+  row.refinements_applied = service.session_stats(id).refinements_applied;
+
+  // From-scratch DPGA on the final graph — the batch repartitioner the
+  // streaming session is measured against.
+  DpgaConfig dpga = paper_dpga_config(k, Objective::kTotalComm);
+  dpga.parallel = pool_threads > 1;
+  dpga.ga.hill_climb_offspring = true;
+  dpga.ga.max_generations = quick ? 20 : 150;
+  dpga.ga.stall_generations = quick ? 8 : 40;
+  Rng rng(0xd94a);
+  auto init = bench::random_init(*prev, k, dpga.ga.population_size)(rng);
+  WallTimer dpga_timer;
+  const DpgaResult res =
+      run_dpga(*prev, dpga, std::move(init), rng.split(), nullptr);
+  row.dpga_seconds = dpga_timer.seconds();
+  row.dpga_cut = res.best_metrics.total_cut();
+  row.recovery_ratio =
+      row.session_cut > 0.0 ? row.dpga_cut / row.session_cut : 1.0;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+
+void emit_json(const SoakResult& soak, const std::vector<LatencyRow>& latency,
+               const std::vector<RecoveryRow>& recovery) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"soak_service\",\n");
+  std::printf(
+      "  \"soak\": {\"sessions\": %d, \"client_threads\": %d, "
+      "\"updates_per_session\": %d, \"seconds\": %.3f, "
+      "\"updates_per_second\": %.1f, \"total_damage\": %llu, "
+      "\"p50_repair_ms\": %.4f, \"p99_repair_ms\": %.4f, "
+      "\"max_repair_ms\": %.4f, \"refinements_planned\": %d, "
+      "\"refinements_applied\": %d, \"refinements_stale\": %d, "
+      "\"refinements_no_better\": %d, "
+      "\"full_evaluations\": %lld, \"delta_evaluations\": %lld},\n",
+      soak.sessions, soak.client_threads, soak.updates_per_session,
+      soak.seconds,
+      soak.seconds > 0.0
+          ? static_cast<double>(soak.stats.updates) / soak.seconds
+          : 0.0,
+      static_cast<unsigned long long>(soak.stats.total_damage),
+      soak.stats.p50_repair_seconds * 1e3, soak.stats.p99_repair_seconds * 1e3,
+      soak.stats.max_repair_seconds * 1e3, soak.stats.refinements_planned,
+      soak.stats.refinements_applied, soak.stats.refinements_stale,
+      soak.stats.refinements_no_better,
+      static_cast<long long>(soak.stats.full_evaluations),
+      static_cast<long long>(soak.stats.delta_evaluations));
+
+  std::printf("  \"latency\": [\n");
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    const LatencyRow& r = latency[i];
+    std::printf(
+        "    {\"n\": %d, \"k\": %d, \"window\": %d, \"updates\": %d, "
+        "\"damage_mean\": %.1f, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"examined\": %lld}%s\n",
+        static_cast<int>(r.n), static_cast<int>(r.k),
+        static_cast<int>(r.window), r.updates, r.damage_mean, r.mean_ms,
+        r.p50_ms, r.p99_ms, static_cast<long long>(r.examined),
+        i + 1 < latency.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+
+  std::printf("  \"recovery\": [\n");
+  for (std::size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryRow& r = recovery[i];
+    std::printf(
+        "    {\"trace\": \"churn\", \"n\": %d, \"k\": %d, \"updates\": %d, "
+        "\"session_cut\": %.1f, \"dpga_cut\": %.1f, "
+        "\"recovery_ratio\": %.3f, \"refinements_applied\": %d, "
+        "\"session_seconds\": %.3f, \"dpga_seconds\": %.3f}%s\n",
+        static_cast<int>(r.n), static_cast<int>(r.k), r.updates, r.session_cut,
+        r.dpga_cut, r.recovery_ratio, r.refinements_applied,
+        r.session_seconds, r.dpga_seconds,
+        i + 1 < recovery.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const bool quick = args.flag("quick") || quick_mode_enabled();
+  const int sessions = args.integer("sessions", 32);
+  const int updates = args.integer("updates", quick ? 10 : 40);
+  const int pool_threads =
+      args.integer("threads", 0) > 0 ? args.integer("threads", 0)
+                                     : Executor::hardware_threads();
+
+  const VertexId soak_n = quick ? 24 : 48;
+  const SoakResult soak =
+      run_soak(sessions, updates, soak_n, /*k=*/4, pool_threads,
+               /*deep_refinement=*/!quick);
+
+  std::vector<LatencyRow> latency;
+  const std::vector<VertexId> sizes =
+      quick ? std::vector<VertexId>{48, 96}
+            : std::vector<VertexId>{64, 128, 256};
+  const int lat_updates = quick ? 20 : 60;
+  for (const VertexId n : sizes) {
+    for (const VertexId w : {VertexId{2}, VertexId{4}, VertexId{8},
+                             VertexId{16}}) {
+      latency.push_back(run_latency(n, /*k=*/2, w, lat_updates));
+    }
+  }
+
+  std::vector<RecoveryRow> recovery;
+  recovery.push_back(run_recovery(quick ? 16 : 32, /*k=*/4,
+                                  quick ? 12 : 40, pool_threads, quick));
+  if (!quick) {
+    recovery.push_back(run_recovery(24, /*k=*/2, 40, pool_threads, quick));
+  }
+
+  emit_json(soak, latency, recovery);
+  return 0;
+}

@@ -125,6 +125,11 @@ void Executor::submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+int Executor::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
 void Executor::wait() {
   // Help drain first so wait() cannot deadlock on a pool of size 1.
   while (run_one()) {

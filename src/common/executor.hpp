@@ -72,13 +72,18 @@ class Executor {
   /// helps drain the queue while waiting.
   void wait();
 
+  /// Tasks currently queued or executing — a monitoring gauge (the service
+  /// layer reports it as backlog), racy by nature: the value may be stale
+  /// by the time the caller reads it.
+  int pending() const;
+
  private:
   void worker_loop();
   /// Pops and runs one queued task if available; returns false when idle.
   bool run_one();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< signals queue_ non-empty or stop_
   std::condition_variable done_cv_;   ///< signals outstanding_ hit zero
   std::deque<std::function<void()>> queue_;

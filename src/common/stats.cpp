@@ -22,15 +22,20 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double median(std::vector<double> samples) {
+  // The 0.5-quantile interpolates the two middle order statistics for even
+  // n and picks the middle element for odd n — exactly the median.
+  return quantile(std::move(samples), 0.5);
+}
+
+double quantile(std::vector<double> samples, double q) {
   if (samples.empty()) return 0.0;
-  const std::size_t mid = samples.size() / 2;
-  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
-                   samples.end());
-  double hi = samples[mid];
-  if (samples.size() % 2 == 1) return hi;
-  const double lo =
-      *std::max_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid));
-  return 0.5 * (lo + hi);
+  q = std::min(1.0, std::max(0.0, q));
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
 }
 
 Summary summarize(const std::vector<double>& samples) {

@@ -46,6 +46,11 @@ Summary summarize(const std::vector<double>& samples);
 /// Median of `samples` (copies to sort); 0 for an empty vector.
 double median(std::vector<double> samples);
 
+/// q-quantile of `samples` for q in [0, 1] (copies to sort), linearly
+/// interpolated between order statistics; 0 for an empty vector.  Drives the
+/// service's p50/p99 repair-latency reporting.
+double quantile(std::vector<double> samples, double q);
+
 /// Element-wise mean of several equal-length series (e.g. best-fitness vs
 /// generation over 5 GA runs).  Shorter series are padded with their final
 /// value, matching how convergence plots treat early-stopped runs.

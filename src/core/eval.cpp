@@ -1,6 +1,7 @@
 #include "core/eval.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -8,7 +9,8 @@
 namespace gapart {
 
 double EvalContext::mutate_and_evaluate(Assignment& genes, double rate,
-                                        Rng& rng) const {
+                                        Rng& rng,
+                                        PartitionMetrics* out_metrics) const {
   GAPART_REQUIRE(rate >= 0.0 && rate <= 1.0, "mutation rate out of [0,1]");
   GAPART_REQUIRE(is_valid_assignment(*g_, genes, num_parts_),
                  "invalid assignment for ", num_parts_, " parts");
@@ -69,7 +71,91 @@ double EvalContext::mutate_and_evaluate(Assignment& genes, double rate,
   const double comm = params_.objective == Objective::kTotalComm
                           ? sum_part_cut
                           : max_part_cut;
+  if (out_metrics != nullptr) {
+    out_metrics->part_weight = std::move(part_weight);
+    out_metrics->part_cut = std::move(part_cut);
+    out_metrics->sum_part_cut = sum_part_cut;
+    out_metrics->max_part_cut = max_part_cut;
+    out_metrics->imbalance_sq = imbalance_sq;
+  }
   return -(imbalance_sq + params_.lambda * comm);
+}
+
+double EvalContext::mutate_clone_and_evaluate(Assignment& genes, double rate,
+                                              Rng& rng,
+                                              PartitionMetrics& metrics,
+                                              std::int64_t max_delta_flips) const {
+  GAPART_REQUIRE(rate >= 0.0 && rate <= 1.0, "mutation rate out of [0,1]");
+  GAPART_REQUIRE(static_cast<PartId>(metrics.part_weight.size()) ==
+                         num_parts_ &&
+                     static_cast<PartId>(metrics.part_cut.size()) == num_parts_,
+                 "parent metrics sized for a different part count");
+  const Graph& g = *g_;
+  GAPART_REQUIRE(is_valid_assignment(g, genes, num_parts_),
+                 "invalid assignment for ", num_parts_, " parts");
+
+  // Draw the flips without applying them — same per-gene semantics and RNG
+  // draw order as point_mutation, so swapping evaluation strategies never
+  // perturbs the random stream.
+  std::vector<std::pair<VertexId, PartId>> flips;
+  if (num_parts_ > 1) {
+    const VertexId n = g.num_vertices();
+    for (VertexId v = 0; v < n; ++v) {
+      if (!rng.bernoulli(rate)) continue;
+      const PartId own = genes[static_cast<std::size_t>(v)];
+      PartId p = static_cast<PartId>(rng.uniform_int(num_parts_ - 1));
+      if (p >= own) ++p;
+      flips.emplace_back(v, p);
+    }
+  }
+
+  if (static_cast<std::int64_t>(flips.size()) > max_delta_flips) {
+    // Too much of the chromosome changed for deltas to pay off: apply the
+    // flips and re-derive the metrics wholesale.
+    for (const auto& [v, to] : flips) genes[static_cast<std::size_t>(v)] = to;
+    return evaluate_with_metrics(genes, metrics);
+  }
+
+  // Delta path: each flip is PartitionState::move's O(deg) update applied to
+  // the cached arrays.  Every gene flips at most once, so applying the flips
+  // sequentially against the evolving assignment is exact.
+  const double mean = g.total_vertex_weight() / static_cast<double>(num_parts_);
+  for (const auto& [v, to] : flips) {
+    const PartId from = genes[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    double wdeg = 0.0;
+    double cf = 0.0;
+    double ct = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const PartId p = genes[static_cast<std::size_t>(nbrs[i])];
+      wdeg += wgts[i];
+      if (p == from) {
+        cf += wgts[i];
+      } else if (p == to) {
+        ct += wgts[i];
+      }
+    }
+    metrics.part_cut[static_cast<std::size_t>(from)] += 2.0 * cf - wdeg;
+    metrics.part_cut[static_cast<std::size_t>(to)] += wdeg - 2.0 * ct;
+    metrics.sum_part_cut += 2.0 * (cf - ct);
+
+    const double w = g.vertex_weight(v);
+    const double wf = metrics.part_weight[static_cast<std::size_t>(from)];
+    const double wt = metrics.part_weight[static_cast<std::size_t>(to)];
+    metrics.imbalance_sq -= (wf - mean) * (wf - mean);
+    metrics.imbalance_sq -= (wt - mean) * (wt - mean);
+    metrics.part_weight[static_cast<std::size_t>(from)] = wf - w;
+    metrics.part_weight[static_cast<std::size_t>(to)] = wt + w;
+    metrics.imbalance_sq += (wf - w - mean) * (wf - w - mean);
+    metrics.imbalance_sq += (wt + w - mean) * (wt + w - mean);
+
+    genes[static_cast<std::size_t>(v)] = to;
+  }
+  metrics.max_part_cut =
+      *std::max_element(metrics.part_cut.begin(), metrics.part_cut.end());
+  count_delta(static_cast<std::int64_t>(flips.size()));
+  return fitness_from_metrics(metrics, params_);
 }
 
 }  // namespace gapart

@@ -53,11 +53,43 @@ class EvalContext {
     return evaluate_fitness(*g_, genes, num_parts_, params_);
   }
 
+  /// Full evaluation that also hands back the metric breakdown, for callers
+  /// that cache per-individual metrics (the GA's clone delta path).  One
+  /// full evaluation, same value as evaluate().
+  double evaluate_with_metrics(const Assignment& genes,
+                               PartitionMetrics& metrics) const {
+    count_full();
+    metrics = compute_metrics(*g_, genes, num_parts_);
+    return fitness_from_metrics(metrics, params_);
+  }
+
   /// Fused single-pass mutate+evaluate for children that skip hill climbing:
   /// applies per-gene point mutation (rate `rate`, identical semantics and
   /// RNG consumption to point_mutation) while accumulating part weights, then
-  /// one CSR edge scan for the cut terms.  One full evaluation.
-  double mutate_and_evaluate(Assignment& genes, double rate, Rng& rng) const;
+  /// one CSR edge scan for the cut terms.  One full evaluation.  When
+  /// `out_metrics` is non-null it receives the child's full metric breakdown
+  /// (no extra cost — the fused pass computes every term anyway).
+  double mutate_and_evaluate(Assignment& genes, double rate, Rng& rng,
+                             PartitionMetrics* out_metrics = nullptr) const;
+
+  /// Mutate+evaluate for a CLONED child whose parent metrics are known:
+  /// draws the same per-gene point mutations (identical RNG consumption to
+  /// point_mutation / mutate_and_evaluate), and when few genes flip applies
+  /// them as PartitionState::move-style deltas to the inherited `metrics` —
+  /// O(flips * deg + k) and counted as `flips` DELTA evaluations, no full
+  /// evaluation.  Above `max_delta_flips` it falls back to applying the
+  /// flips and re-deriving the metrics from scratch (one full evaluation).
+  /// `metrics` must hold the parent's breakdown on entry (matching `genes`)
+  /// and holds the child's on return.  Exactness: the cut and load terms are
+  /// integer sums (exact for integer weights); the imbalance term uses the
+  /// same incremental subtract/add PartitionState::move does, which is
+  /// bit-identical to a from-scratch evaluation whenever the mean part load
+  /// (total weight / num_parts) is exactly representable — e.g. unit-weight
+  /// graphs with |V|/k a dyadic rational — and otherwise agrees to within
+  /// accumulated rounding of the (w - mean)^2 terms.
+  double mutate_clone_and_evaluate(Assignment& genes, double rate, Rng& rng,
+                                   PartitionMetrics& metrics,
+                                   std::int64_t max_delta_flips) const;
 
   /// Builds the incrementally-maintained partition state for `genes`.  The
   /// construction performs the single O(V+E) metric computation — counted as

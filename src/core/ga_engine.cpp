@@ -38,7 +38,7 @@ GaEngine::GaEngine(const Graph& g, const GaConfig& config,
   }
   auto evaluate_member = [this](std::size_t i) {
     Individual& ind = population_[i];
-    ind.fitness = eval_.evaluate(ind.genes);
+    ind.fitness = eval_.evaluate_with_metrics(ind.genes, ind.metrics);
     ind.evaluated = true;
   };
   if (Executor* pool = eval_.executor()) {
@@ -83,7 +83,7 @@ void GaEngine::inject(const Assignment& migrant) {
                  "migrant invalid for ", config_.num_parts, " parts");
   Individual ind;
   ind.genes = migrant;
-  ind.fitness = eval_.evaluate(ind.genes);
+  ind.fitness = eval_.evaluate_with_metrics(ind.genes, ind.metrics);
   ind.evaluated = true;
   if (ind.fitness > best_ever_.fitness) {
     best_ever_ = ind;
@@ -101,7 +101,8 @@ std::size_t GaEngine::worst_index() const {
 }
 
 void GaEngine::finish_child(std::vector<Individual>& batch, std::size_t index,
-                            const Rng& stream_base) {
+                            const Rng& stream_base,
+                            std::int32_t clone_parent) {
   Individual& ind = batch[index];
   Rng child_rng = stream_base.fork(index);
   const bool climb =
@@ -117,10 +118,22 @@ void GaEngine::finish_child(std::vector<Individual>& batch, std::size_t index,
     hc.max_passes = config_.hill_climb_passes;
     hill_climb(eval_, state, hc);
     ind.fitness = eval_.adopt(state);
+    ind.metrics = state.metrics();
     ind.genes = std::move(state).release_assignment();
+  } else if (config_.delta_eval_clones && clone_parent >= 0) {
+    // Cloned child: inherit the parent's O(k) metric breakdown and apply
+    // the mutation flips as move deltas — no O(V+E) pass at all when the
+    // flip count stays under budget.
+    const auto n = static_cast<double>(eval_.graph().num_vertices());
+    const auto max_flips = static_cast<std::int64_t>(
+        config_.delta_eval_max_flip_fraction * n);
+    ind.metrics =
+        population_[static_cast<std::size_t>(clone_parent)].metrics;
+    ind.fitness = eval_.mutate_clone_and_evaluate(
+        ind.genes, config_.mutation_rate, child_rng, ind.metrics, max_flips);
   } else {
     ind.fitness = eval_.mutate_and_evaluate(ind.genes, config_.mutation_rate,
-                                            child_rng);
+                                            child_rng, &ind.metrics);
   }
   ind.evaluated = true;
 }
@@ -160,6 +173,10 @@ void GaEngine::step() {
   const std::size_t batch_size =
       static_cast<std::size_t>(config_.population_size) - next.size();
   std::vector<Individual> batch(batch_size);
+  // Which population member each child is a verbatim copy of (-1 after
+  // crossover): clones can be delta-evaluated against the parent's cached
+  // metrics in the evaluate phase.
+  std::vector<std::int32_t> clone_parent(batch_size, -1);
   std::size_t produced = 0;
   Assignment child1;
   Assignment child2;
@@ -169,16 +186,24 @@ void GaEngine::step() {
     const Individual& pa = population_[ia];
     const Individual& pb = population_[ib];
 
+    std::int32_t src1 = -1;
+    std::int32_t src2 = -1;
     if (rng_.bernoulli(config_.crossover_rate)) {
       apply_crossover(config_.crossover, ctx, pa.genes, pb.genes, rng_,
                       child1, child2);
     } else {
       child1 = pa.genes;
       child2 = pb.genes;
+      src1 = static_cast<std::int32_t>(ia);
+      src2 = static_cast<std::int32_t>(ib);
     }
 
+    clone_parent[produced] = src1;
     batch[produced++].genes = std::move(child1);
-    if (produced < batch_size) batch[produced++].genes = std::move(child2);
+    if (produced < batch_size) {
+      clone_parent[produced] = src2;
+      batch[produced++].genes = std::move(child2);
+    }
   }
 
   // Evaluate phase: mutate + (optional) hill-climb + evaluate every child,
@@ -188,11 +213,11 @@ void GaEngine::step() {
   const Rng stream_base = rng_.split();
   if (Executor* pool = eval_.executor()) {
     pool->parallel_for(batch.size(), [&](std::size_t i) {
-      finish_child(batch, i, stream_base);
+      finish_child(batch, i, stream_base, clone_parent[i]);
     });
   } else {
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      finish_child(batch, i, stream_base);
+      finish_child(batch, i, stream_base, clone_parent[i]);
     }
   }
 
@@ -223,9 +248,10 @@ void GaEngine::record_stats() {
   double sum = 0.0;
   for (const auto& ind : population_) sum += ind.fitness;
   s.mean_fitness = sum / static_cast<double>(population_.size());
-  const auto m = eval_.metrics(best_ever_.genes);
-  s.best_total_cut = m.total_cut();
-  s.best_max_part_cut = m.max_part_cut;
+  // The cached breakdown rides along with best_ever_, so the per-generation
+  // stats no longer cost an O(V+E) compute_metrics pass.
+  s.best_total_cut = best_ever_.metrics.total_cut();
+  s.best_max_part_cut = best_ever_.metrics.max_part_cut;
   history_.push_back(s);
 }
 
@@ -239,7 +265,7 @@ GaResult GaEngine::result() const {
   GaResult r;
   r.best = best_ever_.genes;
   r.best_fitness = best_ever_.fitness;
-  r.best_metrics = eval_.metrics(best_ever_.genes);
+  r.best_metrics = best_ever_.metrics;
   r.history = history_;
   r.generations = generation_;
   r.evaluations = eval_.total_evaluations();

@@ -69,6 +69,21 @@ struct GaConfig {
   bool hill_climb_offspring = false;
   double hill_climb_fraction = 0.25;  ///< probability a child is climbed
   int hill_climb_passes = 1;
+
+  /// Un-climbed CLONED children (the 1 - p_c share that skip crossover)
+  /// inherit their parent's cached metrics and are re-evaluated by applying
+  /// the mutation flips as move deltas — O(flips * deg + k) instead of a
+  /// full O(V + E) pass, counted as delta evaluations.  RNG consumption is
+  /// unchanged either way; fitness values are bit-identical to the full
+  /// pass when the mean part load is exactly representable (see
+  /// EvalContext::mutate_clone_and_evaluate), otherwise equal to within
+  /// floating-point rounding — the same guarantee hill-climbed children
+  /// already get from PartitionState's incremental fitness.
+  bool delta_eval_clones = true;
+  /// Flip budget for the clone delta path as a fraction of |V|; children
+  /// whose mutation flips more genes fall back to a full evaluation.  At the
+  /// paper's p_m = 0.01 the budget is never exceeded in practice.
+  double delta_eval_max_flip_fraction = 0.1;
 };
 
 /// Per-generation statistics (drives the convergence figures).
@@ -145,9 +160,12 @@ class GaEngine {
 
  private:
   /// Mutates, optionally climbs, and evaluates batch[index] using its own
-  /// forked RNG stream.  Safe to run concurrently for distinct indices.
+  /// forked RNG stream.  `clone_parent` is the population index the child
+  /// was cloned from (-1 when it came out of crossover); clones may take the
+  /// delta evaluation path.  Safe to run concurrently for distinct indices
+  /// (the population is read-only during the evaluate phase).
   void finish_child(std::vector<Individual>& batch, std::size_t index,
-                    const Rng& stream_base);
+                    const Rng& stream_base, std::int32_t clone_parent);
   void record_stats();
   std::size_t worst_index() const;
 

@@ -88,13 +88,25 @@ HillClimbResult climb_frontier(PartitionState& state,
                                       ? state.filter_boundary(options.seed_vertices)
                                       : state.boundary_vertices();
   for (const VertexId v : current) queued.set(v);
-  std::vector<VertexId> next;
+  // gain_ordered: two next-buckets — "hot" holds vertices whose
+  // neighbourhood a move just disturbed (where new positive gains appear),
+  // "cold" holds the movers themselves (their best move was just taken) —
+  // and a pass processes hot before cold.  Otherwise both lambdas feed the
+  // single hot list.
+  std::vector<VertexId> next_hot;
+  std::vector<VertexId> next_cold;
 
-  const auto enqueue = [&](VertexId u) {
+  const auto enqueue_into = [&](VertexId u, std::vector<VertexId>& bucket) {
     if (!queued.test(u) && state.is_boundary(u)) {
       queued.set(u);
-      next.push_back(u);
+      bucket.push_back(u);
     }
+  };
+  const auto enqueue_disturbed = [&](VertexId u) {
+    enqueue_into(u, next_hot);
+  };
+  const auto enqueue_mover = [&](VertexId u) {
+    enqueue_into(u, options.gain_ordered ? next_cold : next_hot);
   };
 
   bool full_pass = !seeded;  // current covers the entire boundary
@@ -113,18 +125,23 @@ HillClimbResult climb_frontier(PartitionState& state,
         state.move(v, best.to);
         ++moves_this_pass;
         result.fitness_gain += best.gain;
-        enqueue(v);
-        for (const VertexId u : g.neighbors(v)) enqueue(u);
+        enqueue_mover(v);
+        for (const VertexId u : g.neighbors(v)) enqueue_disturbed(u);
       }
       result.moves += moves_this_pass;
     }
     if (full_pass && moves_this_pass == 0) break;  // verified fixed point
     moved_since_full_pass |= moves_this_pass > 0;
 
-    if (!next.empty()) {
-      std::sort(next.begin(), next.end());
-      current.swap(next);
-      next.clear();
+    if (!next_hot.empty() || !next_cold.empty()) {
+      std::sort(next_hot.begin(), next_hot.end());
+      current.swap(next_hot);
+      next_hot.clear();
+      if (!next_cold.empty()) {
+        std::sort(next_cold.begin(), next_cold.end());
+        current.insert(current.end(), next_cold.begin(), next_cold.end());
+        next_cold.clear();
+      }
       full_pass = false;
     } else if (options.verify_fixed_point &&
                (moved_since_full_pass || full_rounds == 0) &&

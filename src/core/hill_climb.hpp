@@ -60,6 +60,14 @@ struct HillClimbOptions {
   /// proportional to the seeded cascade, but the result is only settled
   /// around the seeds, not a verified local optimum.
   bool verify_fixed_point = true;
+  /// kFrontier only: first-cut gain-ordered worklist.  Each pass processes
+  /// the bucket of likely-positive-gain vertices (neighbours a move just
+  /// disturbed — the only place new improving moves appear) before the
+  /// likely-zero-gain bucket (vertices whose best move was just taken).
+  /// Both buckets stay ascending, so runs are deterministic, and worklist
+  /// membership and the verification rounds are unchanged — same fixed-point
+  /// class, different move order.  Ignored by kSweep.
+  bool gain_ordered = false;
 };
 
 struct HillClimbResult {

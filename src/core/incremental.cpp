@@ -63,6 +63,7 @@ IncrementalResult incremental_repartition(const Graph& grown,
     hc.fitness = params;
     hc.max_passes = options.repair_max_passes;
     hc.min_gain = options.repair_min_gain;
+    hc.gain_ordered = options.repair_gain_ordered;
     const HillClimbResult res =
         hill_climb_from(eval, state, repair_seeds(delta, grown), hc);
     tier.moves = res.moves;

@@ -60,6 +60,11 @@ struct IncrementalGaOptions {
   int repair_max_passes = 4;
   /// Tier 2 minimum per-move gain (must stay positive; bounds the cascade).
   double repair_min_gain = 1e-9;
+  /// Tier 2: process likely-positive-gain worklist vertices first
+  /// (HillClimbOptions::gain_ordered).  Same fixed-point class, different
+  /// move order; off by default so existing pipeline results stay
+  /// bit-stable.  The streaming service turns it on.
+  bool repair_gain_ordered = false;
 
   IncrementalGaOptions()
       : dpga(paper_dpga_config(2, Objective::kTotalComm)) {}

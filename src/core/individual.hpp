@@ -1,17 +1,21 @@
 // GA individual: the paper's vector chromosome plus cached fitness.
 #pragma once
 
+#include "graph/partition.hpp"
 #include "graph/types.hpp"
 
 namespace gapart {
 
 /// One candidate solution.  genes[v] = part of vertex v (the paper's §3.1
-/// representation).  fitness is valid only when `evaluated` is set; the
-/// engine maintains the invariant that every individual in a living
-/// population is evaluated.
+/// representation).  fitness and metrics are valid only when `evaluated` is
+/// set; the engine maintains the invariant that every individual in a living
+/// population is evaluated.  The cached per-part breakdown (O(k) doubles) is
+/// what lets a cloned child inherit its parent's metrics and be re-evaluated
+/// by mutation deltas instead of a full O(V+E) pass.
 struct Individual {
   Assignment genes;
   double fitness = 0.0;
+  PartitionMetrics metrics;
   bool evaluated = false;
 };
 

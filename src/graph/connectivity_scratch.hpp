@@ -84,6 +84,15 @@ class EpochFlags {
 
   std::size_t size() const { return stamp_.size(); }
 
+  /// Grows the slot count preserving current flags (new slots start false:
+  /// their stamp is 0, which is never a live epoch).  Unlike resize() this
+  /// does not touch existing slots, so growing by d costs O(d) amortized —
+  /// what lets a long-lived PartitionState absorb graph growth without an
+  /// O(V) scratch reset per delta.
+  void grow(std::size_t num_slots) {
+    if (num_slots > stamp_.size()) stamp_.resize(num_slots, 0);
+  }
+
   /// All flags become logically false.
   void clear() { ++epoch_; }
 

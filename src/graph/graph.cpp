@@ -86,12 +86,16 @@ Graph GraphBuilder::build() {
   const auto n = static_cast<std::size_t>(num_vertices_);
   const std::size_t m2 = edges_.size() * 2;
 
-  // Counting-sort CSR construction, O(E + sum_v deg(v) log deg(v)): every
-  // array below is sized from the raw edge count up front, so building large
-  // benchmark meshes never reallocates mid-construction and there is no
-  // global O(E log E) sort of edge records.
+  // Fully linear CSR construction, O(V + E): a radix pass over the
+  // (row, neighbour) key — two counting scatters, least-significant digit
+  // (neighbour) first — replaces the per-row comparison sort.  Every array is
+  // sized from the raw edge count up front, so building large benchmark
+  // meshes never reallocates mid-construction.
 
   // Pass 1: raw per-vertex degrees (duplicates included) -> scatter offsets.
+  // A vertex appears as a source exactly as often as it appears as a
+  // neighbour (each undirected edge contributes one of each per endpoint),
+  // so one offset table serves both scatter passes.
   std::vector<std::int32_t> cursor(n, 0);
   for (const auto& e : edges_) {
     ++cursor[static_cast<std::size_t>(e.u)];
@@ -102,22 +106,41 @@ Graph GraphBuilder::build() {
     offset[v + 1] = offset[v] + cursor[v];
   }
 
-  // Pass 2: scatter both directions of every edge into row-major slots.
+  // Pass 2 (low digit): scatter both directions of every edge into buckets
+  // keyed by the NEIGHBOUR endpoint; the bucket id is implicit in the slot
+  // range, so only the source and weight are stored.
+  std::vector<VertexId> by_nbr_src(m2);
+  std::vector<double> by_nbr_wgt(m2);
+  std::copy(offset.begin(), offset.end() - 1, cursor.begin());
+  for (const auto& e : edges_) {
+    auto& cv = cursor[static_cast<std::size_t>(e.v)];
+    by_nbr_src[static_cast<std::size_t>(cv)] = e.u;
+    by_nbr_wgt[static_cast<std::size_t>(cv)] = e.w;
+    ++cv;
+    auto& cu = cursor[static_cast<std::size_t>(e.u)];
+    by_nbr_src[static_cast<std::size_t>(cu)] = e.v;
+    by_nbr_wgt[static_cast<std::size_t>(cu)] = e.w;
+    ++cu;
+  }
+
+  // Pass 3 (high digit): walk the buckets in ascending neighbour order and
+  // stably scatter each entry into its source row — every row comes out with
+  // its neighbours already ascending, no per-row sort.
   std::vector<VertexId> raw_adj(m2);
   std::vector<double> raw_wgt(m2);
   std::copy(offset.begin(), offset.end() - 1, cursor.begin());
-  for (const auto& e : edges_) {
-    auto& cu = cursor[static_cast<std::size_t>(e.u)];
-    raw_adj[static_cast<std::size_t>(cu)] = e.v;
-    raw_wgt[static_cast<std::size_t>(cu)] = e.w;
-    ++cu;
-    auto& cv = cursor[static_cast<std::size_t>(e.v)];
-    raw_adj[static_cast<std::size_t>(cv)] = e.u;
-    raw_wgt[static_cast<std::size_t>(cv)] = e.w;
-    ++cv;
+  for (std::size_t nbr = 0; nbr < n; ++nbr) {
+    const auto begin = static_cast<std::size_t>(offset[nbr]);
+    const auto end = static_cast<std::size_t>(offset[nbr + 1]);
+    for (std::size_t i = begin; i < end; ++i) {
+      auto& cu = cursor[static_cast<std::size_t>(by_nbr_src[i])];
+      raw_adj[static_cast<std::size_t>(cu)] = static_cast<VertexId>(nbr);
+      raw_wgt[static_cast<std::size_t>(cu)] = by_nbr_wgt[i];
+      ++cu;
+    }
   }
 
-  // Pass 3: sort each row, merge duplicates (weights summed).
+  // Pass 4: merge duplicates (weights summed) row by row.
   Graph g;
   g.xadj_.assign(n + 1, 0);
   g.adjncy_.clear();
@@ -125,22 +148,16 @@ Graph GraphBuilder::build() {
   g.adjncy_.reserve(m2);
   g.ewgt_.reserve(m2);
 
-  std::vector<std::pair<VertexId, double>> row;
   for (std::size_t u = 0; u < n; ++u) {
     const auto begin = static_cast<std::size_t>(offset[u]);
     const auto end = static_cast<std::size_t>(offset[u + 1]);
-    row.clear();
-    for (std::size_t i = begin; i < end; ++i) {
-      row.emplace_back(raw_adj[i], raw_wgt[i]);
-    }
-    std::sort(row.begin(), row.end());
     const std::size_t row_start = g.adjncy_.size();
-    for (const auto& [v, w] : row) {
-      if (g.adjncy_.size() > row_start && g.adjncy_.back() == v) {
-        g.ewgt_.back() += w;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (g.adjncy_.size() > row_start && g.adjncy_.back() == raw_adj[i]) {
+        g.ewgt_.back() += raw_wgt[i];
       } else {
-        g.adjncy_.push_back(v);
-        g.ewgt_.push_back(w);
+        g.adjncy_.push_back(raw_adj[i]);
+        g.ewgt_.push_back(raw_wgt[i]);
       }
     }
     g.xadj_[u + 1] = static_cast<std::int32_t>(g.adjncy_.size());

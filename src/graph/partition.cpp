@@ -216,6 +216,100 @@ void PartitionState::move(VertexId v, PartId to) {
   }
 }
 
+void PartitionState::rebind_grown(const Graph& grown,
+                                  std::span<const VertexId> touched_old,
+                                  std::span<const PartId> new_parts) {
+  const Graph& old_g = *g_;
+  const VertexId n_old = old_g.num_vertices();
+  const VertexId n_new = grown.num_vertices();
+  GAPART_REQUIRE(n_new >= n_old, "grown graph smaller than current graph");
+  GAPART_REQUIRE(static_cast<VertexId>(new_parts.size()) == n_new - n_old,
+                 "new_parts covers ", new_parts.size(), " vertices, expected ",
+                 n_new - n_old);
+  for (const PartId p : new_parts) {
+    GAPART_REQUIRE(p >= 0 && p < num_parts_, "new part ", p,
+                   " out of range for ", num_parts_, " parts");
+  }
+  VertexId prev = -1;
+  for (const VertexId v : touched_old) {
+    GAPART_REQUIRE(v >= 0 && v < n_old, "touched vertex ", v,
+                   " is not a surviving vertex");
+    GAPART_REQUIRE(v > prev, "touched_old must be strictly ascending");
+    prev = v;
+  }
+
+  // Retract the touched survivors' old cut contributions and weights.  Cut
+  // terms are per-endpoint (part_cut_[q] sums the outgoing edges of every
+  // vertex in q), so retract-then-re-add per damaged vertex is exact: an
+  // unchanged edge to an untouched neighbour keeps that neighbour's side
+  // untouched, and its own side is re-added below.
+  for (const VertexId v : touched_old) {
+    const auto p = static_cast<std::size_t>(assign_[static_cast<std::size_t>(v)]);
+    const auto nbrs = old_g.neighbors(v);
+    const auto wgts = old_g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (assign_[static_cast<std::size_t>(nbrs[i])] !=
+          assign_[static_cast<std::size_t>(v)]) {
+        part_cut_[p] -= wgts[i];
+      }
+    }
+    part_weight_[p] += grown.vertex_weight(v) - old_g.vertex_weight(v);
+  }
+
+  // Append the new vertices (parts from the caller, boundary synced below).
+  // Growth is geometric (no exact reserve), so a stream of small deltas pays
+  // amortized O(new) here, not O(V) per rebind.
+  const auto sz_new = static_cast<std::size_t>(n_new);
+  ext_deg_.resize(sz_new, 0);
+  frontier_pos_.resize(sz_new, -1);
+  for (std::size_t i = 0; i < new_parts.size(); ++i) {
+    assign_.push_back(new_parts[i]);
+    part_weight_[static_cast<std::size_t>(new_parts[i])] +=
+        grown.vertex_weight(n_old + static_cast<VertexId>(i));
+  }
+
+  g_ = &grown;
+  visit_flags_.grow(sz_new);
+
+  // Re-add the damage set's cut contributions and boundary state from the
+  // grown graph.  A neighbour of a new vertex, and either endpoint of a
+  // changed edge, is in the damage set by precondition, so untouched
+  // survivors' ext_deg_ / frontier membership stay valid.
+  const auto readd = [&](VertexId v) {
+    const PartId pv = assign_[static_cast<std::size_t>(v)];
+    const auto nbrs = grown.neighbors(v);
+    const auto wgts = grown.edge_weights(v);
+    std::int32_t ext = 0;
+    double cut = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (assign_[static_cast<std::size_t>(nbrs[i])] != pv) {
+        cut += wgts[i];
+        ++ext;
+      }
+    }
+    part_cut_[static_cast<std::size_t>(pv)] += cut;
+    ext_deg_[static_cast<std::size_t>(v)] = ext;
+    sync_frontier(v);
+  };
+  for (const VertexId v : touched_old) readd(v);
+  for (VertexId v = n_old; v < n_new; ++v) readd(v);
+
+  // Derived O(k) state: the mean load moved with the total weight, so the
+  // imbalance term is recomputed wholesale rather than patched per part.
+  mean_weight_ = grown.total_vertex_weight() / static_cast<double>(num_parts_);
+  sum_part_cut_ = 0.0;
+  imbalance_sq_ = 0.0;
+  for (PartId q = 0; q < num_parts_; ++q) {
+    sum_part_cut_ += part_cut_[static_cast<std::size_t>(q)];
+    const double d = part_weight_[static_cast<std::size_t>(q)] - mean_weight_;
+    imbalance_sq_ += d * d;
+  }
+  const auto it = std::max_element(part_cut_.begin(), part_cut_.end());
+  max_cut_cache_ = *it;
+  max_cut_part_ = static_cast<PartId>(it - part_cut_.begin());
+  max_cut_dirty_ = false;
+}
+
 double PartitionState::scan_connectivity(VertexId v) const {
   const auto nbrs = g_->neighbors(v);
   const auto wgts = g_->edge_weights(v);

@@ -121,6 +121,27 @@ class PartitionState {
   /// Moves v to part `to` (no-op when already there).
   void move(VertexId v, PartId to);
 
+  /// Rebinds the state to `grown` — a graph whose first num_vertices()
+  /// vertices survive from the current graph — updating every maintained
+  /// quantity (part weights/cuts, imbalance, boundary, frontier) in
+  /// O(damage * deg + k) instead of the O(V + E) fresh construction.  This is
+  /// what keeps a long-lived session's per-delta repair latency proportional
+  /// to the damage, not the graph.
+  ///
+  /// `touched_old` lists the surviving vertices whose adjacency rows or
+  /// weights changed (a GraphDelta's touched_old — sorted, deduplicated, all
+  /// < num_vertices()).  Every changed edge must have both endpoints in the
+  /// damage set (new vertices plus touched_old) — guaranteed by construction
+  /// for appended_delta / diff_graphs deltas, because an edge change perturbs
+  /// both endpoints' adjacency rows — and untouched survivors must keep their
+  /// vertex weight.  `new_parts` assigns the appended vertices
+  /// [num_vertices(), |grown|), each in [0, num_parts).  Survivors keep their
+  /// current parts.  The old graph must stay alive for the duration of the
+  /// call (it is read to retract the damaged vertices' old contributions);
+  /// afterwards the state references `grown`, which must outlive it.
+  void rebind_grown(const Graph& grown, std::span<const VertexId> touched_old,
+                    std::span<const PartId> new_parts);
+
   /// Single-scan gain kernel: the best part to move v into among all parts
   /// adjacent to v, with ties broken toward the lowest part id (matching the
   /// legacy ascending neighbor_parts() probe loop).  Only candidates with

@@ -1,0 +1,170 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace gapart {
+
+PartitionService::PartitionService(ServiceConfig config, Executor* executor)
+    : config_(config) {
+  if (executor != nullptr) {
+    executor_ = executor;
+  } else {
+    const int threads = config_.num_threads > 0
+                            ? config_.num_threads
+                            : Executor::hardware_threads();
+    owned_executor_ = std::make_unique<Executor>(threads);
+    executor_ = owned_executor_.get();
+  }
+}
+
+PartitionService::~PartitionService() {
+  // In-flight refinement tasks hold shared_ptrs to their sessions; draining
+  // before teardown keeps them off a destroyed service's pool.
+  executor_->wait();
+}
+
+SessionId PartitionService::insert(std::shared_ptr<PartitionSession> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+SessionId PartitionService::open_session(std::shared_ptr<const Graph> graph,
+                                         Assignment initial,
+                                         SessionConfig config) {
+  return insert(std::make_shared<PartitionSession>(
+      std::move(graph), std::move(initial), std::move(config)));
+}
+
+SessionId PartitionService::open_session_from_files(const std::string& prefix,
+                                                    SessionConfig config) {
+  return insert(std::shared_ptr<PartitionSession>(
+      PartitionSession::restore_files(prefix, std::move(config))));
+}
+
+void PartitionService::close_session(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto erased = sessions_.erase(id);
+  GAPART_REQUIRE(erased == 1, "unknown session id ", id);
+}
+
+std::shared_ptr<PartitionSession> PartitionService::find(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  GAPART_REQUIRE(it != sessions_.end(), "unknown session id ", id);
+  return it->second;
+}
+
+RepairReport PartitionService::submit_update(
+    SessionId id, std::shared_ptr<const Graph> grown, const GraphDelta& delta) {
+  const auto session = find(id);
+  RepairReport report = session->apply_update(std::move(grown), delta);
+  maybe_schedule_refinement(id, session);
+  return report;
+}
+
+void PartitionService::maybe_schedule_refinement(
+    SessionId id, const std::shared_ptr<PartitionSession>& session) {
+  if (!config_.background_refinement) return;
+  auto job = session->plan_refinement();
+  if (!job.has_value()) return;
+
+  // Deterministic per-job stream: a pure function of (service seed, session
+  // id, captured epoch), independent of pool scheduling.
+  SplitMix64 mix(config_.seed ^ (id * 0x9e3779b97f4a7c15ULL) ^
+                 job->update_epoch);
+  Rng rng(mix.next());
+
+  Executor* pool = executor_;
+  executor_->submit(
+      [session, job = std::move(*job), rng, pool]() mutable {
+        // A throwing task would terminate the worker; refinement failures
+        // only ever cost the refinement.
+        try {
+          RefineOutcome out =
+              run_refinement(job, session->config(), rng, pool);
+          session->complete_refinement(job, std::move(out.assignment),
+                                       out.fitness, out.full_evaluations,
+                                       out.delta_evaluations);
+        } catch (...) {
+          session->abandon_refinement();
+        }
+      });
+}
+
+void PartitionService::poll() {
+  if (!config_.background_refinement) return;
+  std::vector<std::pair<SessionId, std::shared_ptr<PartitionSession>>> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.assign(sessions_.begin(), sessions_.end());
+  }
+  for (const auto& [id, session] : all) {
+    maybe_schedule_refinement(id, session);
+  }
+}
+
+std::shared_ptr<const SessionSnapshot> PartitionService::snapshot(
+    SessionId id) const {
+  return find(id)->snapshot();
+}
+
+SessionStats PartitionService::session_stats(SessionId id) const {
+  return find(id)->stats();
+}
+
+ServiceStats PartitionService::stats() const {
+  std::vector<std::shared_ptr<PartitionSession>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) sessions.push_back(s);
+  }
+
+  ServiceStats out;
+  out.sessions = static_cast<int>(sessions.size());
+  std::vector<double> samples;
+  for (const auto& s : sessions) {
+    const SessionStats st = s->stats();
+    // Lifetime max survives the sessions' sliding sample windows.
+    out.max_repair_seconds =
+        std::max(out.max_repair_seconds, st.max_repair_seconds);
+    out.updates += st.updates;
+    out.total_damage += st.total_damage;
+    out.repair_moves += st.repair_moves;
+    out.examined += st.examined;
+    out.full_evaluations += st.full_evaluations;
+    out.delta_evaluations += st.delta_evaluations;
+    out.refinements_planned += st.refinements_planned;
+    out.refinements_applied += st.refinements_applied;
+    out.refinements_stale += st.refinements_stale;
+    out.refinements_no_better += st.refinements_no_better;
+    samples.insert(samples.end(), st.repair_seconds_samples.begin(),
+                   st.repair_seconds_samples.end());
+  }
+  out.p50_repair_seconds = quantile(samples, 0.50);
+  out.p99_repair_seconds = quantile(samples, 0.99);
+  out.pool_backlog = executor_->pending();
+  return out;
+}
+
+void PartitionService::save_session(SessionId id,
+                                    const std::string& prefix) const {
+  find(id)->save_files(prefix);
+}
+
+void PartitionService::quiesce() { executor_->wait(); }
+
+int PartitionService::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+}  // namespace gapart

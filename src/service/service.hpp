@@ -1,0 +1,137 @@
+// PartitionService: many concurrent PartitionSessions over one shared
+// Executor — the layer that turns the algorithm library into a long-running
+// system.
+//
+// Clients (one per mesh/simulation/tenant) open sessions, stream GraphDeltas
+// into them, and read epoch-versioned snapshots at any time from any thread.
+// The service runs each session's synchronous repair on the submitting
+// client's thread (so per-delta latency is the client's to budget) and
+// multiplexes every session's asynchronous refinement — policy-triggered
+// hill-climb rounds and DPGA bursts — onto the one shared pool, where a
+// burst's island steps themselves fan out as nested tasks.
+//
+// Thread-safety: all public methods are safe to call concurrently.  Updates
+// to DIFFERENT sessions proceed in parallel; updates to one session
+// serialize on that session's lock.  close_session never races a running
+// refinement into use-after-free: jobs keep their session alive via
+// shared_ptr and publication into a closed session is harmless.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/executor.hpp"
+#include "service/session.hpp"
+
+namespace gapart {
+
+using SessionId = std::uint64_t;
+
+struct ServiceConfig {
+  /// Shared pool size when the service creates its own Executor
+  /// (0 = hardware threads).  Ignored when an external pool is supplied.
+  int num_threads = 0;
+  /// Master switch for the asynchronous refinement plane.
+  bool background_refinement = true;
+  /// Seed for the per-job refinement RNG streams: refinement outcomes are a
+  /// deterministic function of (seed, session id, captured epoch), whatever
+  /// the pool's scheduling does.
+  std::uint64_t seed = 0x5e55101d;
+};
+
+/// Service-wide aggregation over all open sessions.
+struct ServiceStats {
+  int sessions = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t total_damage = 0;
+  std::int64_t repair_moves = 0;
+  std::int64_t examined = 0;
+  std::int64_t full_evaluations = 0;
+  std::int64_t delta_evaluations = 0;
+  int refinements_planned = 0;
+  int refinements_applied = 0;
+  int refinements_stale = 0;
+  int refinements_no_better = 0;
+  /// Merged over every session's raw samples (quantiles do not compose).
+  double p50_repair_seconds = 0.0;
+  double p99_repair_seconds = 0.0;
+  double max_repair_seconds = 0.0;
+  /// Pool tasks queued or executing at sampling time (refinement backlog
+  /// gauge; racy by nature).
+  int pool_backlog = 0;
+};
+
+class PartitionService {
+ public:
+  /// `executor` (optional, non-owning, must outlive the service) supplies
+  /// the refinement pool; when null the service owns one of
+  /// config.num_threads.
+  explicit PartitionService(ServiceConfig config = {},
+                            Executor* executor = nullptr);
+
+  /// Waits for in-flight refinements, then shuts down.
+  ~PartitionService();
+
+  PartitionService(const PartitionService&) = delete;
+  PartitionService& operator=(const PartitionService&) = delete;
+
+  /// Opens a session on `graph` partitioned as `initial`; returns its id.
+  SessionId open_session(std::shared_ptr<const Graph> graph,
+                         Assignment initial, SessionConfig config);
+
+  /// Opens a session from a save_session checkpoint (`prefix`.graph /
+  /// `prefix`.part, Chaco/METIS formats).
+  SessionId open_session_from_files(const std::string& prefix,
+                                    SessionConfig config);
+
+  /// Closes (drops) a session.  A refinement still running for it finishes
+  /// against its captured snapshot and is discarded.
+  void close_session(SessionId id);
+
+  /// Streams one delta into a session: synchronous tiered repair on the
+  /// calling thread, then (policy permitting) schedules background
+  /// refinement on the shared pool.
+  RepairReport submit_update(SessionId id, std::shared_ptr<const Graph> grown,
+                             const GraphDelta& delta);
+
+  /// Latest snapshot of one session; wait-free against repair/refinement.
+  std::shared_ptr<const SessionSnapshot> snapshot(SessionId id) const;
+
+  SessionStats session_stats(SessionId id) const;
+  ServiceStats stats() const;
+
+  /// Idle tick: consults every session's refinement policy and schedules
+  /// background work for those whose triggers fired, exactly as a delta
+  /// arrival would.  Without it a session that stops receiving traffic
+  /// could never act on its staleness/damage accumulators — call this from
+  /// a periodic housekeeping loop (or between client bursts).
+  void poll();
+
+  /// Checkpoints one session to `prefix`.graph / `prefix`.part.
+  void save_session(SessionId id, const std::string& prefix) const;
+
+  /// Blocks until every scheduled refinement has completed and published.
+  void quiesce();
+
+  int num_sessions() const;
+  Executor& executor() { return *executor_; }
+
+ private:
+  std::shared_ptr<PartitionSession> find(SessionId id) const;
+  SessionId insert(std::shared_ptr<PartitionSession> session);
+  void maybe_schedule_refinement(SessionId id,
+                                 const std::shared_ptr<PartitionSession>& s);
+
+  ServiceConfig config_;
+  std::unique_ptr<Executor> owned_executor_;
+  Executor* executor_;
+
+  mutable std::mutex mu_;  ///< guards the session table only
+  std::unordered_map<SessionId, std::shared_ptr<PartitionSession>> sessions_;
+  SessionId next_id_ = 1;
+};
+
+}  // namespace gapart

@@ -1,0 +1,440 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "core/eval.hpp"
+#include "core/hill_climb.hpp"
+#include "core/init.hpp"
+#include "core/presets.hpp"
+#include "graph/connectivity_scratch.hpp"
+#include "graph/io.hpp"
+
+namespace gapart {
+
+namespace {
+
+const Graph& require_graph(const std::shared_ptr<const Graph>& g) {
+  GAPART_REQUIRE(g != nullptr, "session graph must not be null");
+  return *g;
+}
+
+}  // namespace
+
+SessionConfig::SessionConfig() : deep(paper_dpga_config(2, Objective::kTotalComm)) {
+  // The deep tier runs as ONE background task next to every other session's
+  // work, so its defaults are a burst, not the paper's full table budget.
+  deep.num_islands = 4;
+  deep.parallel = true;  // island bursts ride the shared pool
+  deep.ga.population_size = 64;
+  deep.ga.max_generations = 60;
+  deep.ga.stall_generations = 15;
+  deep.ga.hill_climb_offspring = true;
+  deep.ga.hill_climb_fraction = 0.25;
+}
+
+PartitionSession::PartitionSession(std::shared_ptr<const Graph> graph,
+                                   Assignment initial, SessionConfig config,
+                                   const char* origin)
+    : config_(std::move(config)),
+      graph_(std::move(graph)),
+      state_(require_graph(graph_), std::move(initial), config_.num_parts) {
+  // num_parts is validated by the PartitionState member initializer.
+  GAPART_REQUIRE(config_.repair_min_gain > 0.0,
+                 "repair_min_gain must be positive (bounds the cascade)");
+  std::lock_guard<std::mutex> lock(mu_);  // publish()'s contract
+  stats_.full_evaluations = 1;  // the state construction
+  baseline_fitness_ = state_.fitness(config_.fitness);
+  publish(origin);
+}
+
+std::vector<PartId> PartitionSession::extend_parts(const Graph& grown,
+                                                   VertexId n_old) const {
+  const VertexId n = grown.num_vertices();
+  const auto n_new = static_cast<std::size_t>(n - n_old);
+  std::vector<PartId> parts(n_new, -1);
+  if (n_new == 0) return parts;
+
+  const PartId k = config_.num_parts;
+  std::vector<double> part_weight(static_cast<std::size_t>(k));
+  for (PartId q = 0; q < k; ++q) {
+    part_weight[static_cast<std::size_t>(q)] = state_.part_weight(q);
+  }
+  const Assignment& old_assign = state_.assignment();
+  const auto part_of = [&](VertexId u) -> PartId {
+    return u < n_old ? old_assign[static_cast<std::size_t>(u)]
+                     : parts[static_cast<std::size_t>(u - n_old)];
+  };
+
+  if (!config_.greedy_extend) {
+    // Balanced extension (§3.5's random dealing, made deterministic):
+    // every new vertex to the currently lightest part, lowest id on ties.
+    for (VertexId v = n_old; v < n; ++v) {
+      PartId choice = 0;
+      for (PartId q = 1; q < k; ++q) {
+        if (part_weight[static_cast<std::size_t>(q)] <
+            part_weight[static_cast<std::size_t>(choice)]) {
+          choice = q;
+        }
+      }
+      parts[static_cast<std::size_t>(v - n_old)] = choice;
+      part_weight[static_cast<std::size_t>(choice)] += grown.vertex_weight(v);
+    }
+    return parts;
+  }
+
+  // Tier 1 of the PR 4 pipeline (greedy_incremental_assign), restated over
+  // the new range only so one delta costs O(new * deg + new log new + k),
+  // never O(V): most-constrained-first pick order via a lazy bucket queue,
+  // edge-weighted majority vote, ties to the lightest part then lowest id.
+  std::vector<std::int32_t> assigned_nbrs(n_new, 0);
+  using MinIdHeap =
+      std::priority_queue<VertexId, std::vector<VertexId>, std::greater<>>;
+  std::vector<MinIdHeap> buckets;
+  std::int32_t cur_max = 0;
+  const auto push_bucket = [&](VertexId v, std::int32_t c) {
+    if (static_cast<std::size_t>(c) >= buckets.size()) {
+      buckets.resize(static_cast<std::size_t>(c) + 1);
+    }
+    buckets[static_cast<std::size_t>(c)].push(v);
+    cur_max = std::max(cur_max, c);
+  };
+  for (VertexId v = n_old; v < n; ++v) {
+    std::int32_t c = 0;
+    for (VertexId u : grown.neighbors(v)) c += part_of(u) >= 0;
+    assigned_nbrs[static_cast<std::size_t>(v - n_old)] = c;
+    push_bucket(v, c);
+  }
+
+  ConnectivityScratch votes(static_cast<std::size_t>(k));
+  for (std::size_t remaining = n_new; remaining > 0; --remaining) {
+    VertexId v = -1;
+    while (v < 0) {
+      auto& bucket = buckets[static_cast<std::size_t>(cur_max)];
+      if (bucket.empty()) {
+        --cur_max;
+        continue;
+      }
+      const VertexId cand = bucket.top();
+      bucket.pop();
+      if (parts[static_cast<std::size_t>(cand - n_old)] < 0 &&
+          assigned_nbrs[static_cast<std::size_t>(cand - n_old)] == cur_max) {
+        v = cand;
+      }
+    }
+
+    votes.begin();
+    const auto nbrs = grown.neighbors(v);
+    const auto wgts = grown.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const PartId p = part_of(nbrs[i]);
+      if (p >= 0) votes.add(p, wgts[i]);
+    }
+    PartId choice = 0;
+    for (PartId q = 1; q < k; ++q) {
+      const auto uq = static_cast<std::size_t>(q);
+      const auto uc = static_cast<std::size_t>(choice);
+      if (votes[q] > votes[choice] ||
+          (votes[q] == votes[choice] && part_weight[uq] < part_weight[uc])) {
+        choice = q;
+      }
+    }
+    parts[static_cast<std::size_t>(v - n_old)] = choice;
+    part_weight[static_cast<std::size_t>(choice)] += grown.vertex_weight(v);
+    for (const VertexId u : nbrs) {
+      if (u >= n_old && parts[static_cast<std::size_t>(u - n_old)] < 0) {
+        push_bucket(u, ++assigned_nbrs[static_cast<std::size_t>(u - n_old)]);
+      }
+    }
+  }
+  return parts;
+}
+
+RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
+                                            const GraphDelta& delta) {
+  const Graph& g = require_graph(grown);
+  std::lock_guard<std::mutex> lock(mu_);
+  const VertexId n_old = graph_->num_vertices();
+  GAPART_REQUIRE(delta.old_num_vertices == n_old,
+                 "delta.old_num_vertices (", delta.old_num_vertices,
+                 ") disagrees with the session graph (", n_old, " vertices)");
+  GAPART_REQUIRE(g.num_vertices() >= n_old,
+                 "session graphs can only grow (got ", g.num_vertices(),
+                 " after ", n_old, ")");
+
+  WallTimer timer;
+  RepairReport rep;
+  rep.damage = delta.damage(g);
+
+  // Tier 1 + rebind: assign the new vertices against the pre-update state,
+  // then absorb the new graph in O(damage * deg).
+  const auto new_parts = extend_parts(g, n_old);
+  state_.rebind_grown(g, delta.touched_old, new_parts);
+  graph_ = std::move(grown);
+  rep.extend_moves = static_cast<int>(new_parts.size());
+
+  // Tier 2: strictly damage-proportional seeded cascade first, then
+  // O(boundary) verification rounds only while the latency budget lasts —
+  // deeper quality is the background refinement plane's job.
+  if (config_.seeded_repair) {
+    HillClimbOptions opt;
+    opt.fitness = config_.fitness;
+    opt.min_gain = config_.repair_min_gain;
+    opt.gain_ordered = config_.gain_ordered_repair;
+    opt.verify_fixed_point = false;
+    const auto res =
+        hill_climb_from(state_, repair_seeds(delta, *graph_), opt);
+    rep.repair_moves += res.moves;
+    rep.examined += res.examined;
+
+    opt.mode = HillClimbMode::kFrontier;  // unseeded: one full round + cascade
+    while (rep.verify_rounds < config_.repair_max_verify_rounds &&
+           timer.seconds() < config_.repair_budget_seconds) {
+      const auto vres = hill_climb(state_, opt);
+      ++rep.verify_rounds;
+      rep.repair_moves += vres.moves;
+      rep.examined += vres.examined;
+      if (vres.moves == 0) break;  // verified fixed point
+    }
+  }
+  rep.seconds = timer.seconds();
+
+  ++update_epoch_;
+  ++updates_since_refine_;
+  damage_since_refine_ += rep.damage;
+  damage_since_deep_ += rep.damage;
+
+  rep.update_epoch = update_epoch_;
+  rep.fitness_after = state_.fitness(config_.fitness);
+
+  ++stats_.updates;
+  stats_.total_damage += static_cast<std::uint64_t>(rep.damage);
+  stats_.extend_moves += rep.extend_moves;
+  stats_.repair_moves += rep.repair_moves;
+  stats_.examined += rep.examined;
+  stats_.delta_evaluations += rep.repair_moves;  // one delta per move
+  max_repair_seconds_ = std::max(max_repair_seconds_, rep.seconds);
+  if (repair_seconds_.size() < SessionStats::kMaxHistory) {
+    repair_seconds_.push_back(rep.seconds);
+  } else {  // sliding window: overwrite the oldest sample
+    repair_seconds_[repair_seconds_next_] = rep.seconds;
+    repair_seconds_next_ =
+        (repair_seconds_next_ + 1) % SessionStats::kMaxHistory;
+  }
+
+  publish("repair");
+  return rep;
+}
+
+void PartitionSession::publish(const char* source) {
+  auto snap = std::make_shared<SessionSnapshot>();
+  snap->update_epoch = update_epoch_;
+  snap->version = ++version_;
+  snap->source = source;
+  snap->graph = graph_;
+  snap->assignment = state_.assignment();
+  snap->fitness = state_.fitness(config_.fitness);
+  snap->total_cut = state_.total_cut();
+  snap->max_part_cut = state_.max_part_cut();
+  snap->imbalance_sq = state_.imbalance_sq();
+  stats_.version = snap->version;
+  if (cut_trajectory_.size() < SessionStats::kMaxHistory) {
+    cut_trajectory_.emplace_back(update_epoch_, snap->total_cut);
+  } else {  // sliding window: overwrite the oldest entry
+    cut_trajectory_[cut_trajectory_next_] = {update_epoch_, snap->total_cut};
+    cut_trajectory_next_ =
+        (cut_trajectory_next_ + 1) % SessionStats::kMaxHistory;
+  }
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const SessionSnapshot> PartitionSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return snapshot_;
+}
+
+RefineSignals PartitionSession::signals() const {
+  RefineSignals s;
+  s.current_fitness = state_.fitness(config_.fitness);
+  s.baseline_fitness = baseline_fitness_;
+  s.updates_since_refine = updates_since_refine_;
+  s.damage_since_refine = damage_since_refine_;
+  s.damage_since_deep = damage_since_deep_;
+  s.refine_in_flight = refine_in_flight_;
+  return s;
+}
+
+std::optional<PartitionSession::RefineJob> PartitionSession::plan_refinement() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const RefineDepth depth = decide_refinement(config_.policy, signals());
+  if (depth == RefineDepth::kNone) return std::nullopt;
+  refine_in_flight_ = true;
+  ++stats_.refinements_planned;
+  RefineJob job;
+  job.update_epoch = update_epoch_;
+  job.depth = depth;
+  job.graph = graph_;
+  job.assignment = state_.assignment();
+  job.fitness = state_.fitness(config_.fitness);
+  return job;
+}
+
+bool PartitionSession::complete_refinement(const RefineJob& job,
+                                           Assignment refined,
+                                           double refined_fitness,
+                                           std::int64_t full_evaluations,
+                                           std::int64_t delta_evaluations) {
+  // Build the replacement state OUTSIDE the session lock (it is the one
+  // O(V+E) step of adoption); a delta racing us just makes it dead weight.
+  std::optional<PartitionState> candidate;
+  if (refined_fitness > job.fitness) {
+    candidate.emplace(*job.graph, std::move(refined), config_.num_parts);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  refine_in_flight_ = false;
+  stats_.full_evaluations += full_evaluations + (candidate ? 1 : 0);
+  stats_.delta_evaluations += delta_evaluations;
+
+  if (job.update_epoch != update_epoch_) {
+    // A newer delta invalidated the captured epoch: the refined assignment
+    // no longer matches the live graph.  Leave the accumulators primed so
+    // the policy refires on the new state.
+    ++stats_.refinements_stale;
+    return false;
+  }
+
+  // Epoch intact: between capture and now only refinement could have touched
+  // the state, and in-flight exclusion rules that out — the live fitness is
+  // still job.fitness.  Reset the accumulators either way: the current
+  // quality has just been (re)certified.
+  baseline_fitness_ = std::max(job.fitness, refined_fitness);
+  updates_since_refine_ = 0;
+  damage_since_refine_ = 0;
+  if (job.depth == RefineDepth::kDeep) damage_since_deep_ = 0;
+
+  if (!candidate) {
+    ++stats_.refinements_no_better;
+    return false;
+  }
+  state_ = std::move(*candidate);
+  ++stats_.refinements_applied;
+  publish("refine");
+  return true;
+}
+
+void PartitionSession::abandon_refinement() {
+  std::lock_guard<std::mutex> lock(mu_);
+  refine_in_flight_ = false;
+}
+
+SessionStats PartitionSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionStats out = stats_;
+  out.p50_repair_seconds = quantile(repair_seconds_, 0.50);
+  out.p99_repair_seconds = quantile(repair_seconds_, 0.99);
+  out.max_repair_seconds = max_repair_seconds_;
+  out.repair_seconds_samples = repair_seconds_;
+  // Unroll the trajectory ring into chronological order.
+  out.cut_trajectory.clear();
+  out.cut_trajectory.reserve(cut_trajectory_.size());
+  out.cut_trajectory.insert(
+      out.cut_trajectory.end(),
+      cut_trajectory_.begin() +
+          static_cast<std::ptrdiff_t>(cut_trajectory_next_),
+      cut_trajectory_.end());
+  out.cut_trajectory.insert(
+      out.cut_trajectory.end(), cut_trajectory_.begin(),
+      cut_trajectory_.begin() +
+          static_cast<std::ptrdiff_t>(cut_trajectory_next_));
+  out.current_fitness = state_.fitness(config_.fitness);
+  out.current_total_cut = state_.total_cut();
+  return out;
+}
+
+void PartitionSession::save(std::ostream& graph_os,
+                            std::ostream& partition_os) const {
+  // Serialize from the immutable snapshot, NOT the live state: holding mu_
+  // across O(V+E) stream IO would stall the repair plane for the duration
+  // of a checkpoint.  Every apply_update/refinement publishes before
+  // releasing mu_, so the snapshot is never behind a completed update.
+  const auto snap = snapshot();
+  write_graph(graph_os, *snap->graph);
+  write_partition(partition_os, snap->assignment);
+}
+
+void PartitionSession::save_files(const std::string& prefix) const {
+  const auto snap = snapshot();
+  write_graph_file(prefix + ".graph", *snap->graph);
+  write_partition_file(prefix + ".part", snap->assignment);
+}
+
+std::unique_ptr<PartitionSession> PartitionSession::restore(
+    std::istream& graph_is, std::istream& partition_is, SessionConfig config) {
+  auto graph = std::make_shared<Graph>(read_graph(graph_is));
+  Assignment assignment = read_partition(partition_is);
+  return std::make_unique<PartitionSession>(std::move(graph),
+                                            std::move(assignment),
+                                            std::move(config), "restore");
+}
+
+std::unique_ptr<PartitionSession> PartitionSession::restore_files(
+    const std::string& prefix, SessionConfig config) {
+  std::ifstream graph_is(prefix + ".graph");
+  GAPART_REQUIRE(graph_is.good(), "cannot open ", prefix, ".graph");
+  std::ifstream partition_is(prefix + ".part");
+  GAPART_REQUIRE(partition_is.good(), "cannot open ", prefix, ".part");
+  return restore(graph_is, partition_is, std::move(config));
+}
+
+RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
+                             const SessionConfig& config, Rng rng,
+                             Executor* executor) {
+  GAPART_REQUIRE(job.depth != RefineDepth::kNone,
+                 "refinement job carries no work");
+  const Graph& g = *job.graph;
+  RefineOutcome out;
+
+  // Verified gain-ordered frontier climb: the cheap tier, always run.
+  const EvalContext eval(g, config.num_parts, config.fitness, executor);
+  PartitionState state = eval.make_state(job.assignment);
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kFrontier;
+  opt.gain_ordered = config.gain_ordered_repair;
+  opt.min_gain = config.repair_min_gain;
+  opt.max_passes = config.refine_hill_climb_passes;
+  hill_climb(eval, state, opt);
+  out.fitness = eval.adopt(state);
+  out.assignment = std::move(state).release_assignment();
+
+  // Deep tier: DPGA burst seeded with the climbed solution (§3.5's
+  // incremental GA, running in the background instead of the caller's path).
+  if (job.depth == RefineDepth::kDeep) {
+    DpgaConfig dc = config.deep;
+    dc.ga.num_parts = config.num_parts;
+    dc.ga.fitness = config.fitness;
+    auto initial = make_seeded_population(
+        out.assignment, dc.ga.population_size, /*swap_fraction=*/0.08, rng);
+    const DpgaResult res =
+        run_dpga(g, dc, std::move(initial), rng.split(), executor);
+    out.full_evaluations += res.full_evaluations;
+    out.delta_evaluations += res.delta_evaluations;
+    if (res.best_fitness > out.fitness) {
+      out.assignment = res.best;
+      out.fitness = res.best_fitness;
+    }
+  }
+
+  out.full_evaluations += eval.full_evaluations();
+  out.delta_evaluations += eval.delta_evaluations();
+  return out;
+}
+
+}  // namespace gapart

@@ -1,0 +1,279 @@
+// One long-lived partitioning session: a live Graph + PartitionState fed by
+// a stream of GraphDeltas.
+//
+// The session is the unit of the streaming service (service.hpp).  Its
+// contract splits work into two planes:
+//
+//   synchronous (apply_update, caller's thread, O(damage) + budget):
+//     tier 1  greedy extension of the surviving assignment over the new
+//             vertices (most-constrained-first majority vote — the PR 4
+//             pipeline's tier 1, reimplemented against the live state so it
+//             costs O(new * deg), not O(V));
+//     rebind  PartitionState::rebind_grown absorbs the new graph in
+//             O(damage * deg) — no O(V+E) state rebuild per delta;
+//     tier 2  worklist-seeded frontier climb from the delta's repair seeds
+//             (unverified: strictly damage-proportional), then full-boundary
+//             verification rounds only while the configured latency budget
+//             allows — an adaptive cost/quality knob per update.
+//
+//   asynchronous (plan_refinement / run_refinement / complete_refinement,
+//   service-scheduled on the shared Executor):
+//     verified frontier hill-climb rounds and, when the policy escalates,
+//     a DPGA burst seeded with the repaired solution (§3.5's incremental GA
+//     as a background job).  Refinement runs on a captured epoch snapshot;
+//     publication back into the live state is epoch-checked, so a refinement
+//     raced by newer deltas is discarded, never merged wrongly.
+//
+// Readers never block on either plane: snapshot() hands out the latest
+// epoch-versioned, immutable SessionSnapshot via shared_ptr swap.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/rng.hpp"
+#include "core/dpga.hpp"
+#include "core/graph_delta.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "service/refine_policy.hpp"
+
+namespace gapart {
+
+struct SessionConfig {
+  PartId num_parts = 2;
+  FitnessParams fitness;
+
+  /// Tier 1: extend by neighbour-majority vote (most-constrained-first).
+  /// When off, new vertices go to the lightest part (balanced extension).
+  bool greedy_extend = true;
+  /// Tier 2: seeded frontier repair of the damage.
+  bool seeded_repair = true;
+  /// Minimum per-move gain in the repair climb (must stay positive).
+  double repair_min_gain = 1e-9;
+  /// Process likely-positive-gain repair vertices first (hill_climb's
+  /// gain_ordered worklist).
+  bool gain_ordered_repair = true;
+  /// Latency budget for one apply_update call: after the damage-proportional
+  /// cascade, O(boundary) verification rounds run only while the elapsed
+  /// repair time stays under this budget (0 = cascade only — the strictest
+  /// latency regime, leaving verification to background refinement).  The
+  /// budget gates ENTRY to a round; an admitted round runs to completion, so
+  /// one update can overshoot by up to a round + its cascade.
+  double repair_budget_seconds = 0.0;
+  /// Hard cap on verification rounds even when the budget allows more.
+  int repair_max_verify_rounds = 4;
+
+  /// Background-refinement trigger policy.
+  RefinePolicyConfig policy;
+  /// kLight refinement: verified frontier hill-climb round budget.
+  int refine_hill_climb_passes = 8;
+  /// kDeep refinement: DPGA burst settings.  num_parts/fitness are
+  /// overwritten with the session's; keep the budgets modest — this runs on
+  /// the shared pool next to other sessions' work.
+  DpgaConfig deep;
+
+  SessionConfig();
+};
+
+/// Immutable, epoch-versioned view of a session's partition.  The graph is
+/// shared (a later update replaces the session's graph, never mutates it),
+/// so a snapshot stays internally consistent forever.
+struct SessionSnapshot {
+  /// Number of deltas the session had absorbed when this was published.
+  std::uint64_t update_epoch = 0;
+  /// Total publish count (repairs + refinements); strictly increasing.
+  std::uint64_t version = 0;
+  const char* source = "open";  ///< "open" / "repair" / "refine" / "restore"
+  std::shared_ptr<const Graph> graph;
+  Assignment assignment;
+  double fitness = 0.0;
+  double total_cut = 0.0;
+  double max_part_cut = 0.0;
+  double imbalance_sq = 0.0;
+};
+
+/// What one apply_update call did (the synchronous plane only).
+struct RepairReport {
+  std::uint64_t update_epoch = 0;
+  VertexId damage = 0;
+  int extend_moves = 0;         ///< new vertices assigned (tier 1)
+  int repair_moves = 0;         ///< migrations (tier 2, incl. verification)
+  std::int64_t examined = 0;    ///< gain-kernel probes
+  int verify_rounds = 0;        ///< rounds the latency budget admitted
+  double seconds = 0.0;         ///< wall time of the whole call
+  double fitness_after = 0.0;
+};
+
+/// Point-in-time statistics copy (see PartitionService for aggregation).
+struct SessionStats {
+  std::uint64_t updates = 0;
+  std::uint64_t version = 0;
+  std::uint64_t total_damage = 0;
+  std::int64_t extend_moves = 0;
+  std::int64_t repair_moves = 0;
+  std::int64_t examined = 0;
+  /// Evaluation accounting in EvalContext units: every accepted move /
+  /// mutation delta is a delta evaluation, every O(V+E) pass a full one.
+  std::int64_t full_evaluations = 0;
+  std::int64_t delta_evaluations = 0;
+  int refinements_planned = 0;
+  int refinements_applied = 0;
+  /// Completed but raced by a newer delta (captured epoch went stale).
+  int refinements_stale = 0;
+  /// Completed cleanly but found nothing better — the live partition's
+  /// quality was (re)certified instead of replaced.
+  int refinements_no_better = 0;
+  double p50_repair_seconds = 0.0;
+  double p99_repair_seconds = 0.0;
+  double max_repair_seconds = 0.0;
+  /// Raw per-update repair latencies (the last kMaxHistory updates), so the
+  /// service can merge sessions into honest service-wide percentiles
+  /// (quantiles do not compose).
+  std::vector<double> repair_seconds_samples;
+  double current_fitness = 0.0;
+  double current_total_cut = 0.0;
+  /// (update_epoch, total_cut) at the last kMaxHistory publishes — the
+  /// recent cut trajectory.
+  std::vector<std::pair<std::uint64_t, double>> cut_trajectory;
+
+  /// History cap: latencies and trajectory are sliding windows of this many
+  /// entries (percentiles then cover the recent window; max_repair_seconds
+  /// stays lifetime).  Bounds both session memory and the O(window) copy a
+  /// stats() scrape performs under the session lock.
+  static constexpr std::size_t kMaxHistory = 4096;
+};
+
+class PartitionSession {
+ public:
+  /// Starts a session on `graph` with `initial` as its partition.  The graph
+  /// is shared because snapshots outlive updates.  `origin` labels the first
+  /// snapshot's source ("open"; restore() passes "restore").
+  PartitionSession(std::shared_ptr<const Graph> graph, Assignment initial,
+                   SessionConfig config, const char* origin = "open");
+
+  PartitionSession(const PartitionSession&) = delete;
+  PartitionSession& operator=(const PartitionSession&) = delete;
+
+  const SessionConfig& config() const { return config_; }
+
+  /// Synchronous per-delta repair (see file comment).  `grown` is the new
+  /// graph snapshot; `delta` describes how it differs from the session's
+  /// current graph (delta.old_num_vertices must match).  Thread-safe against
+  /// snapshot() and the refinement plane; concurrent apply_update calls on
+  /// ONE session serialize on the session lock.
+  RepairReport apply_update(std::shared_ptr<const Graph> grown,
+                            const GraphDelta& delta);
+
+  /// Latest published state; never blocks on repair or refinement beyond a
+  /// pointer copy.  Never null.
+  std::shared_ptr<const SessionSnapshot> snapshot() const;
+
+  SessionStats stats() const;
+
+  // --- Asynchronous refinement protocol (driven by PartitionService) ------
+
+  /// A captured refinement work order: immutable inputs for run_refinement.
+  struct RefineJob {
+    std::uint64_t update_epoch = 0;
+    RefineDepth depth = RefineDepth::kNone;
+    std::shared_ptr<const Graph> graph;
+    Assignment assignment;
+    double fitness = 0.0;
+  };
+
+  /// Consults the policy; when it fires, marks a refinement in flight and
+  /// returns the captured job.  nullopt when the policy stays quiet or a
+  /// job is already in flight.
+  std::optional<RefineJob> plan_refinement();
+
+  /// Applies a finished refinement: adopted only when no delta raced it
+  /// (job.update_epoch still current) AND it improved the fitness; always
+  /// clears the in-flight mark and resets the policy accumulators on
+  /// adoption.  Returns true when adopted.
+  bool complete_refinement(const RefineJob& job, Assignment refined,
+                           double refined_fitness,
+                           std::int64_t full_evaluations,
+                           std::int64_t delta_evaluations);
+
+  /// Clears the in-flight mark after a failed refinement attempt.
+  void abandon_refinement();
+
+  // --- Persistence through the Chaco/METIS text formats -------------------
+
+  /// Writes the current graph and partition (io.hpp formats): a session can
+  /// be checkpointed mid-stream and restored into a fresh process, or its
+  /// partition handed to any other Chaco/METIS-speaking tool.
+  void save(std::ostream& graph_os, std::ostream& partition_os) const;
+  /// save() to `prefix`.graph / `prefix`.part.
+  void save_files(const std::string& prefix) const;
+
+  /// Restores a session from streams/files written by save()/save_files()
+  /// (snapshot source is "restore").
+  static std::unique_ptr<PartitionSession> restore(std::istream& graph_is,
+                                                   std::istream& partition_is,
+                                                   SessionConfig config);
+  static std::unique_ptr<PartitionSession> restore_files(
+      const std::string& prefix, SessionConfig config);
+
+ private:
+  /// Tier 1: parts for the new vertices [old_n, |grown|), O(new * deg).
+  std::vector<PartId> extend_parts(const Graph& grown,
+                                   VertexId old_n) const;
+  /// Publishes the current state as the newest snapshot (mu_ held).
+  void publish(const char* source);
+  RefineSignals signals() const;  // mu_ held
+
+  const SessionConfig config_;
+
+  mutable std::mutex mu_;  ///< guards everything below
+  std::shared_ptr<const Graph> graph_;
+  PartitionState state_;
+  std::uint64_t update_epoch_ = 0;
+  std::uint64_t version_ = 0;
+
+  // Policy accumulators (reset when a refinement is adopted).
+  double baseline_fitness_ = 0.0;
+  int updates_since_refine_ = 0;
+  std::int64_t damage_since_refine_ = 0;
+  std::int64_t damage_since_deep_ = 0;
+  bool refine_in_flight_ = false;
+
+  // Statistics.  repair_seconds_ and cut_trajectory_ are rings of the last
+  // kMaxHistory entries (stats() unrolls the trajectory chronologically),
+  // so session memory and stats() scrapes stay bounded over an unbounded
+  // stream and publish() never shifts a full window.
+  SessionStats stats_;
+  std::vector<double> repair_seconds_;
+  std::size_t repair_seconds_next_ = 0;
+  double max_repair_seconds_ = 0.0;
+  std::vector<std::pair<std::uint64_t, double>> cut_trajectory_;
+  std::size_t cut_trajectory_next_ = 0;
+
+  mutable std::mutex snap_mu_;  ///< guards snapshot_ only (reader-facing)
+  std::shared_ptr<const SessionSnapshot> snapshot_;
+};
+
+/// Executes a refinement job (outside any session lock): kLight runs
+/// verified gain-ordered frontier hill-climb rounds; kDeep additionally runs
+/// a DPGA burst seeded with the climbed solution.  Deterministic for a given
+/// rng; `executor` (optional) parallelizes the DPGA burst.  Returns the
+/// refined assignment, its fitness, and the evaluation counts to charge.
+struct RefineOutcome {
+  Assignment assignment;
+  double fitness = 0.0;
+  std::int64_t full_evaluations = 0;
+  std::int64_t delta_evaluations = 0;
+};
+RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
+                             const SessionConfig& config, Rng rng,
+                             Executor* executor);
+
+}  // namespace gapart

@@ -100,6 +100,18 @@ TEST(Executor, HardwareThreadsPositive) {
   EXPECT_GE(Executor::hardware_threads(), 1);
 }
 
+TEST(Executor, PendingGaugeTracksSubmittedWork) {
+  Executor pool(1);  // no workers: submitted tasks sit queued until wait()
+  EXPECT_EQ(pool.pending(), 0);
+  int ran = 0;
+  pool.submit([&ran] { ++ran; });
+  pool.submit([&ran] { ++ran; });
+  EXPECT_EQ(pool.pending(), 2);
+  pool.wait();
+  EXPECT_EQ(pool.pending(), 0);
+  EXPECT_EQ(ran, 2);
+}
+
 TEST(RngFork, PureFunctionOfStateAndStream) {
   Rng rng(42);
   rng.next_u64();  // move off the seed state

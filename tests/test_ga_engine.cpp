@@ -260,13 +260,78 @@ TEST(GaEngine, EvaluationsCounted) {
   Rng rng(47);
   auto cfg = small_config(2, CrossoverOp::kUniform, 5);
   cfg.elite_count = 0;
+  cfg.delta_eval_clones = false;  // every child pays a full evaluation
   auto init = make_random_population(16, 2, cfg.population_size, rng);
   const auto res = run_ga(g, cfg, std::move(init), rng.split());
   // Initial population + 5 generations of full replacement; without hill
-  // climbing every evaluation is a full one.
+  // climbing or the clone delta path every evaluation is a full one.
   EXPECT_EQ(res.evaluations, 40 + 5 * 40);
   EXPECT_EQ(res.full_evaluations, 40 + 5 * 40);
   EXPECT_EQ(res.delta_evaluations, 0);
+}
+
+TEST(GaEngine, CloneDeltaPathDropsFullEvaluationCount) {
+  // With delta_eval_clones (the default), the 1 - p_c share of children that
+  // skip crossover inherit their parent's cached metrics and are charged
+  // mutation-flip deltas instead of full evaluations — the counts, and the
+  // O(V+E) passes they stand for, must drop accordingly.  Crossover children
+  // and results are untouched: both runs consume identical RNG streams, so
+  // the search trajectory is the same.
+  const Graph g = make_grid(8, 8);
+  Rng rng(47);
+  auto cfg = small_config(2, CrossoverOp::kUniform, 6);
+  cfg.elite_count = 0;
+  cfg.crossover_rate = 0.5;  // half the children are clones
+
+  auto cfg_full = cfg;
+  cfg_full.delta_eval_clones = false;
+  Rng init_rng(48);
+  const auto init =
+      make_random_population(64, 2, cfg.population_size, init_rng);
+
+  const auto res_delta = run_ga(g, cfg, init, Rng(49));
+  const auto res_full = run_ga(g, cfg_full, init, Rng(49));
+
+  // Same search: identical best solutions and histories (unit weights make
+  // the delta-path fitness bit-identical to the full pass).
+  EXPECT_EQ(res_delta.best, res_full.best);
+  EXPECT_DOUBLE_EQ(res_delta.best_fitness, res_full.best_fitness);
+  ASSERT_EQ(res_delta.history.size(), res_full.history.size());
+  for (std::size_t i = 0; i < res_delta.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(res_delta.history[i].best_fitness,
+                     res_full.history[i].best_fitness);
+    EXPECT_DOUBLE_EQ(res_delta.history[i].mean_fitness,
+                     res_full.history[i].mean_fitness);
+  }
+
+  // Fewer O(V+E) passes: every clone (half of 6 generations x 40 children in
+  // expectation) stopped paying one.
+  EXPECT_LT(res_delta.full_evaluations, res_full.full_evaluations);
+  EXPECT_EQ(res_full.delta_evaluations, 0);
+  // Flip deltas are charged as delta evaluations; at p_m = 0.01 they number
+  // far below the full evaluations they replace.
+  EXPECT_LT(res_delta.delta_evaluations,
+            res_full.full_evaluations - res_delta.full_evaluations);
+}
+
+TEST(GaEngine, CloneDeltaFitnessMatchesScratchEvaluation) {
+  // Every fitness the delta path produces must equal a from-scratch
+  // evaluation of the same chromosome (exact on unit-weight graphs).
+  const Mesh mesh = paper_mesh(78);
+  Rng rng(51);
+  auto cfg = small_config(4, CrossoverOp::kDknux, 4);
+  cfg.crossover_rate = 0.3;  // mostly clones
+  auto init = make_random_population(78, 4, cfg.population_size, rng);
+  GaEngine engine(mesh.graph, cfg, std::move(init), rng.split());
+  for (int s = 0; s < 4; ++s) {
+    engine.step();
+    for (const auto& ind : engine.population()) {
+      ASSERT_TRUE(ind.evaluated);
+      EXPECT_DOUBLE_EQ(ind.fitness,
+                       evaluate_fitness(mesh.graph, ind.genes, 4,
+                                        cfg.fitness));
+    }
+  }
 }
 
 TEST(GaEngine, HillClimbedChildrenAreNotEvaluatedTwice) {

@@ -251,6 +251,70 @@ TEST(GraphBuilder, CountingSortConstructionMatchesNaiveMerge) {
   }
 }
 
+// The radix (two counting scatters) construction must agree with a
+// per-row comparison sort — the implementation it replaced — on graphs with
+// heavy duplicate multiplicity and fractional weights.  Weight sums may
+// associate in a different order than the sorted-pair reference, hence the
+// near (not bitwise) comparison for the fractional case.
+TEST(GraphBuilder, RadixConstructionMatchesPerRowSortReference) {
+  Rng rng(0xadd1);
+  for (int round = 0; round < 8; ++round) {
+    const bool fractional = round % 2 == 1;
+    const VertexId n = 2 + static_cast<VertexId>(rng.uniform_int(40));
+    struct E {
+      VertexId u, v;
+      double w;
+    };
+    std::vector<E> raw;
+    GraphBuilder b(n);
+    const int edges = rng.uniform_int(8 * n);
+    for (int e = 0; e < edges; ++e) {
+      const auto u = static_cast<VertexId>(rng.uniform_int(n));
+      auto v = static_cast<VertexId>(rng.uniform_int(n));
+      if (rng.bernoulli(0.3)) v = (u + 1) % n;  // force duplicate pile-ups
+      if (u == v) continue;
+      const double w = fractional ? 0.25 + rng.uniform() : 1.0 + rng.uniform_int(5);
+      b.add_edge(u, v, w);
+      raw.push_back({u, v, w});
+    }
+    const Graph g = b.build();
+
+    // Reference: per-row (neighbour, weight) sort + duplicate merge.
+    std::vector<std::vector<std::pair<VertexId, double>>> rows(
+        static_cast<std::size_t>(n));
+    for (const E& e : raw) {
+      rows[static_cast<std::size_t>(e.u)].emplace_back(e.v, e.w);
+      rows[static_cast<std::size_t>(e.v)].emplace_back(e.u, e.w);
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      auto& row = rows[static_cast<std::size_t>(u)];
+      std::sort(row.begin(), row.end());
+      std::vector<VertexId> expect_adj;
+      std::vector<double> expect_wgt;
+      for (const auto& [v, w] : row) {
+        if (!expect_adj.empty() && expect_adj.back() == v) {
+          expect_wgt.back() += w;
+        } else {
+          expect_adj.push_back(v);
+          expect_wgt.push_back(w);
+        }
+      }
+      const auto nbrs = g.neighbors(u);
+      ASSERT_EQ(std::vector<VertexId>(nbrs.begin(), nbrs.end()), expect_adj)
+          << "row " << u;
+      const auto wgts = g.edge_weights(u);
+      ASSERT_EQ(wgts.size(), expect_wgt.size());
+      for (std::size_t i = 0; i < wgts.size(); ++i) {
+        if (fractional) {
+          ASSERT_NEAR(wgts[i], expect_wgt[i], 1e-12) << "row " << u;
+        } else {
+          ASSERT_EQ(wgts[i], expect_wgt[i]) << "row " << u;
+        }
+      }
+    }
+  }
+}
+
 TEST(Graph, CsrConsistencyOnRandomGraph) {
   Rng rng(7);
   GraphBuilder b(50);

@@ -497,6 +497,95 @@ TEST(HillClimb, ChromosomeOverloadStrongGuarantee) {
   EXPECT_NO_THROW(hill_climb(g, genes, 2, opt));
 }
 
+// ---------------------------------------------------------------------------
+// Gain-ordered frontier: hot (disturbed-neighbour) bucket before cold
+// (just-moved) bucket.  Different move order, same fixed-point class.
+
+TEST(HillClimbGainOrdered, ReachesSameFixedPointClassAsPlainFrontier) {
+  Rng rng(0x90d);
+  const Mesh mesh = paper_mesh(144);
+  for (Objective obj : {Objective::kTotalComm, Objective::kWorstComm}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      Assignment start(static_cast<std::size_t>(mesh.graph.num_vertices()));
+      for (auto& p : start) p = static_cast<PartId>(rng.uniform_int(5));
+
+      HillClimbOptions opt;
+      opt.fitness = {obj, 1.0};
+      opt.mode = HillClimbMode::kFrontier;
+      opt.max_passes = 100;
+      opt.gain_ordered = true;
+
+      PartitionState state(mesh.graph, start, 5);
+      const double before = state.fitness(opt.fitness);
+      const auto res = hill_climb(state, opt);
+      const double after = state.fitness(opt.fitness);
+      EXPECT_GE(after, before);
+      EXPECT_NEAR(after - before, res.fitness_gain, 1e-9);
+      // Fixed point: no boundary vertex has an improving move — exactly the
+      // guarantee plain frontier and sweep give.
+      for (const VertexId v : state.boundary_vertices()) {
+        EXPECT_LT(state.best_move(v, opt.fitness, opt.min_gain).to, 0)
+            << "vertex " << v << " still improvable";
+      }
+    }
+  }
+}
+
+TEST(HillClimbGainOrdered, Deterministic) {
+  const Graph g = make_grid(12, 12);
+  const Assignment start = random_assignment(144, 5, 777);
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kFrontier;
+  opt.gain_ordered = true;
+  opt.max_passes = 50;
+
+  Assignment a = start;
+  Assignment b = start;
+  const auto ra = hill_climb(g, a, 5, opt);
+  const auto rb = hill_climb(g, b, 5, opt);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ra.moves, rb.moves);
+  EXPECT_EQ(ra.examined, rb.examined);
+  EXPECT_EQ(ra.fitness_gain, rb.fitness_gain);
+}
+
+TEST(HillClimbGainOrdered, OffIsBitIdenticalToPlainFrontier) {
+  // gain_ordered=false must leave frontier mode exactly as before — both
+  // enqueue paths feed the same single bucket.
+  const Graph g = make_grid(10, 10);
+  const Assignment start = random_assignment(100, 4, 4141);
+  HillClimbOptions plain;
+  plain.mode = HillClimbMode::kFrontier;
+  plain.max_passes = 50;
+  HillClimbOptions off = plain;
+  off.gain_ordered = false;
+
+  Assignment a = start;
+  Assignment b = start;
+  const auto ra = hill_climb(g, a, 4, plain);
+  const auto rb = hill_climb(g, b, 4, off);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ra.moves, rb.moves);
+  EXPECT_EQ(ra.examined, rb.examined);
+  EXPECT_EQ(ra.passes, rb.passes);
+}
+
+TEST(HillClimbGainOrdered, ComposesWithSeededRepair) {
+  const bench::DamagedGrid d = bench::damaged_block_grid(24, 4, 40, 0x5eed);
+  const Graph g = make_grid(24, 24);
+  HillClimbOptions opt;
+  opt.gain_ordered = true;
+  opt.max_passes = 50;
+  PartitionState state(g, d.start, 4);
+  const double before = state.fitness(opt.fitness);
+  const auto res = hill_climb_from(state, d.damaged, opt);
+  EXPECT_GE(state.fitness(opt.fitness), before);
+  EXPECT_GT(res.moves, 0);
+  for (const VertexId v : state.boundary_vertices()) {
+    EXPECT_LT(state.best_move(v, opt.fitness, opt.min_gain).to, 0);
+  }
+}
+
 TEST(HillClimb, WorstCommObjectiveReducesMaxCut) {
   Rng rng(13);
   const Mesh mesh = paper_mesh(144);

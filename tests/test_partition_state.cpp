@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
 #include <limits>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "core/graph_delta.hpp"
 #include "graph/connectivity_scratch.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
@@ -394,6 +398,177 @@ TEST(ConnectivityScratch, NeighborPartsMatchBruteForceOnWeightedGraph) {
     expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
     EXPECT_EQ(state.neighbor_parts(v), expect) << "vertex " << v;
   }
+}
+
+// ---------------------------------------------------------------------------
+// rebind_grown: the O(damage) graph-replacement path a long-lived session
+// rides must leave the state indistinguishable from a fresh construction on
+// the grown graph.
+
+/// Grows `old_g` by `extra` vertices and randomly perturbs it: old-old edges
+/// are dropped / reweighted near the damage window, new edges are wired into
+/// it, and some vertex weights change.  Every change is picked up by
+/// diff_graphs, which is exactly the contract rebind_grown relies on.
+Graph grow_and_perturb(const Graph& old_g, VertexId extra, Rng& rng,
+                       bool weighted) {
+  const VertexId n_old = old_g.num_vertices();
+  const VertexId n_new = n_old + extra;
+  GraphBuilder b(n_new);
+  for (VertexId u = 0; u < n_old; ++u) {
+    const auto nbrs = old_g.neighbors(u);
+    const auto wgts = old_g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] <= u) continue;
+      if (rng.bernoulli(0.05)) continue;  // drop edge
+      double w = wgts[i];
+      if (weighted && rng.bernoulli(0.1)) w = 1.0 + rng.uniform_int(5);
+      b.add_edge(u, nbrs[i], w);
+    }
+    if (weighted) {
+      b.set_vertex_weight(u, old_g.vertex_weight(u));
+    }
+  }
+  // Rewire: a few brand-new old-old edges, plus edges stitching every new
+  // vertex into the graph (to old and new endpoints alike).
+  for (int e = 0; e < 6; ++e) {
+    const auto u = static_cast<VertexId>(rng.uniform_int(n_old));
+    const auto v = static_cast<VertexId>(rng.uniform_int(n_old));
+    if (u != v && !old_g.has_edge(u, v)) {
+      b.add_edge(u, v, weighted ? 1.0 + rng.uniform_int(5) : 1.0);
+    }
+  }
+  for (VertexId v = n_old; v < n_new; ++v) {
+    const int fan = 1 + rng.uniform_int(3);
+    for (int e = 0; e < fan; ++e) {
+      const auto u = static_cast<VertexId>(rng.uniform_int(v));
+      if (u != v) b.add_edge(u, v, weighted ? 1.0 + rng.uniform_int(5) : 1.0);
+    }
+  }
+  if (weighted) {
+    for (int c = 0; c < 4; ++c) {
+      b.set_vertex_weight(static_cast<VertexId>(rng.uniform_int(n_new)),
+                          1.0 + rng.uniform_int(3));
+    }
+  }
+  return b.build();
+}
+
+void expect_state_matches_fresh(const PartitionState& state,
+                                const Graph& grown, PartId k) {
+  PartitionState fresh(grown, state.assignment(), k);
+  EXPECT_EQ(state.num_parts(), fresh.num_parts());
+  for (PartId q = 0; q < k; ++q) {
+    EXPECT_NEAR(state.part_weight(q), fresh.part_weight(q), 1e-9) << "part " << q;
+    EXPECT_NEAR(state.part_cut(q), fresh.part_cut(q), 1e-9) << "part " << q;
+  }
+  EXPECT_NEAR(state.sum_part_cut(), fresh.sum_part_cut(), 1e-9);
+  EXPECT_NEAR(state.max_part_cut(), fresh.max_part_cut(), 1e-9);
+  EXPECT_NEAR(state.imbalance_sq(), fresh.imbalance_sq(), 1e-9);
+  for (VertexId v = 0; v < grown.num_vertices(); ++v) {
+    EXPECT_EQ(state.is_boundary(v), fresh.is_boundary(v)) << "vertex " << v;
+  }
+  EXPECT_EQ(state.boundary_vertices(), fresh.boundary_vertices());
+}
+
+class RebindFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RebindFuzz, MatchesFreshConstructionThroughGrowRewireChains) {
+  Rng rng(0x4eb1 + static_cast<std::uint64_t>(GetParam()) * 977);
+  const bool weighted = GetParam() % 2 == 1;
+  const PartId k = 2 + GetParam() % 4;
+
+  // Chain several rebinds on ONE state, interleaved with random moves, so
+  // stale bookkeeping from any step would surface in a later comparison.
+  // (A deque: the state holds a pointer into the container, so elements
+  // must not move when a snapshot is appended.)
+  std::deque<Graph> snapshots;
+  snapshots.push_back(make_connected_geometric(30 + GetParam() * 3, 0.25, rng));
+  Assignment a(static_cast<std::size_t>(snapshots.back().num_vertices()));
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(k));
+  PartitionState state(snapshots.back(), a, k);
+
+  for (int step = 0; step < 4; ++step) {
+    const Graph& old_g = snapshots.back();
+    const auto extra = static_cast<VertexId>(rng.uniform_int(1, 8));
+    snapshots.push_back(grow_and_perturb(old_g, extra, rng, weighted));
+    const Graph& grown = snapshots.back();
+    const GraphDelta delta = diff_graphs(old_g, grown);
+
+    Assignment new_parts(static_cast<std::size_t>(extra));
+    for (auto& p : new_parts) p = static_cast<PartId>(rng.uniform_int(k));
+    state.rebind_grown(grown, delta.touched_old, new_parts);
+
+    ASSERT_EQ(state.graph().num_vertices(), grown.num_vertices());
+    expect_state_matches_fresh(state, grown, k);
+
+    // Keep mutating: the rebound frontier must stay move-consistent.
+    for (int m = 0; m < 20; ++m) {
+      const auto v = static_cast<VertexId>(
+          rng.uniform_int(grown.num_vertices()));
+      state.move(v, static_cast<PartId>(rng.uniform_int(k)));
+    }
+    expect_state_matches_fresh(state, grown, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RebindFuzz, ::testing::Range(0, 8));
+
+TEST(PartitionStateRebind, PureGrowthViaAppendedDelta) {
+  const Graph old_g = make_grid(4, 4);
+  Assignment a(16, 0);
+  for (std::size_t i = 8; i < 16; ++i) a[i] = 1;
+  PartitionState state(old_g, a, 2);
+
+  // Append a 5th row.
+  GraphBuilder b(20);
+  for (VertexId u = 0; u < 16; ++u) {
+    for (const VertexId v : old_g.neighbors(u)) {
+      if (v > u) b.add_edge(u, v);
+    }
+  }
+  for (VertexId c = 0; c < 4; ++c) {
+    b.add_edge(12 + c, 16 + c);
+    if (c > 0) b.add_edge(16 + c - 1, 16 + c);
+  }
+  const Graph grown = b.build();
+  const GraphDelta delta = appended_delta(grown, 16);
+
+  const Assignment new_parts(4, 1);
+  state.rebind_grown(grown, delta.touched_old, new_parts);
+  expect_state_matches_fresh(state, grown, 2);
+}
+
+TEST(PartitionStateRebind, NoChangeDeltaIsIdentity) {
+  Rng rng(0x1de);
+  const Graph g = make_grid(5, 5);
+  Assignment a(25);
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(3));
+  PartitionState state(g, a, 3);
+  const double fitness_before = state.fitness({Objective::kWorstComm, 1.0});
+  state.rebind_grown(g, {}, {});
+  EXPECT_DOUBLE_EQ(state.fitness({Objective::kWorstComm, 1.0}),
+                   fitness_before);
+  expect_state_matches_fresh(state, g, 3);
+}
+
+TEST(PartitionStateRebind, PreconditionsRejected) {
+  const Graph old_g = make_grid(3, 3);
+  const Graph grown = make_grid(4, 3);
+  PartitionState state(old_g, Assignment(9, 0), 2);
+  // Wrong new_parts length.
+  EXPECT_THROW(state.rebind_grown(grown, {}, {}), Error);
+  // Out-of-range part.
+  EXPECT_THROW(state.rebind_grown(grown, {}, Assignment(3, 7)), Error);
+  // touched_old out of range / unsorted.
+  EXPECT_THROW(
+      state.rebind_grown(grown, std::vector<VertexId>{42}, Assignment(3, 0)),
+      Error);
+  EXPECT_THROW(state.rebind_grown(grown, std::vector<VertexId>{5, 2},
+                                  Assignment(3, 0)),
+               Error);
+  // Shrinking is not supported.
+  PartitionState big(grown, Assignment(12, 0), 2);
+  EXPECT_THROW(big.rebind_grown(old_g, {}, {}), Error);
 }
 
 }  // namespace
