@@ -25,6 +25,7 @@
 //                        [--quick] > BENCH_service.json
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -125,6 +126,13 @@ struct SoakResult {
   int updates_per_session = 0;
   double seconds = 0.0;
   ServiceStats stats;
+  // Pool pressure during the burst: thread count plus the backlog gauge
+  // (Executor::pending()) sampled by a monitor thread — how far behind the
+  // refinement plane ran while the clients streamed at full throttle.
+  int pool_threads = 0;
+  int backlog_max = 0;
+  double backlog_mean = 0.0;
+  int backlog_samples = 0;
 };
 
 SoakResult run_soak(int num_sessions, int updates, VertexId n, PartId k,
@@ -172,6 +180,23 @@ SoakResult run_soak(int num_sessions, int updates, VertexId n, PartId k,
       std::max(1, std::min<int>(8, static_cast<int>(clients.size())));
   out.client_threads = threads;
 
+  out.pool_threads = service.executor().num_threads();
+  std::atomic<bool> soaking{true};
+  std::int64_t backlog_sum = 0;
+  // 10ms sampling: coarse enough that the monitor's wakeups don't perturb
+  // the workload it is measuring (at 1ms a single-core host loses ~40%
+  // updates/sec and two orders of magnitude of p99 to preemption), fine
+  // enough for a couple hundred backlog samples per soak.
+  std::thread monitor([&] {
+    while (soaking.load(std::memory_order_relaxed)) {
+      const int backlog = service.executor().pending();
+      out.backlog_max = std::max(out.backlog_max, backlog);
+      backlog_sum += backlog;
+      ++out.backlog_samples;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
   WallTimer timer;
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
@@ -198,6 +223,12 @@ SoakResult run_soak(int num_sessions, int updates, VertexId n, PartId k,
   service.poll();
   service.quiesce();
   out.seconds = timer.seconds();
+  soaking.store(false, std::memory_order_relaxed);
+  monitor.join();
+  out.backlog_mean = out.backlog_samples > 0
+                         ? static_cast<double>(backlog_sum) /
+                               static_cast<double>(out.backlog_samples)
+                         : 0.0;
   out.stats = service.stats();
   return out;
 }
@@ -353,7 +384,9 @@ void emit_json(const SoakResult& soak, const std::vector<LatencyRow>& latency,
       "\"max_repair_ms\": %.4f, \"refinements_planned\": %d, "
       "\"refinements_applied\": %d, \"refinements_stale\": %d, "
       "\"refinements_no_better\": %d, "
-      "\"full_evaluations\": %lld, \"delta_evaluations\": %lld},\n",
+      "\"full_evaluations\": %lld, \"delta_evaluations\": %lld, "
+      "\"pool_threads\": %d, \"backlog_max\": %d, \"backlog_mean\": %.2f, "
+      "\"backlog_samples\": %d},\n",
       soak.sessions, soak.client_threads, soak.updates_per_session,
       soak.seconds,
       soak.seconds > 0.0
@@ -365,7 +398,9 @@ void emit_json(const SoakResult& soak, const std::vector<LatencyRow>& latency,
       soak.stats.refinements_applied, soak.stats.refinements_stale,
       soak.stats.refinements_no_better,
       static_cast<long long>(soak.stats.full_evaluations),
-      static_cast<long long>(soak.stats.delta_evaluations));
+      static_cast<long long>(soak.stats.delta_evaluations),
+      soak.pool_threads, soak.backlog_max, soak.backlog_mean,
+      soak.backlog_samples);
 
   std::printf("  \"latency\": [\n");
   for (std::size_t i = 0; i < latency.size(); ++i) {

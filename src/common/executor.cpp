@@ -14,8 +14,11 @@ namespace {
 /// `next` and account completion via `done`; the issuing thread blocks until
 /// done == n.  Lives on the heap (shared_ptr) because helper tasks may still
 /// be queued — and harmlessly find no work — after the issuing call returned.
+/// The range function is invoked once per claimed range (the blocked
+/// overload's contract); the per-index overload wraps its fn in a range loop
+/// so both share this one claiming/accounting path.
 struct LoopState {
-  std::function<void(std::size_t)> fn;
+  std::function<void(std::size_t, std::size_t)> fn;
   std::size_t n = 0;
   std::size_t grain = 1;
   std::atomic<std::size_t> next{0};
@@ -34,7 +37,7 @@ struct LoopState {
       // loop still reaches done == n and the caller can rethrow.
       if (!failed.load(std::memory_order_relaxed)) {
         try {
-          for (std::size_t i = begin; i < end; ++i) fn(i);
+          fn(begin, end);
         } catch (...) {
           std::lock_guard<std::mutex> lock(mu);
           if (!error) error = std::current_exception();
@@ -126,8 +129,7 @@ void Executor::submit(std::function<void()> task) {
 }
 
 int Executor::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return outstanding_;
+  return outstanding_.load(std::memory_order_relaxed);
 }
 
 void Executor::wait() {
@@ -141,9 +143,17 @@ void Executor::wait() {
 void Executor::parallel_for(std::size_t n,
                             const std::function<void(std::size_t)>& fn,
                             std::size_t grain) {
+  parallel_for(n, grain, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void Executor::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    fn(0, n);
     return;
   }
 

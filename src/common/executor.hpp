@@ -19,6 +19,7 @@
 //      replaces spawned a fresh std::thread per island per burst).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -58,6 +59,16 @@ class Executor {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 0);
 
+  /// Blocked variant: runs fn(begin, end) over disjoint half-open ranges
+  /// covering [0, n), each of at most `grain` consecutive indices (0 =
+  /// choose automatically).  One std::function dispatch per RANGE instead of
+  /// per index, so fine-grained loops (a few hundred nanoseconds per index)
+  /// are not dominated by call overhead; the batch-scoring kernel of
+  /// parallel refinement runs on this.  Same participation, completion, and
+  /// exception contract as the per-index overload.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Runs every closure in `tasks` exactly once (caller participates) and
   /// blocks until all have completed.  Closure i is always item i — there is
   /// no stealing of a started task — so per-task state (e.g. one RNG stream
@@ -74,7 +85,8 @@ class Executor {
 
   /// Tasks currently queued or executing — a monitoring gauge (the service
   /// layer reports it as backlog), racy by nature: the value may be stale
-  /// by the time the caller reads it.
+  /// by the time the caller reads it.  Wait-free (a relaxed atomic load),
+  /// so high-frequency samplers never contend with task dispatch.
   int pending() const;
 
  private:
@@ -87,7 +99,10 @@ class Executor {
   std::condition_variable work_cv_;   ///< signals queue_ non-empty or stop_
   std::condition_variable done_cv_;   ///< signals outstanding_ hit zero
   std::deque<std::function<void()>> queue_;
-  int outstanding_ = 0;  ///< queued + currently executing tasks
+  /// Queued + currently executing tasks.  Atomic so pending() can read it
+  /// without mu_; all writes still happen under mu_ because done_cv_ waiters
+  /// check it as their predicate.
+  std::atomic<int> outstanding_{0};
   bool stop_ = false;
 };
 

@@ -51,4 +51,11 @@ RefineDepth decide_refinement(const RefinePolicyConfig& config,
   return RefineDepth::kLight;
 }
 
+bool route_refinement_parallel(const RefinePolicyConfig& config,
+                               VertexId num_vertices, int pool_threads) {
+  return config.parallel_refine_min_vertices > 0 &&
+         num_vertices >= config.parallel_refine_min_vertices &&
+         pool_threads > 1;
+}
+
 }  // namespace gapart

@@ -59,6 +59,14 @@ struct RefinePolicyConfig {
   /// expensive than hill-climb rounds; latency-bound deployments disable
   /// them and rely on kLight only).
   bool allow_deep = true;
+
+  /// Route the kLight frontier climb of a session at least this large to the
+  /// parallel batch engine (HillClimbMode::kParallelFrontier) when the
+  /// service pool has more than one thread.  Small sessions stay serial: a
+  /// batch round costs one pool fan-out plus a seam re-validation pass, which
+  /// only pays for itself once the boundary is big enough to shard.  <= 0
+  /// disables parallel routing entirely.
+  VertexId parallel_refine_min_vertices = 1 << 16;
 };
 
 /// What the session reports into the policy.  Fitnesses are the maximized
@@ -84,5 +92,12 @@ double fitness_degradation(double current_fitness, double baseline_fitness);
 /// The policy: pure, deterministic, no side effects.
 RefineDepth decide_refinement(const RefinePolicyConfig& config,
                               const RefineSignals& signals);
+
+/// Should a kLight refinement of a `num_vertices`-vertex session run on the
+/// parallel batch engine?  Pure, like decide_refinement: true iff routing is
+/// enabled, the session meets the size floor, and `pool_threads` > 1 (a
+/// one-thread pool would fall back to the serial climb anyway).
+bool route_refinement_parallel(const RefinePolicyConfig& config,
+                               VertexId num_vertices, int pool_threads);
 
 }  // namespace gapart

@@ -410,6 +410,15 @@ RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
   opt.gain_ordered = config.gain_ordered_repair;
   opt.min_gain = config.repair_min_gain;
   opt.max_passes = config.refine_hill_climb_passes;
+  // Large sessions shard their boundary over the service pool: the policy
+  // routes them to the parallel batch engine, which falls back to this same
+  // serial climb when the pool is effectively single-threaded.
+  if (route_refinement_parallel(config.policy, g.num_vertices(),
+                                executor != nullptr ? executor->num_threads()
+                                                    : 1)) {
+    opt.mode = HillClimbMode::kParallelFrontier;
+    opt.executor = executor;
+  }
   hill_climb(eval, state, opt);
   out.fitness = eval.adopt(state);
   out.assignment = std::move(state).release_assignment();

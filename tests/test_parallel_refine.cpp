@@ -1,0 +1,298 @@
+// Parallel frontier refinement: the conflict-screened batch apply
+// (PartitionState::apply_candidate_batch) and the kParallelFrontier climb.
+//
+// The two fuzz families mirror the ISSUE's acceptance tests:
+//   * conflict detector vs serial replay — applying a screened batch must
+//     produce bit-identical cut/balance state to applying its surviving
+//     moves one-by-one, and every charged gain must equal the exact fitness
+//     delta measured at apply time;
+//   * threads=1 parallel mode must be bit-identical to the serial frontier
+//     climb across the same 12-seed parameter grid as SeededRepairFuzz.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/executor.hpp"
+#include "common/rng.hpp"
+#include "core/hill_climb.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace gapart {
+namespace {
+
+using bench::DamagedGrid;
+using bench::damaged_block_grid;
+
+std::uint64_t fnv1a(const Assignment& a) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (PartId p : a) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(p));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The 12-seed parameter grid shared with SeededRepairFuzz in
+/// test_hill_climb.cpp: 20/24/28 grids, k in 2..5, damage 8..40, both
+/// objectives.
+struct FuzzCase {
+  VertexId n;
+  PartId k;
+  int damage;
+  FitnessParams fitness;
+  std::uint64_t seed;
+};
+
+FuzzCase fuzz_case(int param) {
+  FuzzCase c;
+  c.n = 20 + 4 * (param % 3);
+  c.k = 2 + param % 4;
+  c.damage = 8 + (param % 5) * 8;
+  c.fitness = {param % 2 ? Objective::kWorstComm : Objective::kTotalComm, 1.0};
+  c.seed = static_cast<std::uint64_t>(param);
+  return c;
+}
+
+void expect_fixed_point(PartitionState& state, const HillClimbOptions& opt,
+                        const char* label) {
+  for (const VertexId v : state.boundary_vertices()) {
+    EXPECT_LT(state.best_move(v, opt.fitness, opt.min_gain).to, 0)
+        << label << ": vertex " << v << " still improvable";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// apply_candidate_batch: conflict detector fuzz vs serial replay.
+
+class ParallelRefineBatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRefineBatchFuzz, BatchApplyMatchesSerialReplayOfItsMoves) {
+  const FuzzCase c = fuzz_case(GetParam());
+  const Graph g = make_grid(c.n, c.n);
+  const DamagedGrid d = damaged_block_grid(c.n, c.k, c.damage, c.seed);
+  const double min_gain = 1e-9;
+
+  PartitionState batch_state(g, d.start, c.k);
+  PartitionState replay_state(g, d.start, c.k);
+
+  // Several rounds: score the whole boundary against the frozen state, apply
+  // the batch, repeat — so later rounds fuzz the detector on states the
+  // batch engine itself produced, not just the pristine damaged grid.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<CandidateMove> candidates;
+    for (const VertexId v : batch_state.boundary_vertices()) {
+      const BestMove best = batch_state.best_move(v, c.fitness, min_gain);
+      candidates.push_back({v, best.to, best.gain});
+    }
+    if (candidates.empty()) break;
+
+    const double fitness_before = batch_state.fitness(c.fitness);
+    std::vector<CandidateMove> applied;
+    std::vector<VertexId> deferred;
+    const BatchApplyStats stats = batch_state.apply_candidate_batch(
+        candidates, c.fitness, min_gain, &applied, &deferred);
+
+    ASSERT_EQ(stats.applied, static_cast<int>(applied.size()));
+    ASSERT_EQ(stats.deferred, static_cast<int>(deferred.size()));
+    // The exact total fitness delta is the sum of the charged gains.
+    EXPECT_NEAR(batch_state.fitness(c.fitness) - fitness_before,
+                stats.fitness_gain, 1e-9)
+        << "round " << round;
+
+    // Serial replay: every applied move, one-by-one through the delta move
+    // path, each charged gain checked against the exact move_gain at its
+    // apply point.  A wrong conflict rule shows up as a gain mismatch here.
+    for (const CandidateMove& m : applied) {
+      EXPECT_NEAR(replay_state.move_gain(m.v, m.to, c.fitness), m.gain, 1e-9)
+          << "round " << round << " vertex " << m.v;
+      replay_state.move(m.v, m.to);
+    }
+
+    // Identical cut/balance state, bitwise (integer weights: every
+    // maintained quantity is an exact sum).
+    ASSERT_EQ(batch_state.assignment(), replay_state.assignment())
+        << "round " << round;
+    EXPECT_EQ(batch_state.sum_part_cut(), replay_state.sum_part_cut());
+    EXPECT_EQ(batch_state.max_part_cut(), replay_state.max_part_cut());
+    EXPECT_EQ(batch_state.imbalance_sq(), replay_state.imbalance_sq());
+    for (PartId q = 0; q < c.k; ++q) {
+      EXPECT_EQ(batch_state.part_weight(q), replay_state.part_weight(q));
+      EXPECT_EQ(batch_state.part_cut(q), replay_state.part_cut(q));
+    }
+    EXPECT_EQ(batch_state.boundary_vertices(),
+              replay_state.boundary_vertices());
+    if (stats.applied == 0) break;
+  }
+}
+
+TEST_P(ParallelRefineBatchFuzz, DeferredOnlyWithAnAppliedCulprit) {
+  const FuzzCase c = fuzz_case(GetParam());
+  const Graph g = make_grid(c.n, c.n);
+  const DamagedGrid d = damaged_block_grid(c.n, c.k, c.damage, c.seed);
+
+  PartitionState state(g, d.start, c.k);
+  std::vector<CandidateMove> candidates;
+  for (const VertexId v : state.boundary_vertices()) {
+    const BestMove best = state.best_move(v, c.fitness, 1e-9);
+    candidates.push_back({v, best.to, best.gain});
+  }
+  std::vector<VertexId> deferred;
+  const BatchApplyStats stats = state.apply_candidate_batch(
+      candidates, c.fitness, 1e-9, nullptr, &deferred);
+  // A deferral needs a prior applied move in the same batch (that is what
+  // termination of the parallel climb rests on).
+  if (stats.applied == 0) {
+    EXPECT_EQ(stats.deferred, 0);
+  }
+  // Every deferred vertex is still a live worklist entry, not a duplicate.
+  for (const VertexId v : deferred) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, g.num_vertices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRefineBatchFuzz,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// kParallelFrontier climb.
+
+class ParallelRefineClimbFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRefineClimbFuzz, OneThreadBitIdenticalToSerialFrontier) {
+  const FuzzCase c = fuzz_case(GetParam());
+  const Graph g = make_grid(c.n, c.n);
+  const DamagedGrid d = damaged_block_grid(c.n, c.k, c.damage, c.seed);
+
+  HillClimbOptions serial;
+  serial.mode = HillClimbMode::kFrontier;
+  serial.fitness = c.fitness;
+  serial.max_passes = 100;
+  PartitionState a(g, d.start, c.k);
+  const HillClimbResult res_serial = hill_climb(a, serial);
+
+  // Null executor and a one-thread pool must both take the serial path.
+  for (const int variant : {0, 1}) {
+    Executor pool(1);
+    HillClimbOptions par = serial;
+    par.mode = HillClimbMode::kParallelFrontier;
+    par.executor = variant == 0 ? nullptr : &pool;
+    PartitionState b(g, d.start, c.k);
+    const HillClimbResult res_par = hill_climb(b, par);
+    EXPECT_EQ(fnv1a(a.assignment()), fnv1a(b.assignment()))
+        << "variant " << variant;
+    EXPECT_EQ(res_serial.moves, res_par.moves);
+    EXPECT_EQ(res_serial.passes, res_par.passes);
+    EXPECT_EQ(res_serial.examined, res_par.examined);
+    EXPECT_EQ(res_serial.fitness_gain, res_par.fitness_gain);
+    EXPECT_EQ(res_par.batch_rounds, 0);  // fell back to the serial path
+  }
+}
+
+TEST_P(ParallelRefineClimbFuzz, ReachesVerifiedFixedPointMonotonically) {
+  const FuzzCase c = fuzz_case(GetParam());
+  const Graph g = make_grid(c.n, c.n);
+  const DamagedGrid d = damaged_block_grid(c.n, c.k, c.damage, c.seed);
+
+  Executor pool(4);
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kParallelFrontier;
+  opt.executor = &pool;
+  opt.fitness = c.fitness;
+  opt.max_passes = 100;
+
+  PartitionState state(g, d.start, c.k);
+  const double before = state.fitness(opt.fitness);
+  const HillClimbResult res = hill_climb(state, opt);
+  EXPECT_GE(state.fitness(opt.fitness), before);
+  EXPECT_NEAR(state.fitness(opt.fitness) - before, res.fitness_gain, 1e-9);
+  EXPECT_GT(res.batch_rounds, 0);
+  EXPECT_GE(res.batch_candidates, res.moves);
+  expect_fixed_point(state, opt, "parallel frontier");
+
+  // The maintained metrics still match a from-scratch recompute.
+  const PartitionMetrics live = state.metrics();
+  const PartitionMetrics fresh =
+      compute_metrics(g, state.assignment(), c.k);
+  EXPECT_EQ(live.sum_part_cut, fresh.sum_part_cut);
+  EXPECT_EQ(live.max_part_cut, fresh.max_part_cut);
+  // Cut sums are exact (integer weights); the incrementally maintained
+  // imbalance accumulates against a non-integer mean load, so it matches
+  // the fresh recompute only to rounding.
+  EXPECT_NEAR(live.imbalance_sq, fresh.imbalance_sq, 1e-9);
+}
+
+TEST_P(ParallelRefineClimbFuzz, DeterministicAcrossThreadCounts) {
+  const FuzzCase c = fuzz_case(GetParam());
+  const Graph g = make_grid(c.n, c.n);
+  const DamagedGrid d = damaged_block_grid(c.n, c.k, c.damage, c.seed);
+
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kParallelFrontier;
+  opt.fitness = c.fitness;
+  opt.max_passes = 100;
+
+  // Scores land indexed by worklist position and the apply is serial
+  // ascending, so any pool width >= 2 (and any grain) yields one outcome.
+  std::uint64_t reference_hash = 0;
+  int reference_moves = -1;
+  for (const int threads : {2, 4, 8}) {
+    Executor pool(threads);
+    opt.executor = &pool;
+    opt.parallel_grain = threads == 8 ? 3 : 0;  // odd grain: still identical
+    PartitionState state(g, d.start, c.k);
+    const HillClimbResult res = hill_climb(state, opt);
+    if (reference_moves < 0) {
+      reference_hash = fnv1a(state.assignment());
+      reference_moves = res.moves;
+    } else {
+      EXPECT_EQ(fnv1a(state.assignment()), reference_hash)
+          << threads << " threads";
+      EXPECT_EQ(res.moves, reference_moves) << threads << " threads";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRefineClimbFuzz,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Seeded (damage-proportional) parallel repair and option validation.
+
+TEST(ParallelRefineClimb, SeededRepairReachesVerifiedFixedPoint) {
+  const Graph g = make_grid(24, 24);
+  const DamagedGrid d = damaged_block_grid(24, 4, 20, 0x9e37);
+
+  Executor pool(4);
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kParallelFrontier;
+  opt.executor = &pool;
+  opt.seed_vertices = d.damaged;
+  opt.max_passes = 100;
+
+  PartitionState state(g, d.start, 4);
+  const double before = state.fitness(opt.fitness);
+  const HillClimbResult res = hill_climb(state, opt);
+  EXPECT_GE(state.fitness(opt.fitness), before);
+  EXPECT_GE(res.verify_rounds, 1);  // a seeded climb owes a verification round
+  expect_fixed_point(state, opt, "seeded parallel");
+}
+
+TEST(ParallelRefineClimb, RequiresPositiveMinGain) {
+  const Graph g = make_grid(8, 8);
+  Assignment a(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (VertexId v = 32; v < 64; ++v) a[static_cast<std::size_t>(v)] = 1;
+  Executor pool(2);
+  HillClimbOptions opt;
+  opt.mode = HillClimbMode::kParallelFrontier;
+  opt.executor = &pool;
+  opt.min_gain = 0.0;
+  PartitionState state(g, a, 2);
+  EXPECT_THROW(hill_climb(state, opt), std::exception);
+}
+
+}  // namespace
+}  // namespace gapart
