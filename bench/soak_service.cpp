@@ -21,26 +21,43 @@
 //             dpga_cut / session_cut (>= 1 means the live session matches or
 //             beats the batch repartitioner; the acceptance bar is >= 0.9).
 //
+//   durability  durable (WAL-backed) churn soak, run twice: fault-free for
+//             the latency baseline, then with the deterministic fault
+//             injector armed (--faults=<seed>, --fault-rate=<p>, default
+//             10%).  Clients retry injected pre-mutation failures; the
+//             service retries transient log I/O internally.  The process
+//             then "dies" (no orderly close), recovers from snapshot + log
+//             replay, and the JSON reports the robustness ledger: per-site
+//             injected/checked fault counts, WAL retries/sheds/rejections,
+//             recovery time, and lost_acked_deltas (must be 0).  Without
+//             --faults the experiment still runs fault-free, so the JSON
+//             schema is stable.
+//
 //   ./bench/soak_service [--sessions=32] [--updates=40] [--threads=0]
-//                        [--quick] > BENCH_service.json
+//                        [--faults=<seed>] [--fault-rate=0.1] [--quick]
+//                        > BENCH_service.json
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/cli.hpp"
+#include "common/fault_injection.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "core/graph_delta.hpp"
 #include "core/presets.hpp"
 #include "graph/generators.hpp"
+#include "graph/partition.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -141,8 +158,10 @@ SoakResult run_soak(int num_sessions, int updates, VertexId n, PartId k,
   out.sessions = num_sessions;
   out.updates_per_session = updates;
 
-  PartitionService service(
-      {.num_threads = pool_threads, .background_refinement = true});
+  ServiceConfig service_cfg;
+  service_cfg.num_threads = pool_threads;
+  service_cfg.background_refinement = true;
+  PartitionService service(service_cfg);
 
   SessionConfig base_cfg;
   base_cfg.num_parts = k;
@@ -309,7 +328,9 @@ RecoveryRow run_recovery(VertexId n, PartId k, int updates, int pool_threads,
   row.k = k;
   row.updates = updates;
 
-  PartitionService service({.num_threads = pool_threads});
+  ServiceConfig service_cfg;
+  service_cfg.num_threads = pool_threads;
+  PartitionService service(service_cfg);
   SessionConfig cfg;
   cfg.num_parts = k;
   cfg.repair_budget_seconds = 0.001;
@@ -371,9 +392,231 @@ RecoveryRow run_recovery(VertexId n, PartId k, int updates, int pool_threads,
 }
 
 // ---------------------------------------------------------------------------
+// Experiment 4: durable soak under injected faults + kill/recover.
+
+struct DurabilityResult {
+  int sessions = 0;
+  int updates = 0;
+  std::uint64_t fault_seed = 0;
+  double fault_rate = 0.0;
+  bool faults_compiled = false;
+  double faultfree_p99_ms = 0.0;
+  double faulted_p99_ms = 0.0;
+  double p99_ratio = 0.0;  ///< faulted / fault-free (acceptance bar: <= 5)
+  std::int64_t client_retries = 0;  ///< resubmits after pre-mutation faults
+  ServiceStats stats;               ///< the faulted run's ledger
+  FaultInjector::SiteCounts sites[kNumFaultSites];
+  double run_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  int sessions_recovered = 0;
+  std::size_t records_replayed = 0;
+  /// Sum over sessions of (last acknowledged epoch - recovered epoch).
+  /// The durability contract says this is ZERO: ack implies durable.
+  std::int64_t lost_acked_deltas = 0;
+  bool recovered_consistent = true;
+};
+
+struct DurablePass {
+  double p99_ms = 0.0;
+  double seconds = 0.0;
+  std::int64_t client_retries = 0;
+  ServiceStats stats;
+  std::vector<std::pair<SessionId, std::uint64_t>> acked;  ///< id -> epoch
+  /// Injector ledger, sampled while the pass's scope was still armed.
+  FaultInjector::SiteCounts sites[kNumFaultSites];
+};
+
+/// One durable churn soak over `wal_dir`.  The service dies WITHOUT an
+/// orderly close (the WAL's per-record fsync is what recovery leans on).
+DurablePass run_durable_pass(const std::string& wal_dir, int num_sessions,
+                             int updates, VertexId n, PartId k,
+                             int pool_threads, std::uint64_t fault_seed,
+                             double fault_rate) {
+  namespace fs = std::filesystem;
+  fs::remove_all(wal_dir);
+
+  ServiceConfig sc;
+  sc.num_threads = pool_threads;
+  sc.durability.dir = wal_dir;
+  sc.durability.compaction.damage_threshold = 256;
+  // Fast retry schedule: the soak measures fault *absorption*, and a 10%
+  // schedule injects often enough that production-scale sleeps would swamp
+  // the p99 comparison with pure waiting.
+  sc.durability.io_retry.max_attempts = 12;
+  sc.durability.io_retry.initial_seconds = 1e-5;
+  sc.durability.io_retry.max_seconds = 1e-3;
+  // Ladder armed with headroom: it should fire on genuine pressure spikes,
+  // not on every update.
+  sc.overload.shed_verification_backlog = 16;
+  sc.overload.defer_refinement_backlog = 32;
+
+  DurablePass pass;
+  {
+    PartitionService service(sc);
+
+    SessionConfig cfg;
+    cfg.num_parts = k;
+    cfg.repair_budget_seconds = 0.001;
+    cfg.policy.damage_threshold = 64;
+    cfg.policy.staleness_updates = 16;
+    cfg.policy.allow_deep = false;
+
+    struct Client {
+      SessionId id;
+      std::uint64_t seed;
+      VertexId window;
+      std::uint64_t acked_epoch = 0;
+    };
+    std::vector<Client> clients;
+    for (int s = 0; s < num_sessions; ++s) {
+      const auto seed = 0xd07aULL + static_cast<std::uint64_t>(s) * 257;
+      const VertexId window = 4 + 2 * (s % 3);
+      auto graph = std::make_shared<const Graph>(
+          trace_graph(TraceKind::kChurn, n, window, 0, seed));
+      const SessionId id = service.open_session(
+          graph, scrambled_bands(n, n, k, 0.03, seed ^ 0x77), cfg);
+      clients.push_back({id, seed, window, 0});
+    }
+
+    // Arm AFTER the sessions exist: session creation writes the epoch-0
+    // checkpoints, and those writers are not under a client retry loop.
+    std::unique_ptr<ScopedFaultInjection> scope;
+    if (fault_rate > 0.0) {
+      scope = std::make_unique<ScopedFaultInjection>(fault_seed, fault_rate);
+    }
+
+    std::atomic<std::int64_t> retries{0};
+    const int threads =
+        std::max(1, std::min<int>(4, static_cast<int>(clients.size())));
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t c = static_cast<std::size_t>(t); c < clients.size();
+             c += static_cast<std::size_t>(threads)) {
+          Client& client = clients[c];
+          auto prev = std::make_shared<const Graph>(trace_graph(
+              TraceKind::kChurn, n, client.window, 0, client.seed));
+          for (int u = 1; u <= updates; ++u) {
+            auto next = std::make_shared<const Graph>(trace_graph(
+                TraceKind::kChurn, n, client.window, u, client.seed));
+            const GraphDelta delta = diff_graphs(*prev, *next);
+            for (;;) {
+              try {
+                const RepairReport rep =
+                    service.submit_update(client.id, next, delta);
+                client.acked_epoch = rep.update_epoch;
+                break;
+              } catch (const std::bad_alloc&) {
+                // Injected before any mutation: resubmit the same delta.
+                retries.fetch_add(1, std::memory_order_relaxed);
+              } catch (const OverloadError&) {
+                retries.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+              }
+            }
+            prev = std::move(next);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    service.quiesce();
+    pass.seconds = timer.seconds();
+    pass.client_retries = retries.load(std::memory_order_relaxed);
+    pass.stats = service.stats();
+    pass.p99_ms = pass.stats.p99_repair_seconds * 1e3;
+    for (const Client& client : clients) {
+      pass.acked.emplace_back(client.id, client.acked_epoch);
+    }
+    // Capture the schedule's ledger before the scope disarms + resets it.
+    if (scope) {
+      for (int s = 0; s < kNumFaultSites; ++s) {
+        pass.sites[s] =
+            FaultInjector::instance().counts(static_cast<FaultSite>(s));
+      }
+    }
+  }  // scope disarms, then the service dies with no close — the "crash"
+  return pass;
+}
+
+DurabilityResult run_durability(int num_sessions, int updates, VertexId n,
+                                PartId k, int pool_threads,
+                                std::uint64_t fault_seed, double fault_rate) {
+  namespace fs = std::filesystem;
+  DurabilityResult out;
+  out.sessions = num_sessions;
+  out.updates = updates;
+  out.fault_seed = fault_seed;
+  out.fault_rate = fault_rate;
+#ifdef GAPART_FAULT_INJECTION
+  out.faults_compiled = true;
+#else
+  out.fault_rate = 0.0;  // seam compiled out: report an honest zero
+#endif
+
+  const std::string base =
+      (fs::temp_directory_path() / "gapart_soak_wal").string();
+
+  // Baseline: same trace, same durable config, no injection.
+  const DurablePass clean =
+      run_durable_pass(base + "_clean", num_sessions, updates, n, k,
+                       pool_threads, 0, 0.0);
+  out.faultfree_p99_ms = clean.p99_ms;
+  fs::remove_all(base + "_clean");
+
+  // Faulted run (the pass arms its own scope after session creation — the
+  // epoch-0 checkpoint writers are not under a client retry loop — and
+  // samples the injector ledger before the scope disarms).
+  const std::string dir = base + "_faulted";
+  {
+    const DurablePass faulted =
+        run_durable_pass(dir, num_sessions, updates, n, k, pool_threads,
+                         fault_seed, out.fault_rate);
+    for (int s = 0; s < kNumFaultSites; ++s) out.sites[s] = faulted.sites[s];
+    out.faulted_p99_ms = faulted.p99_ms;
+    out.run_seconds = faulted.seconds;
+    out.client_retries = faulted.client_retries;
+    out.stats = faulted.stats;
+    out.p99_ratio = out.faultfree_p99_ms > 0.0
+                        ? out.faulted_p99_ms / out.faultfree_p99_ms
+                        : 0.0;
+
+    // Recover from the "crash" and audit the durability contract.
+    ServiceConfig sc;
+    sc.num_threads = pool_threads;
+    sc.durability.dir = dir;
+    PartitionService recovered(sc);
+    SessionConfig cfg;
+    cfg.num_parts = k;
+    cfg.repair_budget_seconds = 0.001;
+    WallTimer recover_timer;
+    const auto reports = recovered.recover(cfg);
+    out.recovery_seconds = recover_timer.seconds();
+    out.sessions_recovered = static_cast<int>(reports.size());
+    for (const auto& report : reports) {
+      out.records_replayed += report.records_replayed;
+      for (const auto& [id, acked] : faulted.acked) {
+        if (id == report.session_id && acked > report.final_epoch) {
+          out.lost_acked_deltas +=
+              static_cast<std::int64_t>(acked - report.final_epoch);
+        }
+      }
+      const auto snap = recovered.snapshot(report.session_id);
+      if (!is_valid_assignment(*snap->graph, snap->assignment, k)) {
+        out.recovered_consistent = false;
+      }
+    }
+  }
+  fs::remove_all(dir);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 
 void emit_json(const SoakResult& soak, const std::vector<LatencyRow>& latency,
-               const std::vector<RecoveryRow>& recovery) {
+               const std::vector<RecoveryRow>& recovery,
+               const DurabilityResult& durability) {
   std::printf("{\n");
   std::printf("  \"bench\": \"soak_service\",\n");
   std::printf(
@@ -429,7 +672,57 @@ void emit_json(const SoakResult& soak, const std::vector<LatencyRow>& latency,
         r.session_seconds, r.dpga_seconds,
         i + 1 < recovery.size() ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  std::printf("  ],\n");
+
+  const DurabilityResult& d = durability;
+  const ServiceStats& ds = d.stats;
+  std::printf("  \"durability\": {\n");
+  std::printf(
+      "    \"sessions\": %d, \"updates_per_session\": %d, "
+      "\"fault_seed\": %llu, \"fault_rate\": %.3f, "
+      "\"faults_compiled\": %s,\n",
+      d.sessions, d.updates, static_cast<unsigned long long>(d.fault_seed),
+      d.fault_rate, d.faults_compiled ? "true" : "false");
+  std::printf(
+      "    \"faultfree_p99_ms\": %.4f, \"faulted_p99_ms\": %.4f, "
+      "\"p99_ratio\": %.2f, \"run_seconds\": %.3f,\n",
+      d.faultfree_p99_ms, d.faulted_p99_ms, d.p99_ratio, d.run_seconds);
+  std::printf(
+      "    \"wal\": {\"appends\": %llu, \"append_retries\": %llu, "
+      "\"fsyncs\": %llu, \"bytes_appended\": %llu, \"compactions\": %llu, "
+      "\"compaction_failures\": %llu},\n",
+      static_cast<unsigned long long>(ds.wal_appends),
+      static_cast<unsigned long long>(ds.wal_append_retries),
+      static_cast<unsigned long long>(ds.wal_fsyncs),
+      static_cast<unsigned long long>(ds.wal_bytes_appended),
+      static_cast<unsigned long long>(ds.wal_compactions),
+      static_cast<unsigned long long>(ds.wal_compaction_failures));
+  std::printf(
+      "    \"overload\": {\"client_retries\": %lld, "
+      "\"updates_rejected\": %lld, \"verifications_shed\": %lld, "
+      "\"refinements_deferred\": %lld, \"refine_start_failures\": %lld},\n",
+      static_cast<long long>(d.client_retries),
+      static_cast<long long>(ds.updates_rejected),
+      static_cast<long long>(ds.verifications_shed),
+      static_cast<long long>(ds.refinements_deferred),
+      static_cast<long long>(ds.refine_start_failures));
+  std::printf("    \"faults\": [");
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    std::printf(
+        "%s{\"site\": \"%s\", \"checked\": %llu, \"injected\": %llu}",
+        s > 0 ? ", " : "", fault_site_name(static_cast<FaultSite>(s)),
+        static_cast<unsigned long long>(d.sites[s].checked),
+        static_cast<unsigned long long>(d.sites[s].injected));
+  }
+  std::printf("],\n");
+  std::printf(
+      "    \"recovery_seconds\": %.4f, \"sessions_recovered\": %d, "
+      "\"records_replayed\": %zu, \"lost_acked_deltas\": %lld, "
+      "\"recovered_consistent\": %s, \"failed_sessions\": %d\n",
+      d.recovery_seconds, d.sessions_recovered, d.records_replayed,
+      static_cast<long long>(d.lost_acked_deltas),
+      d.recovered_consistent ? "true" : "false", ds.failed_sessions);
+  std::printf("  }\n}\n");
 }
 
 }  // namespace
@@ -467,6 +760,16 @@ int main(int argc, char** argv) {
     recovery.push_back(run_recovery(24, /*k=*/2, 40, pool_threads, quick));
   }
 
-  emit_json(soak, latency, recovery);
+  // --faults=<seed> arms the deterministic injector for the durability
+  // experiment; --fault-rate tunes the per-site failure probability.
+  const auto fault_seed =
+      static_cast<std::uint64_t>(args.integer("faults", 0));
+  const double fault_rate =
+      fault_seed != 0 ? args.real("fault-rate", 0.10) : 0.0;
+  const DurabilityResult durability = run_durability(
+      quick ? 4 : 8, quick ? 12 : 24, quick ? 16 : 24, /*k=*/4, pool_threads,
+      fault_seed, fault_rate);
+
+  emit_json(soak, latency, recovery, durability);
   return 0;
 }

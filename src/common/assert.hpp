@@ -18,6 +18,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// File/stream-level I/O failure (open, short read of a truncated file,
+/// failed or injected write/fsync).  Derived from Error so existing callers
+/// that catch Error keep working; retry loops treat IoError — and only
+/// IoError — as transient.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& msg);
 

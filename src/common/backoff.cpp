@@ -1,0 +1,13 @@
+#include "common/backoff.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace gapart {
+
+void sleep_for_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace gapart

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for framing durable
+// log records and checkpoint payloads: cheap enough to run on every WAL
+// append, strong enough to catch torn writes and bit rot on replay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gapart {
+
+/// CRC-32 of `len` bytes at `data`.  `seed` chains partial computations:
+/// crc32(b, crc32(a)) == crc32(a ++ b).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace gapart

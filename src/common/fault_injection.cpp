@@ -1,0 +1,128 @@
+#include "common/fault_injection.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gapart {
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kWalAppend:
+      return "wal_append";
+    case FaultSite::kWalFsync:
+      return "wal_fsync";
+    case FaultSite::kFileWrite:
+      return "file_write";
+    case FaultSite::kDeltaAlloc:
+      return "delta_alloc";
+    case FaultSite::kTaskStart:
+      return "task_start";
+    case FaultSite::kCount_:
+      break;
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::uint64_t seed, double probability) {
+  GAPART_REQUIRE(probability >= 0.0 && probability <= 1.0,
+                 "fault probability must lie in [0, 1], got ", probability);
+  // Parameters are written before the mode flips on (release) and read after
+  // the mode is observed on (acquire), so a racing should_fail never mixes
+  // old parameters with the new mode.
+  seed_ = seed;
+  probability_ = probability;
+  mode_.store(Mode::kProbability, std::memory_order_release);
+}
+
+void FaultInjector::arm_nth(FaultSite site, std::uint64_t nth) {
+  GAPART_REQUIRE(nth >= 1, "nth-call faults are 1-based, got ", nth);
+  nth_site_ = site;
+  nth_ = nth;
+  counts_[static_cast<std::size_t>(site)].checked.store(
+      0, std::memory_order_relaxed);
+  mode_.store(Mode::kNth, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  mode_.store(Mode::kOff, std::memory_order_release);
+}
+
+bool FaultInjector::armed() const {
+  return mode_.load(std::memory_order_acquire) != Mode::kOff;
+}
+
+bool FaultInjector::should_fail(FaultSite site) {
+  const Mode mode = mode_.load(std::memory_order_acquire);
+  if (mode == Mode::kOff) return false;  // the disarmed fast path: one load
+
+  auto& c = counts_[static_cast<std::size_t>(site)];
+  const std::uint64_t call = c.checked.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  bool fail = false;
+  if (mode == Mode::kNth) {
+    fail = site == nth_site_ && call == nth_;
+  } else {
+    // Pure hash of (seed, site, call index): the schedule for a site is a
+    // fixed function of the seed, independent of every other site.
+    SplitMix64 mix(seed_ ^
+                   (static_cast<std::uint64_t>(site) + 1) * 0x9e3779b97f4a7c15ULL ^
+                   call * 0xbf58476d1ce4e5b9ULL);
+    const double u =
+        static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // [0, 1)
+    fail = u < probability_;
+  }
+  if (fail) c.injected.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+FaultInjector::SiteCounts FaultInjector::counts(FaultSite site) const {
+  const auto& c = counts_[static_cast<std::size_t>(site)];
+  return {c.checked.load(std::memory_order_relaxed),
+          c.injected.load(std::memory_order_relaxed)};
+}
+
+std::uint64_t FaultInjector::total_checked() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) {
+    total += c.checked.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) {
+    total += c.injected.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void FaultInjector::reset_counts() {
+  for (auto& c : counts_) {
+    c.checked.store(0, std::memory_order_relaxed);
+    c.injected.store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedFaultInjection::ScopedFaultInjection(std::uint64_t seed,
+                                           double probability) {
+  FaultInjector::instance().reset_counts();
+  FaultInjector::instance().arm(seed, probability);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultSite site, std::uint64_t nth) {
+  FaultInjector::instance().reset_counts();
+  FaultInjector::instance().arm_nth(site, nth);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::instance().disarm();
+  FaultInjector::instance().reset_counts();
+}
+
+}  // namespace gapart

@@ -11,6 +11,11 @@ namespace gapart {
 
 namespace {
 
+bool cancelled(const HillClimbOptions& options) {
+  return options.cancel != nullptr &&
+         options.cancel->load(std::memory_order_relaxed);
+}
+
 /// Preconditions shared by every overload.  Factored out so the chromosome
 /// overload can check them *before* moving the caller's genes into a
 /// PartitionState (strong guarantee).
@@ -40,6 +45,7 @@ HillClimbResult climb_sweep(PartitionState& state, const FitnessParams& params,
   const Graph& g = state.graph();
 
   for (int pass = 0; pass < options.max_passes; ++pass) {
+    if (cancelled(options)) break;
     ++result.passes;
     int moves_this_pass = 0;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -114,7 +120,7 @@ HillClimbResult climb_frontier(PartitionState& state,
   bool full_pass = !seeded;  // current covers the entire boundary
   int full_rounds = seeded ? 0 : 1;  // an unseeded seed pass is round 1
   bool moved_since_full_pass = false;
-  while (true) {
+  while (!cancelled(options)) {
     int moves_this_pass = 0;
     if (!current.empty()) {
       ++result.passes;
@@ -221,7 +227,7 @@ HillClimbResult climb_parallel_frontier(PartitionState& state,
   bool full_pass = !seeded;  // current covers the entire boundary
   int full_rounds = seeded ? 0 : 1;  // an unseeded seed pass is round 1
   bool moved_since_full_pass = false;
-  while (true) {
+  while (!cancelled(options)) {
     int moves_this_pass = 0;
     if (!current.empty()) {
       ++result.passes;

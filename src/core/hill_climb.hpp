@@ -22,6 +22,7 @@
 // damage-proportional repair primitive behind incremental_repartition.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -89,6 +90,11 @@ struct HillClimbOptions {
   /// scores per claim (0 = let the executor choose).  The result does not
   /// depend on it — scores land indexed by worklist position.
   std::size_t parallel_grain = 0;
+  /// Cooperative cancellation, checked at pass/round boundaries: when it
+  /// reads true the climb stops early and returns the (monotone) progress
+  /// made so far.  Non-owning; null means never cancelled.  Used by the
+  /// service's session-close drain to cut a background refinement short.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct HillClimbResult {

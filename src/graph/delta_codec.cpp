@@ -1,0 +1,179 @@
+#include "graph/delta_codec.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gapart {
+
+namespace {
+
+constexpr std::uint32_t kCodecMagic = 0x31434447u;  // "GDC1"
+
+// -- little-endian primitive append/read helpers ----------------------------
+
+template <typename T>
+void put(std::string& out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    GAPART_REQUIRE(pos_ + sizeof(T) <= bytes_.size(),
+                   "delta record truncated: need ", sizeof(T), " bytes at ",
+                   pos_, ", have ", bytes_.size());
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+void append_vertex_row(std::string& out, const Graph& g, VertexId v) {
+  put<double>(out, g.vertex_weight(v));
+  const auto nbrs = g.neighbors(v);
+  const auto wgts = g.edge_weights(v);
+  put<std::uint64_t>(out, nbrs.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    put<std::uint64_t>(out, static_cast<std::uint64_t>(nbrs[i]));
+    put<double>(out, wgts[i]);
+  }
+}
+
+}  // namespace
+
+std::string encode_delta(const Graph& grown, const GraphDelta& delta) {
+  const VertexId n_new = grown.num_vertices();
+  GAPART_REQUIRE(delta.old_num_vertices >= 0 &&
+                     delta.old_num_vertices <= n_new,
+                 "delta old vertex count ", delta.old_num_vertices,
+                 " out of range for |V| = ", n_new);
+  std::string out;
+  put<std::uint32_t>(out, kCodecMagic);
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(delta.old_num_vertices));
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(n_new));
+  put<std::uint64_t>(out, delta.touched_old.size());
+  VertexId prev_id = -1;
+  for (const VertexId v : delta.touched_old) {
+    GAPART_REQUIRE(v > prev_id && v < delta.old_num_vertices,
+                   "touched list must be sorted survivors; got ", v);
+    prev_id = v;
+    put<std::uint64_t>(out, static_cast<std::uint64_t>(v));
+  }
+  for (const VertexId v : delta.touched_old) append_vertex_row(out, grown, v);
+  for (VertexId v = delta.old_num_vertices; v < n_new; ++v) {
+    append_vertex_row(out, grown, v);
+  }
+  return out;
+}
+
+DecodedDelta decode_delta(const Graph& prev, std::string_view bytes) {
+  ByteReader in(bytes);
+  GAPART_REQUIRE(in.get<std::uint32_t>() == kCodecMagic,
+                 "delta record has wrong magic");
+  const auto old_n64 = in.get<std::uint64_t>();
+  const auto new_n64 = in.get<std::uint64_t>();
+  GAPART_REQUIRE(old_n64 == static_cast<std::uint64_t>(prev.num_vertices()),
+                 "delta record expects a ", old_n64,
+                 "-vertex predecessor, got ", prev.num_vertices());
+  GAPART_REQUIRE(new_n64 >= old_n64 && new_n64 <= (1ull << 31),
+                 "implausible grown vertex count ", new_n64);
+  const auto old_n = static_cast<VertexId>(old_n64);
+  const auto new_n = static_cast<VertexId>(new_n64);
+
+  const auto touched_count = in.get<std::uint64_t>();
+  GAPART_REQUIRE(touched_count <= old_n64, "touched count ", touched_count,
+                 " exceeds survivor count ", old_n64);
+  DecodedDelta out;
+  out.delta.old_num_vertices = old_n;
+  out.delta.touched_old.reserve(static_cast<std::size_t>(touched_count));
+  std::vector<bool> recorded(static_cast<std::size_t>(new_n), false);
+  VertexId prev_id = -1;
+  for (std::uint64_t i = 0; i < touched_count; ++i) {
+    const auto v64 = in.get<std::uint64_t>();
+    GAPART_REQUIRE(v64 < old_n64, "touched vertex ", v64, " not a survivor");
+    const auto v = static_cast<VertexId>(v64);
+    GAPART_REQUIRE(v > prev_id, "touched list not sorted ascending at ", v);
+    prev_id = v;
+    out.delta.touched_old.push_back(v);
+    recorded[static_cast<std::size_t>(v)] = true;
+  }
+  for (VertexId v = old_n; v < new_n; ++v) {
+    recorded[static_cast<std::size_t>(v)] = true;
+  }
+
+  GraphBuilder b(new_n);
+
+  // Untouched survivors: rows copied verbatim from the predecessor.  Each
+  // undirected edge must reach the builder exactly once (duplicates are
+  // merged by SUMMING weights), so an untouched-untouched edge is added from
+  // its lower endpoint and an untouched-recorded edge is left to the
+  // recorded side.
+  for (VertexId u = 0; u < old_n; ++u) {
+    if (recorded[static_cast<std::size_t>(u)]) continue;
+    b.set_vertex_weight(u, prev.vertex_weight(u));
+    const auto nbrs = prev.neighbors(u);
+    const auto wgts = prev.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (v > u && !recorded[static_cast<std::size_t>(v)]) {
+        b.add_edge(u, v, wgts[i]);
+      }
+    }
+  }
+
+  // Recorded vertices (touched survivors in record order, then the appended
+  // range): rows come from the record.  A recorded-recorded edge is added
+  // from its lower endpoint; a recorded-untouched edge is added here and
+  // cross-checked against the predecessor (an untouched endpoint's row did
+  // not change, so the edge must already exist there with the same weight).
+  const auto read_row = [&](VertexId r) {
+    const double vwgt = in.get<double>();
+    b.set_vertex_weight(r, vwgt);
+    const auto deg = in.get<std::uint64_t>();
+    GAPART_REQUIRE(deg < new_n64, "vertex ", r, " claims degree ", deg,
+                   " in a ", new_n64, "-vertex graph");
+    VertexId prev_nbr = -1;
+    for (std::uint64_t i = 0; i < deg; ++i) {
+      const auto x64 = in.get<std::uint64_t>();
+      const double w = in.get<double>();
+      GAPART_REQUIRE(x64 < new_n64, "neighbour ", x64, " out of range");
+      const auto x = static_cast<VertexId>(x64);
+      GAPART_REQUIRE(x != r, "self-loop on vertex ", r);
+      GAPART_REQUIRE(x > prev_nbr, "adjacency of ", r, " not sorted at ", x);
+      prev_nbr = x;
+      if (recorded[static_cast<std::size_t>(x)]) {
+        if (x > r) b.add_edge(r, x, w);
+      } else {
+        const auto prev_w = prev.edge_weight(x, r);
+        GAPART_REQUIRE(prev_w.has_value() && *prev_w == w,
+                       "record edge (", r, ", ", x, ") disagrees with the ",
+                       "predecessor at its untouched endpoint");
+        b.add_edge(r, x, w);
+      }
+    }
+  };
+  for (const VertexId v : out.delta.touched_old) read_row(v);
+  for (VertexId v = old_n; v < new_n; ++v) read_row(v);
+  GAPART_REQUIRE(in.exhausted(), "delta record has ", bytes.size() - in.pos(),
+                 " trailing bytes");
+
+  out.grown = b.build();
+  return out;
+}
+
+}  // namespace gapart

@@ -1,11 +1,13 @@
 #include "graph/io.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/fault_injection.hpp"
 
 namespace gapart {
 
@@ -21,24 +23,41 @@ std::string next_data_line(std::istream& is) {
 
 /// Like next_data_line but keeps empty lines: a vertex with no neighbours is
 /// written as an empty line, which must stay aligned with its vertex id.
-std::string next_vertex_line(std::istream& is) {
+/// nullopt at EOF — the caller decides whether running out of lines is a
+/// truncated file (it is, whenever vertex lines are still owed).
+std::optional<std::string> next_vertex_line(std::istream& is) {
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] != '%') return line;
   }
-  return {};  // EOF: treated as a vertex with no neighbours
+  return std::nullopt;
 }
 
 std::ofstream open_out(const std::string& path) {
   std::ofstream os(path);
-  GAPART_REQUIRE(os.good(), "cannot open '", path, "' for writing");
+  if (!os.good()) throw IoError("cannot open '" + path + "' for writing");
   return os;
 }
 
 std::ifstream open_in(const std::string& path) {
   std::ifstream is(path);
-  GAPART_REQUIRE(is.good(), "cannot open '", path, "' for reading");
+  if (!is.good()) throw IoError("cannot open '" + path + "' for reading");
   return is;
+}
+
+/// Every writer funnels through this after its last insertion: flush, then
+/// check the stream state, so a full disk / failed write surfaces as a typed
+/// IoError instead of a silently truncated file.  The fault point simulates
+/// exactly that failure mode (ENOSPC / short write) for tests.
+void finish_write(std::ostream& os, const char* what) {
+  if (GAPART_FAULT_POINT(FaultSite::kFileWrite)) {
+    os.setstate(std::ios::badbit);  // as a real short write would
+  }
+  os.flush();
+  if (!os.good()) {
+    throw IoError(std::string("write failed (") + what +
+                  "): stream went bad — disk full or device error?");
+  }
 }
 
 }  // namespace
@@ -59,6 +78,7 @@ void write_graph(std::ostream& os, const Graph& g) {
     }
     os << '\n';
   }
+  finish_write(os, "graph");
 }
 
 void write_graph_file(const std::string& path, const Graph& g) {
@@ -82,8 +102,16 @@ Graph read_graph(std::istream& is) {
 
   GraphBuilder b(static_cast<VertexId>(n));
   for (long long v = 0; v < n; ++v) {
-    std::string line = next_vertex_line(is);
-    std::istringstream ls(line);
+    const auto maybe_line = next_vertex_line(is);
+    if (!maybe_line.has_value()) {
+      // EOF with vertex lines still owed: the file was truncated (a crashed
+      // or disk-full writer).  Surface it; a graph silently missing rows
+      // would corrupt every downstream consumer.
+      throw IoError("truncated graph file: header promises " +
+                    std::to_string(n) + " vertex lines, found " +
+                    std::to_string(v));
+    }
+    std::istringstream ls(*maybe_line);
     if (has_vwgt) {
       double w = 1.0;
       ls >> w;
@@ -121,6 +149,7 @@ void write_coordinates(std::ostream& os, const Graph& g) {
   for (const auto& p : g.coordinates()) {
     os << p.x << ' ' << p.y << '\n';
   }
+  finish_write(os, "coordinates");
 }
 
 void write_coordinates_file(const std::string& path, const Graph& g) {
@@ -160,6 +189,7 @@ Graph attach_coordinates(const Graph& g, std::istream& is) {
 
 void write_partition(std::ostream& os, const Assignment& a) {
   for (PartId p : a) os << p << '\n';
+  finish_write(os, "partition");
 }
 
 void write_partition_file(const std::string& path, const Assignment& a) {

@@ -100,4 +100,85 @@ RefineDepth decide_refinement(const RefinePolicyConfig& config,
 bool route_refinement_parallel(const RefinePolicyConfig& config,
                                VertexId num_vertices, int pool_threads);
 
+// ---------------------------------------------------------------------------
+// WAL compaction policy.  Same shape as the refinement policy: the session
+// accumulates damage/bytes into its delta log, and a pure decision function
+// says when to fold the log into a fresh checkpoint snapshot and truncate.
+// Compaction is the durability layer's O(V + E) step, so it is triggered by
+// the same damage-accumulation signal that drives refinement — an unbounded
+// log would make both recovery time and disk usage grow without bound.
+
+struct CompactionPolicy {
+  /// Compact once the damage recorded in the log since the last snapshot
+  /// reaches this many vertices.  <= 0 disables the damage trigger.
+  std::int64_t damage_threshold = 4096;
+  /// ... or once the log itself exceeds this many bytes (0 disables).
+  std::uint64_t bytes_threshold = 8ull << 20;
+  /// Never compact a log with fewer records than this (a snapshot per delta
+  /// would reintroduce the O(V + E)-per-update cost the WAL exists to avoid).
+  std::uint64_t min_records = 4;
+};
+
+struct CompactionSignals {
+  std::int64_t log_damage = 0;
+  std::uint64_t log_bytes = 0;
+  std::uint64_t log_records = 0;
+};
+
+/// Pure: should the session snapshot + truncate now?
+bool decide_compaction(const CompactionPolicy& policy,
+                       const CompactionSignals& signals);
+
+// ---------------------------------------------------------------------------
+// Overload policy.  Under a traffic burst the service degrades in a fixed
+// order — quality first, latency second, availability last:
+//
+//   1. shed verification   synchronous repairs skip their budgeted
+//                          verification rounds (cascade only; background
+//                          refinement recovers the quality later);
+//   2. defer refinement    policy-triggered background jobs are not
+//                          scheduled while the pool backlog is deep (the
+//                          accumulators keep counting, so the work happens
+//                          when the burst passes);
+//   3. reject              submit_update refuses new deltas with a typed
+//                          backpressure error once too many synchronous
+//                          repairs are already in flight.
+//
+// All thresholds are "0 disables", and the decisions are pure functions so
+// the degradation ladder is unit-testable without threads.
+
+struct OverloadConfig {
+  /// Reject new deltas while this many submit_update calls are already
+  /// running (0 = never reject).
+  int max_inflight_repairs = 0;
+  /// Shed synchronous verification rounds while the refinement pool backlog
+  /// is at or above this many tasks (0 = never shed).
+  int shed_verification_backlog = 0;
+  /// Do not schedule new background refinement while the pool backlog is at
+  /// or above this many tasks (0 = never defer).
+  int defer_refinement_backlog = 0;
+};
+
+struct OverloadSignals {
+  /// Concurrent submit_update calls, including the one asking.
+  int inflight_repairs = 0;
+  /// Refinement pool tasks queued or executing.
+  int pool_backlog = 0;
+};
+
+enum class AdmitDecision {
+  kAdmit,             ///< Run the full repair pipeline.
+  kShedVerification,  ///< Admit, but skip budgeted verification rounds.
+  kReject,            ///< Backpressure: the caller should retry later.
+};
+
+const char* admit_decision_name(AdmitDecision d);
+
+/// Pure: how should the service treat one arriving delta?
+AdmitDecision decide_admission(const OverloadConfig& config,
+                               const OverloadSignals& signals);
+
+/// Pure: should a policy-triggered refinement be deferred right now?
+bool defer_refinement(const OverloadConfig& config, int pool_backlog);
+
 }  // namespace gapart

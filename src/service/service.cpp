@@ -1,12 +1,16 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/fault_injection.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "graph/delta_codec.hpp"
 
 namespace gapart {
 
@@ -36,23 +40,129 @@ SessionId PartitionService::insert(std::shared_ptr<PartitionSession> session) {
   return id;
 }
 
+void PartitionService::insert_with_id(
+    SessionId id, std::shared_ptr<PartitionSession> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool inserted = sessions_.emplace(id, std::move(session)).second;
+  GAPART_REQUIRE(inserted, "session id ", id, " already exists");
+  next_id_ = std::max(next_id_, id + 1);
+}
+
+std::string PartitionService::session_dir(SessionId id) const {
+  return config_.durability.dir + "/session-" + std::to_string(id);
+}
+
 SessionId PartitionService::open_session(std::shared_ptr<const Graph> graph,
                                          Assignment initial,
                                          SessionConfig config) {
-  return insert(std::make_shared<PartitionSession>(
-      std::move(graph), std::move(initial), std::move(config)));
+  auto session = std::make_shared<PartitionSession>(
+      std::move(graph), std::move(initial), std::move(config));
+  const SessionId id = insert(session);
+  if (config_.durability.enabled()) {
+    // Make the opening state durable before the id is handed back.  The
+    // snapshot carries exactly the (graph, assignment) just installed.
+    const auto snap = session->snapshot();
+    session->attach_wal(SessionWal::create(
+        session_dir(id), config_.durability, session->config().num_parts,
+        session->config().fitness, *snap->graph, snap->assignment));
+  }
+  return id;
 }
 
 SessionId PartitionService::open_session_from_files(const std::string& prefix,
                                                     SessionConfig config) {
-  return insert(std::shared_ptr<PartitionSession>(
-      PartitionSession::restore_files(prefix, std::move(config))));
+  auto session = std::shared_ptr<PartitionSession>(
+      PartitionSession::restore_files(prefix, std::move(config)));
+  const SessionId id = insert(session);
+  if (config_.durability.enabled()) {
+    const auto snap = session->snapshot();
+    session->attach_wal(SessionWal::create(
+        session_dir(id), config_.durability, session->config().num_parts,
+        session->config().fitness, *snap->graph, snap->assignment));
+  }
+  return id;
+}
+
+std::vector<RecoveryReport> PartitionService::recover(
+    const SessionConfig& base) {
+  GAPART_REQUIRE(config_.durability.enabled(),
+                 "recover() needs a durability directory in the config");
+  namespace fs = std::filesystem;
+  std::vector<RecoveryReport> reports;
+  std::error_code ec;
+  if (!fs::exists(config_.durability.dir, ec)) return reports;
+
+  // Deterministic recovery order: collect and sort the session ids first.
+  std::vector<SessionId> ids;
+  for (const auto& entry : fs::directory_iterator(config_.durability.dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("session-", 0) != 0) continue;
+    ids.push_back(static_cast<SessionId>(
+        std::stoull(name.substr(std::string("session-").size()))));
+  }
+  std::sort(ids.begin(), ids.end());
+
+  for (const SessionId id : ids) {
+    WallTimer timer;
+    auto rec = SessionWal::recover(session_dir(id), config_.durability);
+
+    // Identity comes from the meta file; everything else (budgets, policy)
+    // from the caller's template.
+    SessionConfig scfg = base;
+    scfg.num_parts = rec.num_parts;
+    scfg.fitness = rec.fitness;
+
+    auto session = std::make_shared<PartitionSession>(
+        std::make_shared<Graph>(std::move(rec.graph)),
+        std::move(rec.assignment), std::move(scfg), "recover");
+    session->begin_recovery(rec.snapshot_epoch);
+
+    // Replay: each kDelta re-runs the live repair pipeline with the logged
+    // verification-round count (deterministic — no wall clock); each
+    // kRefine swaps in the adopted assignment.
+    for (const WalRecord& record : rec.records) {
+      if (record.type == WalRecordType::kDelta) {
+        const auto prev = session->snapshot()->graph;
+        DecodedDelta decoded = decode_delta(*prev, record.payload);
+        ApplyOptions opts;
+        opts.replay_verify_rounds = static_cast<int>(record.flags);
+        opts.replaying = true;
+        session->apply_update(std::make_shared<Graph>(std::move(decoded.grown)),
+                              decoded.delta, opts);
+      } else {
+        session->force_assignment(decode_assignment(record.payload),
+                                  "recover");
+      }
+    }
+    session->attach_wal(std::move(rec.wal));
+
+    RecoveryReport rep;
+    rep.session_id = id;
+    rep.snapshot_epoch = rec.snapshot_epoch;
+    rep.final_epoch = session->snapshot()->update_epoch;
+    rep.records_replayed = rec.records.size();
+    rep.torn_tail = rec.torn_tail;
+    rep.seconds = timer.seconds();
+    reports.push_back(rep);
+
+    insert_with_id(id, std::move(session));
+  }
+  return reports;
 }
 
 void PartitionService::close_session(SessionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto erased = sessions_.erase(id);
-  GAPART_REQUIRE(erased == 1, "unknown session id ", id);
+  std::shared_ptr<PartitionSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    GAPART_REQUIRE(it != sessions_.end(), "unknown session id ", id);
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Drain OUTSIDE the table lock: close() blocks until an in-flight
+  // refinement unwinds, and that refinement may be queued behind other pool
+  // work — holding mu_ here would stall every other session's operations.
+  session->close();
 }
 
 std::shared_ptr<PartitionSession> PartitionService::find(SessionId id) const {
@@ -65,9 +175,49 @@ std::shared_ptr<PartitionSession> PartitionService::find(SessionId id) const {
 RepairReport PartitionService::submit_update(
     SessionId id, std::shared_ptr<const Graph> grown, const GraphDelta& delta) {
   const auto session = find(id);
-  RepairReport report = session->apply_update(std::move(grown), delta);
-  maybe_schedule_refinement(id, session);
+
+  // Overload gate: count this call in, consult the pure admission policy,
+  // and degrade in the fixed order quality -> latency -> availability.
+  struct InflightGuard {
+    std::atomic<int>& count;
+    ~InflightGuard() { count.fetch_sub(1, std::memory_order_relaxed); }
+  } guard{inflight_repairs_};
+  OverloadSignals signals;
+  signals.inflight_repairs =
+      inflight_repairs_.fetch_add(1, std::memory_order_relaxed) + 1;
+  signals.pool_backlog = executor_->pending();
+  const AdmitDecision decision = decide_admission(config_.overload, signals);
+  if (decision == AdmitDecision::kReject) {
+    updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+    throw OverloadError("service overloaded: " +
+                        std::to_string(signals.inflight_repairs) +
+                        " repairs in flight (max " +
+                        std::to_string(config_.overload.max_inflight_repairs) +
+                        ") — back off and retry");
+  }
+  ApplyOptions opts;
+  opts.shed_verification = decision == AdmitDecision::kShedVerification;
+  if (opts.shed_verification) {
+    verifications_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  RepairReport report = session->apply_update(std::move(grown), delta, opts);
+
+  if (defer_refinement(config_.overload, executor_->pending())) {
+    refinements_deferred_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    maybe_schedule_refinement(id, session);
+  }
   return report;
+}
+
+std::optional<RepairReport> PartitionService::try_submit_update(
+    SessionId id, std::shared_ptr<const Graph> grown, const GraphDelta& delta) {
+  try {
+    return submit_update(id, std::move(grown), delta);
+  } catch (const OverloadError&) {
+    return std::nullopt;
+  }
 }
 
 void PartitionService::maybe_schedule_refinement(
@@ -75,6 +225,15 @@ void PartitionService::maybe_schedule_refinement(
   if (!config_.background_refinement) return;
   auto job = session->plan_refinement();
   if (!job.has_value()) return;
+
+  // Task-start fault point: an injected failure here models the pool
+  // refusing the task (thread exhaustion).  The planned job is abandoned
+  // cleanly — the policy accumulators stay primed and refire later.
+  if (GAPART_FAULT_POINT(FaultSite::kTaskStart)) {
+    session->abandon_refinement();
+    refine_start_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
 
   // Deterministic per-job stream: a pure function of (service seed, session
   // id, captured epoch), independent of pool scheduling.
@@ -148,10 +307,26 @@ ServiceStats PartitionService::stats() const {
     out.refinements_no_better += st.refinements_no_better;
     samples.insert(samples.end(), st.repair_seconds_samples.begin(),
                    st.repair_seconds_samples.end());
+    if (st.durable) {
+      ++out.durable_sessions;
+      out.failed_sessions += st.wal_failed ? 1 : 0;
+      out.wal_appends += st.wal.appends;
+      out.wal_append_retries += st.wal.append_retries;
+      out.wal_fsyncs += st.wal.fsyncs;
+      out.wal_bytes_appended += st.wal.bytes_appended;
+      out.wal_compactions += st.wal.compactions;
+      out.wal_compaction_failures += st.wal.compaction_failures;
+    }
   }
   out.p50_repair_seconds = quantile(samples, 0.50);
   out.p99_repair_seconds = quantile(samples, 0.99);
   out.pool_backlog = executor_->pending();
+  out.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
+  out.verifications_shed = verifications_shed_.load(std::memory_order_relaxed);
+  out.refinements_deferred =
+      refinements_deferred_.load(std::memory_order_relaxed);
+  out.refine_start_failures =
+      refine_start_failures_.load(std::memory_order_relaxed);
   return out;
 }
 

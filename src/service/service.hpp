@@ -17,11 +17,14 @@
 // shared_ptr and publication into a closed session is harmless.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/executor.hpp"
 #include "service/session.hpp"
@@ -29,6 +32,14 @@
 namespace gapart {
 
 using SessionId = std::uint64_t;
+
+/// Backpressure: the overload policy rejected a delta (too many synchronous
+/// repairs already in flight).  Nothing was applied or logged; the client
+/// should back off and retry.
+class OverloadError : public Error {
+ public:
+  explicit OverloadError(const std::string& what) : Error(what) {}
+};
 
 struct ServiceConfig {
   /// Shared pool size when the service creates its own Executor
@@ -40,6 +51,11 @@ struct ServiceConfig {
   /// deterministic function of (seed, session id, captured epoch), whatever
   /// the pool's scheduling does.
   std::uint64_t seed = 0x5e55101d;
+  /// Per-session write-ahead logging + crash recovery; durability.enabled()
+  /// (a non-empty directory) makes every open_session durable.
+  DurabilityConfig durability;
+  /// Graceful degradation under traffic bursts (see refine_policy.hpp).
+  OverloadConfig overload;
 };
 
 /// Service-wide aggregation over all open sessions.
@@ -62,6 +78,34 @@ struct ServiceStats {
   /// Pool tasks queued or executing at sampling time (refinement backlog
   /// gauge; racy by nature).
   int pool_backlog = 0;
+
+  // Durability (summed over durable sessions' WalStats).
+  int durable_sessions = 0;
+  int failed_sessions = 0;  ///< fail-stopped by an unrecoverable WAL append
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_append_retries = 0;
+  std::uint64_t wal_fsyncs = 0;
+  std::uint64_t wal_bytes_appended = 0;
+  std::uint64_t wal_compactions = 0;
+  std::uint64_t wal_compaction_failures = 0;
+
+  // Overload ladder outcomes.
+  std::int64_t updates_rejected = 0;      ///< OverloadError backpressure
+  std::int64_t verifications_shed = 0;    ///< admitted without verify rounds
+  std::int64_t refinements_deferred = 0;  ///< policy fired, pool too deep
+  std::int64_t refine_start_failures = 0; ///< task-start faults absorbed
+};
+
+/// What recovering one session directory took (PartitionService::recover).
+struct RecoveryReport {
+  SessionId session_id = 0;
+  std::uint64_t snapshot_epoch = 0;  ///< replay started from this checkpoint
+  std::uint64_t final_epoch = 0;     ///< epoch after the last replayed record
+  std::size_t records_replayed = 0;
+  /// The log ended in a partial record (the crash hit mid-append); the torn
+  /// record was never acknowledged, so dropping it is correct.
+  bool torn_tail = false;
+  double seconds = 0.0;
 };
 
 class PartitionService {
@@ -87,15 +131,38 @@ class PartitionService {
   SessionId open_session_from_files(const std::string& prefix,
                                     SessionConfig config);
 
-  /// Closes (drops) a session.  A refinement still running for it finishes
-  /// against its captured snapshot and is discarded.
+  /// Rebuilds every session found under config.durability.dir (one
+  /// `session-<id>` directory each) from its checkpoint snapshot plus a
+  /// deterministic replay of its delta log — the same repair pipeline the
+  /// live sessions ran, wall clock removed.  Session ids are preserved.
+  /// `base` supplies the non-persisted session config knobs (budgets,
+  /// policy); num_parts and the fitness objective come from each session's
+  /// meta file.  Call on a fresh service before opening new sessions.
+  /// Throws WalCorruptError on mid-log corruption (a torn *tail* is
+  /// tolerated and reported instead — it was never acknowledged).
+  std::vector<RecoveryReport> recover(const SessionConfig& base);
+
+  /// Closes a session: refuses further updates, cancels and drains any
+  /// in-flight refinement (cooperative — the job unwinds at its next pass
+  /// boundary), syncs its WAL, and drops it from the table.
   void close_session(SessionId id);
 
   /// Streams one delta into a session: synchronous tiered repair on the
   /// calling thread, then (policy permitting) schedules background
   /// refinement on the shared pool.
+  ///
+  /// When a WAL is attached (durable service), the report is returned only
+  /// after the delta's record is on the log per the fsync policy: ack
+  /// implies durable.  Under overload the call may shed verification rounds
+  /// or throw OverloadError (nothing applied; back off and retry).
   RepairReport submit_update(SessionId id, std::shared_ptr<const Graph> grown,
                              const GraphDelta& delta);
+
+  /// submit_update for clients that treat backpressure as data, not control
+  /// flow: nullopt instead of OverloadError.  Other errors still throw.
+  std::optional<RepairReport> try_submit_update(
+      SessionId id, std::shared_ptr<const Graph> grown,
+      const GraphDelta& delta);
 
   /// Latest snapshot of one session; wait-free against repair/refinement.
   std::shared_ptr<const SessionSnapshot> snapshot(SessionId id) const;
@@ -122,8 +189,10 @@ class PartitionService {
  private:
   std::shared_ptr<PartitionSession> find(SessionId id) const;
   SessionId insert(std::shared_ptr<PartitionSession> session);
+  void insert_with_id(SessionId id, std::shared_ptr<PartitionSession> session);
   void maybe_schedule_refinement(SessionId id,
                                  const std::shared_ptr<PartitionSession>& s);
+  std::string session_dir(SessionId id) const;
 
   ServiceConfig config_;
   std::unique_ptr<Executor> owned_executor_;
@@ -132,6 +201,14 @@ class PartitionService {
   mutable std::mutex mu_;  ///< guards the session table only
   std::unordered_map<SessionId, std::shared_ptr<PartitionSession>> sessions_;
   SessionId next_id_ = 1;
+
+  /// Concurrent submit_update calls (the overload gate's signal).
+  std::atomic<int> inflight_repairs_{0};
+  // Overload ladder counters (lock-free: bumped on the submit path).
+  std::atomic<std::int64_t> updates_rejected_{0};
+  std::atomic<std::int64_t> verifications_shed_{0};
+  std::atomic<std::int64_t> refinements_deferred_{0};
+  std::atomic<std::int64_t> refine_start_failures_{0};
 };
 
 }  // namespace gapart

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "common/assert.hpp"
+#include "common/fault_injection.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "core/eval.hpp"
@@ -14,6 +15,7 @@
 #include "core/init.hpp"
 #include "core/presets.hpp"
 #include "graph/connectivity_scratch.hpp"
+#include "graph/delta_codec.hpp"
 #include "graph/io.hpp"
 
 namespace gapart {
@@ -157,9 +159,21 @@ std::vector<PartId> PartitionSession::extend_parts(const Graph& grown,
 }
 
 RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
-                                            const GraphDelta& delta) {
+                                            const GraphDelta& delta,
+                                            const ApplyOptions& opts) {
   const Graph& g = require_graph(grown);
   std::lock_guard<std::mutex> lock(mu_);
+  GAPART_REQUIRE(!closed_, "session is closed");
+  GAPART_REQUIRE(!wal_failed_,
+                 "session fail-stopped: a WAL append exhausted its retries, "
+                 "so an earlier repair mutated state the log never recorded "
+                 "— accepting more updates would make the log unreplayable");
+  // The delta path's allocation fault point: fires before any state is
+  // touched, so an injected failure here is a clean rejection the client
+  // can retry.
+  if (GAPART_FAULT_POINT(FaultSite::kDeltaAlloc)) {
+    throw std::bad_alloc();
+  }
   const VertexId n_old = graph_->num_vertices();
   GAPART_REQUIRE(delta.old_num_vertices == n_old,
                  "delta.old_num_vertices (", delta.old_num_vertices,
@@ -194,8 +208,18 @@ RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
     rep.examined += res.examined;
 
     opt.mode = HillClimbMode::kFrontier;  // unseeded: one full round + cascade
-    while (rep.verify_rounds < config_.repair_max_verify_rounds &&
-           timer.seconds() < config_.repair_budget_seconds) {
+    // Replay runs exactly the round count the live run logged (the budget
+    // clock is the one nondeterministic input to the pipeline); shedding
+    // runs none.  The moves == 0 early exit is itself deterministic, so it
+    // stays in both paths.
+    const int max_rounds =
+        opts.replay_verify_rounds >= 0
+            ? std::min(opts.replay_verify_rounds,
+                       config_.repair_max_verify_rounds)
+            : (opts.shed_verification ? 0 : config_.repair_max_verify_rounds);
+    while (rep.verify_rounds < max_rounds &&
+           (opts.replay_verify_rounds >= 0 ||
+            timer.seconds() < config_.repair_budget_seconds)) {
       const auto vres = hill_climb(state_, opt);
       ++rep.verify_rounds;
       rep.repair_moves += vres.moves;
@@ -226,6 +250,32 @@ RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
     repair_seconds_[repair_seconds_next_] = rep.seconds;
     repair_seconds_next_ =
         (repair_seconds_next_ + 1) % SessionStats::kMaxHistory;
+  }
+
+  // Write-ahead logging: the record — delta bytes plus the verification
+  // round count the budget actually admitted — must be durable before this
+  // call returns, because the returned report is the acknowledgement.
+  if (wal_ != nullptr && !opts.replaying) {
+    try {
+      wal_->append(WalRecordType::kDelta, update_epoch_,
+                   static_cast<std::uint32_t>(rep.verify_rounds),
+                   encode_delta(*graph_, delta), rep.damage);
+    } catch (const IoError&) {
+      // The repair already mutated the state; without its record every later
+      // record would replay against the wrong graph.  Fail-stop the session
+      // rather than silently dropping an acknowledged-looking update.
+      wal_failed_ = true;
+      throw;
+    }
+    if (wal_->should_compact()) {
+      try {
+        wal_->compact(update_epoch_, *graph_, state_.assignment());
+      } catch (const IoError&) {
+        // Snapshot writing failed; the log is still intact and complete, so
+        // durability is unharmed — compaction simply retries at the next
+        // trigger (counted in WalStats::compaction_failures).
+      }
+    }
   }
 
   publish("repair");
@@ -273,9 +323,11 @@ RefineSignals PartitionSession::signals() const {
 
 std::optional<PartitionSession::RefineJob> PartitionSession::plan_refinement() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return std::nullopt;
   const RefineDepth depth = decide_refinement(config_.policy, signals());
   if (depth == RefineDepth::kNone) return std::nullopt;
   refine_in_flight_ = true;
+  refine_cancel_ = std::make_shared<std::atomic<bool>>(false);
   ++stats_.refinements_planned;
   RefineJob job;
   job.update_epoch = update_epoch_;
@@ -283,6 +335,7 @@ std::optional<PartitionSession::RefineJob> PartitionSession::plan_refinement() {
   job.graph = graph_;
   job.assignment = state_.assignment();
   job.fitness = state_.fitness(config_.fitness);
+  job.cancel = refine_cancel_;
   return job;
 }
 
@@ -300,8 +353,12 @@ bool PartitionSession::complete_refinement(const RefineJob& job,
 
   std::lock_guard<std::mutex> lock(mu_);
   refine_in_flight_ = false;
+  refine_cancel_.reset();
+  refine_done_cv_.notify_all();
   stats_.full_evaluations += full_evaluations + (candidate ? 1 : 0);
   stats_.delta_evaluations += delta_evaluations;
+
+  if (closed_) return false;  // close() is draining: never adopt into it
 
   if (job.update_epoch != update_epoch_) {
     // A newer delta invalidated the captured epoch: the refined assignment
@@ -326,6 +383,17 @@ bool PartitionSession::complete_refinement(const RefineJob& job,
   }
   state_ = std::move(*candidate);
   ++stats_.refinements_applied;
+  // Log the adopted assignment so recovery lands on the refined partition,
+  // not just a delta-consistent one.  Best-effort: refinement is soft state
+  // (recovery without the record is merely lower quality, never wrong), so
+  // an I/O failure here costs the record, not the session.
+  if (wal_ != nullptr) {
+    try {
+      wal_->append(WalRecordType::kRefine, update_epoch_, 0,
+                   encode_assignment(state_.assignment()), /*damage=*/0);
+    } catch (const IoError&) {
+    }
+  }
   publish("refine");
   return true;
 }
@@ -333,6 +401,58 @@ bool PartitionSession::complete_refinement(const RefineJob& job,
 void PartitionSession::abandon_refinement() {
   std::lock_guard<std::mutex> lock(mu_);
   refine_in_flight_ = false;
+  refine_cancel_.reset();
+  refine_done_cv_.notify_all();
+}
+
+void PartitionSession::attach_wal(std::unique_ptr<SessionWal> wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GAPART_REQUIRE(wal_ == nullptr, "session already has a WAL attached");
+  wal_ = std::move(wal);
+}
+
+bool PartitionSession::durable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ != nullptr;
+}
+
+void PartitionSession::begin_recovery(std::uint64_t snapshot_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GAPART_REQUIRE(stats_.updates == 0 && update_epoch_ == 0,
+                 "begin_recovery on a session that already absorbed updates");
+  update_epoch_ = snapshot_epoch;
+  publish("recover");
+}
+
+void PartitionSession::force_assignment(Assignment refined,
+                                        const char* source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = PartitionState(*graph_, std::move(refined), config_.num_parts);
+  ++stats_.full_evaluations;
+  baseline_fitness_ = state_.fitness(config_.fitness);
+  publish(source);
+}
+
+void PartitionSession::close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closed_ = true;
+  if (refine_cancel_ != nullptr) refine_cancel_->store(true);
+  // Drain: the in-flight job sees the cancel flag at its next pass boundary,
+  // unwinds through complete/abandon_refinement, and signals here.
+  refine_done_cv_.wait(lock, [&] { return !refine_in_flight_; });
+  if (wal_ != nullptr && !wal_failed_) {
+    try {
+      wal_->sync();
+    } catch (const IoError&) {
+      // Teardown best-effort: under kEveryRecord nothing was unsynced
+      // anyway, and a close() must not throw past its drain.
+    }
+  }
+}
+
+bool PartitionSession::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
 }
 
 SessionStats PartitionSession::stats() const {
@@ -356,6 +476,9 @@ SessionStats PartitionSession::stats() const {
           static_cast<std::ptrdiff_t>(cut_trajectory_next_));
   out.current_fitness = state_.fitness(config_.fitness);
   out.current_total_cut = state_.total_cut();
+  out.durable = wal_ != nullptr;
+  out.wal_failed = wal_failed_;
+  if (wal_ != nullptr) out.wal = wal_->stats();
   return out;
 }
 
@@ -410,6 +533,7 @@ RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
   opt.gain_ordered = config.gain_ordered_repair;
   opt.min_gain = config.repair_min_gain;
   opt.max_passes = config.refine_hill_climb_passes;
+  opt.cancel = job.cancel.get();
   // Large sessions shard their boundary over the service pool: the policy
   // routes them to the parallel batch engine, which falls back to this same
   // serial climb when the pool is effectively single-threaded.
@@ -425,7 +549,11 @@ RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
 
   // Deep tier: DPGA burst seeded with the climbed solution (§3.5's
   // incremental GA, running in the background instead of the caller's path).
-  if (job.depth == RefineDepth::kDeep) {
+  // A cancelled job (its session is closing) skips the burst — the climbed
+  // result above is returned as-is and discarded by complete_refinement.
+  const bool cancel_requested =
+      job.cancel != nullptr && job.cancel->load(std::memory_order_relaxed);
+  if (job.depth == RefineDepth::kDeep && !cancel_requested) {
     DpgaConfig dc = config.deep;
     dc.ga.num_parts = config.num_parts;
     dc.ga.fitness = config.fitness;

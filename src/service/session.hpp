@@ -28,6 +28,8 @@
 // epoch-versioned, immutable SessionSnapshot via shared_ptr swap.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -44,6 +46,7 @@
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 #include "service/refine_policy.hpp"
+#include "service/wal.hpp"
 
 namespace gapart {
 
@@ -100,6 +103,22 @@ struct SessionSnapshot {
   double imbalance_sq = 0.0;
 };
 
+/// Per-call modifiers for apply_update.  Defaults describe the normal live
+/// path; the service's overload ladder and the recovery replay set the rest.
+struct ApplyOptions {
+  /// Overload shedding: skip the budgeted verification rounds entirely
+  /// (cascade only) — the cheapest admissible repair.
+  bool shed_verification = false;
+  /// >= 0: run exactly this many verification rounds, ignoring the wall
+  /// clock — recovery replays the round count the live run logged, so the
+  /// replayed pipeline is bit-deterministic.  Capped by
+  /// repair_max_verify_rounds.
+  int replay_verify_rounds = -1;
+  /// Recovery replay: do not log the delta to the WAL again (it is being
+  /// read FROM the WAL) and do not trigger compaction.
+  bool replaying = false;
+};
+
 /// What one apply_update call did (the synchronous plane only).
 struct RepairReport {
   std::uint64_t update_epoch = 0;
@@ -144,6 +163,14 @@ struct SessionStats {
   /// recent cut trajectory.
   std::vector<std::pair<std::uint64_t, double>> cut_trajectory;
 
+  /// Durability (zeros when the session runs without a WAL).
+  bool durable = false;
+  /// Fail-stop: a WAL append exhausted its retries after the repair had
+  /// already mutated the state; the session refuses further updates so the
+  /// log never diverges from the acknowledged history.
+  bool wal_failed = false;
+  WalStats wal;
+
   /// History cap: latencies and trajectory are sliding windows of this many
   /// entries (percentiles then cover the recent window; max_repair_seconds
   /// stays lifetime).  Bounds both session memory and the O(window) copy a
@@ -169,8 +196,14 @@ class PartitionSession {
   /// current graph (delta.old_num_vertices must match).  Thread-safe against
   /// snapshot() and the refinement plane; concurrent apply_update calls on
   /// ONE session serialize on the session lock.
+  ///
+  /// When a WAL is attached, the delta is appended (and fsynced per the
+  /// durability config) before this call returns — the returned report IS
+  /// the acknowledgement, so ack implies durable.  An append that exhausts
+  /// its retries throws IoError and fail-stops the session (wal_failed).
   RepairReport apply_update(std::shared_ptr<const Graph> grown,
-                            const GraphDelta& delta);
+                            const GraphDelta& delta,
+                            const ApplyOptions& opts = {});
 
   /// Latest published state; never blocks on repair or refinement beyond a
   /// pointer copy.  Never null.
@@ -187,6 +220,10 @@ class PartitionSession {
     std::shared_ptr<const Graph> graph;
     Assignment assignment;
     double fitness = 0.0;
+    /// Cooperative cancel flag, set by close(): run_refinement checks it at
+    /// pass boundaries and before the DPGA burst, so a closing session never
+    /// waits for a full deep burst to finish.
+    std::shared_ptr<const std::atomic<bool>> cancel;
   };
 
   /// Consults the policy; when it fires, marks a refinement in flight and
@@ -205,6 +242,32 @@ class PartitionSession {
 
   /// Clears the in-flight mark after a failed refinement attempt.
   void abandon_refinement();
+
+  // --- Durability (service/wal.hpp) ---------------------------------------
+
+  /// Attaches a write-ahead log: every subsequent apply_update appends its
+  /// delta before acknowledging, adopted refinements are logged best-effort,
+  /// and compaction runs when the log policy fires.  Called once, right
+  /// after construction (durable open) or after replay (recovery).
+  void attach_wal(std::unique_ptr<SessionWal> wal);
+  bool durable() const;
+
+  /// Recovery bootstrap: positions a freshly constructed session (built on
+  /// the snapshot state, zero updates absorbed) at the snapshot's update
+  /// epoch so replayed records land on their original epochs.
+  void begin_recovery(std::uint64_t snapshot_epoch);
+
+  /// Recovery replay of a logged kRefine record: swaps in `refined` as the
+  /// live assignment (one O(V + E) state rebuild), without consulting the
+  /// policy or the WAL.
+  void force_assignment(Assignment refined, const char* source);
+
+  /// Drains the session for teardown: marks it closed (further updates and
+  /// refinement plans are refused), signals an in-flight refinement to
+  /// cancel, waits until it has unwound, and syncs the WAL.  Idempotent;
+  /// safe to call while a refinement is mid-run on the pool.
+  void close();
+  bool closed() const;
 
   // --- Persistence through the Chaco/METIS text formats -------------------
 
@@ -245,6 +308,15 @@ class PartitionSession {
   std::int64_t damage_since_refine_ = 0;
   std::int64_t damage_since_deep_ = 0;
   bool refine_in_flight_ = false;
+
+  // Durability + teardown plane.
+  std::unique_ptr<SessionWal> wal_;
+  bool wal_failed_ = false;  ///< fail-stop: an append exhausted its retries
+  bool closed_ = false;
+  /// Set for the duration of one in-flight refinement; close() flips it.
+  std::shared_ptr<std::atomic<bool>> refine_cancel_;
+  /// Signalled when refine_in_flight_ clears (close() drains on it).
+  std::condition_variable refine_done_cv_;
 
   // Statistics.  repair_seconds_ and cut_trajectory_ are rings of the last
   // kMaxHistory entries (stats() unrolls the trajectory chronologically),

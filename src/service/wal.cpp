@@ -1,0 +1,508 @@
+#include "service/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/checksum.hpp"
+#include "common/fault_injection.hpp"
+#include "common/timer.hpp"
+#include "graph/io.hpp"
+
+namespace gapart {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kFileMagic = 0x4c574147u;    // "GAWL"
+constexpr std::uint32_t kFileVersion = 1u;
+constexpr std::uint32_t kRecordMagic = 0x524c4157u;  // "WALR"
+constexpr std::size_t kFileHeaderSize = 8;
+// magic u32 + type u8 + flags u32 + epoch u64 + payload_len u32 + crc u32
+constexpr std::size_t kFrameHeaderSize = 25;
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+template <typename T>
+void put(std::string& out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T get_at(const std::string& bytes, std::size_t pos) {
+  T value;
+  std::memcpy(&value, bytes.data() + pos, sizeof(T));
+  return value;
+}
+
+std::string build_frame(WalRecordType type, std::uint64_t epoch,
+                        std::uint32_t flags, const std::string& payload) {
+  GAPART_REQUIRE(payload.size() <= kMaxPayload, "WAL payload of ",
+                 payload.size(), " bytes exceeds the 1 GiB frame limit");
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  put<std::uint32_t>(frame, kRecordMagic);
+  put<std::uint8_t>(frame, static_cast<std::uint8_t>(type));
+  put<std::uint32_t>(frame, flags);
+  put<std::uint64_t>(frame, epoch);
+  put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
+  // The CRC covers the header fields after the magic plus the payload, so a
+  // flipped bit anywhere in the frame fails the same check.
+  std::uint32_t crc = crc32(frame.data() + 4, frame.size() - 4);
+  crc = crc32(payload.data(), payload.size(), crc);
+  put<std::uint32_t>(frame, crc);
+  frame.append(payload);
+  return frame;
+}
+
+/// Attempts to parse one frame at `pos`.  Returns the parsed record and
+/// advances `pos` on success; returns nullopt when the bytes at `pos` do not
+/// form a complete valid frame (caller decides: torn tail or corruption).
+std::optional<WalRecord> try_parse_frame(const std::string& bytes,
+                                         std::size_t& pos) {
+  if (pos + kFrameHeaderSize > bytes.size()) return std::nullopt;
+  if (get_at<std::uint32_t>(bytes, pos) != kRecordMagic) return std::nullopt;
+  const auto type = get_at<std::uint8_t>(bytes, pos + 4);
+  if (type != static_cast<std::uint8_t>(WalRecordType::kDelta) &&
+      type != static_cast<std::uint8_t>(WalRecordType::kRefine)) {
+    return std::nullopt;
+  }
+  const auto flags = get_at<std::uint32_t>(bytes, pos + 5);
+  const auto epoch = get_at<std::uint64_t>(bytes, pos + 9);
+  const auto payload_len = get_at<std::uint32_t>(bytes, pos + 17);
+  if (payload_len > kMaxPayload) return std::nullopt;
+  if (pos + kFrameHeaderSize + payload_len > bytes.size()) return std::nullopt;
+  const auto stored_crc = get_at<std::uint32_t>(bytes, pos + 21);
+  std::uint32_t crc = crc32(bytes.data() + pos + 4, kFrameHeaderSize - 8);
+  crc = crc32(bytes.data() + pos + kFrameHeaderSize, payload_len, crc);
+  if (crc != stored_crc) return std::nullopt;
+
+  WalRecord rec;
+  rec.type = static_cast<WalRecordType>(type);
+  rec.epoch = epoch;
+  rec.flags = flags;
+  rec.payload = bytes.substr(pos + kFrameHeaderSize, payload_len);
+  pos += kFrameHeaderSize + payload_len;
+  return rec;
+}
+
+/// Is there any fully valid frame at or after `from`?  Distinguishes a torn
+/// tail (no — the file simply ends in a partial write) from corruption in
+/// the middle of the log (yes — trusting later records would reorder
+/// history, so recovery must refuse).
+bool any_valid_frame_after(const std::string& bytes, std::size_t from) {
+  for (std::size_t pos = from; pos + kFrameHeaderSize <= bytes.size(); ++pos) {
+    if (get_at<std::uint32_t>(bytes, pos) != kRecordMagic) continue;
+    std::size_t probe = pos;
+    if (try_parse_frame(bytes, probe).has_value()) return true;
+  }
+  return false;
+}
+
+void posix_fsync_fd(int fd, const char* what) {
+  if (GAPART_FAULT_POINT(FaultSite::kWalFsync)) {
+    throw IoError(std::string("injected fsync failure (") + what + ")");
+  }
+  if (::fsync(fd) != 0) {
+    throw IoError(std::string("fsync failed (") + what + "): " +
+                  std::strerror(errno));
+  }
+}
+
+/// fsync a file (or directory) by path — used after temp-file renames so the
+/// rename itself is durable, not just the data.
+void fsync_path(const std::string& path, const char* what) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw IoError("cannot open '" + path + "' to fsync (" + what + "): " +
+                  std::strerror(errno));
+  }
+  try {
+    posix_fsync_fd(fd, what);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+void rename_file(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    throw IoError("rename '" + from + "' -> '" + to + "' failed: " +
+                  ec.message());
+  }
+}
+
+/// Writes `content` to `path` atomically: temp file, flush-checked close,
+/// fsync, rename over, fsync the directory.
+void write_file_atomic(const std::string& path, const std::string& content,
+                       const std::string& dir) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) throw IoError("cannot open '" + tmp + "' for writing");
+    os.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+    if (GAPART_FAULT_POINT(FaultSite::kFileWrite)) {
+      os.setstate(std::ios::badbit);
+    }
+    os.flush();
+    if (!os.good()) throw IoError("write failed for '" + tmp + "'");
+  }
+  fsync_path(tmp, "atomic write");
+  rename_file(tmp, path);
+  fsync_path(dir, "atomic write dir");
+}
+
+std::string read_small_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) throw IoError("read failed for '" + path + "'");
+  return buf.str();
+}
+
+std::string snap_graph_path(const std::string& dir, std::uint64_t epoch) {
+  return dir + "/snap-" + std::to_string(epoch) + ".graph";
+}
+std::string snap_part_path(const std::string& dir, std::uint64_t epoch) {
+  return dir + "/snap-" + std::to_string(epoch) + ".part";
+}
+
+}  // namespace
+
+const char* fsync_policy_name(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kEveryRecord:
+      return "every_record";
+    case FsyncPolicy::kEveryN:
+      return "every_n";
+  }
+  return "?";
+}
+
+WalReadResult read_log_file(const std::string& path) {
+  WalReadResult out;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return out;
+
+  const std::string bytes = read_small_file(path);
+  if (bytes.size() < kFileHeaderSize) {
+    // A crash during log creation: nothing was ever appended.
+    out.torn_tail = !bytes.empty();
+    return out;
+  }
+  if (get_at<std::uint32_t>(bytes, 0) != kFileMagic ||
+      get_at<std::uint32_t>(bytes, 4) != kFileVersion) {
+    throw WalCorruptError("'" + path + "' is not a gapart WAL (bad header)");
+  }
+
+  std::size_t pos = kFileHeaderSize;
+  out.valid_bytes = pos;
+  while (pos < bytes.size()) {
+    auto rec = try_parse_frame(bytes, pos);
+    if (!rec.has_value()) {
+      if (any_valid_frame_after(bytes, pos + 1)) {
+        throw WalCorruptError(
+            "'" + path + "' has a corrupt record at offset " +
+            std::to_string(pos) + " followed by valid records — refusing " +
+            "to replay past a hole in history");
+      }
+      out.torn_tail = true;
+      break;
+    }
+    out.records.push_back(std::move(*rec));
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+std::string encode_assignment(const Assignment& assignment) {
+  std::string out;
+  out.reserve(8 + assignment.size() * 4);
+  put<std::uint64_t>(out, assignment.size());
+  for (const PartId p : assignment) put<std::int32_t>(out, p);
+  return out;
+}
+
+Assignment decode_assignment(const std::string& payload) {
+  GAPART_REQUIRE(payload.size() >= 8, "assignment payload truncated");
+  const auto n = get_at<std::uint64_t>(payload, 0);
+  GAPART_REQUIRE(payload.size() == 8 + n * 4,
+                 "assignment payload size mismatch: header says ", n,
+                 " entries, payload has ", payload.size(), " bytes");
+  Assignment a(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] =
+        get_at<std::int32_t>(payload, 8 + static_cast<std::size_t>(i) * 4);
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// SessionWal
+
+SessionWal::SessionWal(std::string dir, DurabilityConfig config)
+    : dir_(std::move(dir)), config_(std::move(config)) {}
+
+SessionWal::~SessionWal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SessionWal::open_log(std::uint64_t resume_at, bool truncate_all) {
+  const std::string path = dir_ + "/wal.log";
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw IoError("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  const std::uint64_t keep =
+      truncate_all || resume_at < kFileHeaderSize ? 0 : resume_at;
+  if (::ftruncate(fd_, static_cast<off_t>(keep)) != 0) {
+    throw IoError("cannot truncate '" + path + "': " + std::strerror(errno));
+  }
+  if (keep == 0) {
+    std::string header;
+    put<std::uint32_t>(header, kFileMagic);
+    put<std::uint32_t>(header, kFileVersion);
+    append_frame_once(header);
+    posix_fsync_fd(fd_, "log header");
+  }
+}
+
+void SessionWal::append_frame_once(const std::string& frame) {
+  if (GAPART_FAULT_POINT(FaultSite::kWalAppend)) {
+    throw IoError("injected WAL write failure");
+  }
+  // Remember where this frame starts so a partial write can be rolled back
+  // before the retry loop re-appends — otherwise the retry would leave a
+  // torn frame followed by a valid one, which replay rightly refuses.
+  const off_t start = ::lseek(fd_, 0, SEEK_END);
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      if (start >= 0) ::ftruncate(fd_, start);
+      throw IoError(std::string("WAL write failed: ") + std::strerror(err));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void SessionWal::fsync_log() {
+  posix_fsync_fd(fd_, "wal");
+  ++stats_.fsyncs;
+  records_since_fsync_ = 0;
+}
+
+void SessionWal::append(WalRecordType type, std::uint64_t epoch,
+                        std::uint32_t flags, const std::string& payload,
+                        VertexId damage) {
+  const std::string frame = build_frame(type, epoch, flags, payload);
+  stats_.append_retries += static_cast<std::uint64_t>(retry_with_backoff(
+      config_.io_retry, [&] { append_frame_once(frame); }));
+  ++records_since_fsync_;
+  const bool want_fsync =
+      config_.fsync == FsyncPolicy::kEveryRecord ||
+      (config_.fsync == FsyncPolicy::kEveryN && config_.fsync_interval > 0 &&
+       records_since_fsync_ >= config_.fsync_interval);
+  if (want_fsync) {
+    stats_.append_retries += static_cast<std::uint64_t>(
+        retry_with_backoff(config_.io_retry, [&] { fsync_log(); }));
+  }
+  ++stats_.appends;
+  stats_.bytes_appended += frame.size();
+  ++stats_.log_records;
+  stats_.log_bytes += frame.size();
+  stats_.log_damage += damage;
+}
+
+bool SessionWal::should_compact() const {
+  CompactionSignals signals;
+  signals.log_damage = stats_.log_damage;
+  signals.log_bytes = stats_.log_bytes;
+  signals.log_records = stats_.log_records;
+  return decide_compaction(config_.compaction, signals);
+}
+
+void SessionWal::write_snapshot_files(std::uint64_t epoch, const Graph& graph,
+                                      const Assignment& assignment) {
+  // Data files first (temp + rename + fsync), CURRENT last: CURRENT never
+  // names an incomplete snapshot.
+  {
+    std::ostringstream gos;
+    write_graph(gos, graph);
+    write_file_atomic(snap_graph_path(dir_, epoch), gos.str(), dir_);
+  }
+  {
+    std::ostringstream pos;
+    write_partition(pos, assignment);
+    write_file_atomic(snap_part_path(dir_, epoch), pos.str(), dir_);
+  }
+  write_file_atomic(dir_ + "/CURRENT", std::to_string(epoch) + "\n", dir_);
+}
+
+void SessionWal::compact(std::uint64_t epoch, const Graph& graph,
+                         const Assignment& assignment) {
+  WallTimer timer;
+  const std::uint64_t old_epoch = stats_.snapshot_epoch;
+  try {
+    write_snapshot_files(epoch, graph, assignment);
+    // CURRENT now points at the new snapshot; the log's records are all
+    // <= epoch and would be skipped on replay, so truncating is safe — and
+    // a crash right here leaves a stale-prefix log, which replay skips.
+    if (::ftruncate(fd_, static_cast<off_t>(kFileHeaderSize)) != 0) {
+      throw IoError(std::string("WAL truncate failed: ") +
+                    std::strerror(errno));
+    }
+    posix_fsync_fd(fd_, "wal truncate");
+  } catch (const IoError&) {
+    ++stats_.compaction_failures;
+    throw;
+  }
+  stats_.snapshot_epoch = epoch;
+  stats_.log_records = 0;
+  stats_.log_bytes = 0;
+  stats_.log_damage = 0;
+  records_since_fsync_ = 0;
+  ++stats_.compactions;
+  stats_.last_compaction_seconds = timer.seconds();
+
+  // Old snapshot files are garbage now; failures here cost only disk.
+  if (old_epoch != epoch) {
+    std::error_code ec;
+    fs::remove(snap_graph_path(dir_, old_epoch), ec);
+    fs::remove(snap_part_path(dir_, old_epoch), ec);
+  }
+}
+
+void SessionWal::sync() {
+  if (records_since_fsync_ > 0) {
+    retry_with_backoff(config_.io_retry, [&] { fsync_log(); });
+  }
+}
+
+std::unique_ptr<SessionWal> SessionWal::create(std::string dir,
+                                               const DurabilityConfig& config,
+                                               PartId num_parts,
+                                               const FitnessParams& fitness,
+                                               const Graph& graph,
+                                               const Assignment& assignment) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cannot create session directory '" + dir + "': " +
+                  ec.message());
+  }
+  auto wal = std::unique_ptr<SessionWal>(new SessionWal(dir, config));
+
+  std::ostringstream meta;
+  meta << "gapart-session-meta v1\n"
+       << "num_parts " << num_parts << '\n'
+       << "objective " << static_cast<int>(fitness.objective) << '\n';
+  meta.precision(17);
+  meta << "lambda " << fitness.lambda << '\n';
+  write_file_atomic(dir + "/meta", meta.str(), dir);
+
+  wal->write_snapshot_files(0, graph, assignment);
+  wal->open_log(0, /*truncate_all=*/true);
+  return wal;
+}
+
+SessionWal::Recovered SessionWal::recover(std::string dir,
+                                          const DurabilityConfig& config) {
+  Recovered out;
+
+  {
+    std::istringstream meta(read_small_file(dir + "/meta"));
+    std::string magic, version;
+    meta >> magic >> version;
+    GAPART_REQUIRE(magic == "gapart-session-meta" && version == "v1",
+                   "'", dir, "/meta' is not a gapart session meta file");
+    std::string key;
+    while (meta >> key) {
+      if (key == "num_parts") {
+        int k = 0;
+        meta >> k;
+        out.num_parts = static_cast<PartId>(k);
+      } else if (key == "objective") {
+        int o = 0;
+        meta >> o;
+        out.fitness.objective = static_cast<Objective>(o);
+      } else if (key == "lambda") {
+        meta >> out.fitness.lambda;
+      } else {
+        std::string ignored;
+        std::getline(meta, ignored);  // unknown key: forward compatibility
+      }
+      GAPART_REQUIRE(!meta.fail(), "malformed value for meta key '", key, "'");
+    }
+    GAPART_REQUIRE(out.num_parts >= 1, "meta file carries no num_parts");
+  }
+
+  {
+    std::istringstream cur(read_small_file(dir + "/CURRENT"));
+    cur >> out.snapshot_epoch;
+    GAPART_REQUIRE(!cur.fail(), "'", dir, "/CURRENT' is malformed");
+  }
+
+  out.graph = read_graph_file(snap_graph_path(dir, out.snapshot_epoch));
+  out.assignment = read_partition_file(snap_part_path(dir, out.snapshot_epoch));
+  GAPART_REQUIRE(
+      static_cast<VertexId>(out.assignment.size()) == out.graph.num_vertices(),
+      "snapshot partition has ", out.assignment.size(), " entries for a ",
+      out.graph.num_vertices(), "-vertex snapshot graph");
+
+  WalReadResult log = read_log_file(dir + "/wal.log");
+  out.torn_tail = log.torn_tail;
+
+  // Skip the stale prefix (a compaction that crashed between the CURRENT
+  // rename and the log truncation leaves records <= snapshot epoch at the
+  // front), then demand a gapless epoch chain: delta records advance the
+  // epoch by exactly one, refinement records re-certify the current epoch.
+  std::uint64_t epoch = out.snapshot_epoch;
+  bool past_prefix = false;
+  for (auto& rec : log.records) {
+    if (!past_prefix && rec.epoch <= out.snapshot_epoch) continue;
+    past_prefix = true;
+    if (rec.type == WalRecordType::kDelta) {
+      if (rec.epoch != epoch + 1) {
+        throw WalCorruptError(
+            "'" + dir + "/wal.log' jumps from epoch " + std::to_string(epoch) +
+            " to " + std::to_string(rec.epoch) + " — records are missing");
+      }
+      epoch = rec.epoch;
+    } else {
+      if (rec.epoch != epoch) {
+        throw WalCorruptError(
+            "'" + dir + "/wal.log' has a refinement record for epoch " +
+            std::to_string(rec.epoch) + " at epoch " + std::to_string(epoch));
+      }
+    }
+    out.records.push_back(std::move(rec));
+  }
+
+  out.wal = std::unique_ptr<SessionWal>(new SessionWal(dir, config));
+  out.wal->stats_.snapshot_epoch = out.snapshot_epoch;
+  out.wal->stats_.log_records = out.records.size();
+  out.wal->stats_.log_bytes =
+      log.valid_bytes > kFileHeaderSize ? log.valid_bytes - kFileHeaderSize
+                                        : 0;
+  out.wal->open_log(log.valid_bytes, /*truncate_all=*/false);
+  return out;
+}
+
+}  // namespace gapart

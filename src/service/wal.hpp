@@ -1,0 +1,203 @@
+// Per-session durability: a CRC-framed write-ahead delta log with snapshot
+// compaction.
+//
+// Every accepted GraphDelta is serialized (graph/delta_codec: O(damage)
+// bytes) and appended as one framed record — with the number of verification
+// rounds the repair actually admitted, so replay re-runs the *same*
+// deterministic pipeline the live session ran, wall clock removed — before
+// the synchronous repair acknowledges to the client.  Adopted background
+// refinements are logged too (full assignment; they are rare and already
+// O(V + E) in compute).  When the damage accumulated in the log crosses the
+// compaction policy's threshold, the session state is checkpointed through
+// the existing Chaco/METIS writers (temp file + rename + fsync) and the log
+// is truncated.
+//
+// On-disk layout of one session directory:
+//
+//   meta               session identity: num_parts, objective, lambda
+//   snap-<E>.graph     checkpoint at update epoch E (Chaco format)
+//   snap-<E>.part      its partition (METIS format)
+//   CURRENT            the epoch E of the authoritative snapshot
+//   wal.log            framed records with epochs > E (plus possibly stale
+//                      records <= E left by a compaction that crashed
+//                      between the CURRENT rename and the log truncation —
+//                      replay skips them)
+//
+// Crash-consistency argument: CURRENT is only renamed over after the new
+// snapshot files are fully written and fsynced, and the log is only
+// truncated after CURRENT points at the new epoch.  Whatever the crash
+// point, CURRENT names a complete snapshot and the log holds every record
+// past it.  A torn final record (the crash hit mid-append) is detected by
+// its CRC frame and dropped; a bad CRC *followed by valid records* is real
+// corruption and surfaces as WalCorruptError — recovery never guesses.
+//
+// Thread-safety: none.  A SessionWal belongs to one PartitionSession and
+// every call is made under that session's lock (append/compaction order must
+// equal apply order, so this is not a restriction).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/backoff.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+#include "service/refine_policy.hpp"
+
+namespace gapart {
+
+/// The log holds records that cannot all be trusted: a bad frame with valid
+/// records after it.  Torn *tails* are not errors (see file comment).
+class WalCorruptError : public IoError {
+ public:
+  explicit WalCorruptError(const std::string& what) : IoError(what) {}
+};
+
+/// When acknowledged updates become durable.
+enum class FsyncPolicy {
+  kNever,        ///< Leave it to the OS page cache (ack != durable).
+  kEveryRecord,  ///< fsync before every acknowledgement (ack == durable).
+  kEveryN,       ///< fsync every fsync_interval records (bounded loss window).
+};
+
+const char* fsync_policy_name(FsyncPolicy p);
+
+struct DurabilityConfig {
+  /// Root directory for session subdirectories; empty disables durability.
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
+  /// FsyncPolicy::kEveryN: records between fsyncs.
+  int fsync_interval = 32;
+  /// When to fold the log into a fresh snapshot (refine_policy).
+  CompactionPolicy compaction;
+  /// Retry schedule for transient log I/O failures.
+  BackoffPolicy io_retry;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+enum class WalRecordType : std::uint8_t {
+  kDelta = 1,   ///< payload = delta_codec bytes; flags = verify rounds run
+  kRefine = 2,  ///< payload = adopted assignment (u64 n + n * i32 parts)
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kDelta;
+  /// The session update epoch this record belongs to: a kDelta record's
+  /// epoch is the epoch the delta produced; a kRefine record's epoch is the
+  /// epoch whose state the refinement replaced.
+  std::uint64_t epoch = 0;
+  /// kDelta: verification rounds the live repair admitted (replay runs
+  /// exactly these instead of consulting the wall clock).
+  std::uint32_t flags = 0;
+  std::string payload;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// The final record was torn (partial frame or bad CRC at the very tail).
+  bool torn_tail = false;
+  /// Byte length of the valid prefix — where appends may resume.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Parses a log file.  A missing file reads as empty.  Throws
+/// WalCorruptError when an invalid frame is followed by valid records, and
+/// IoError on unreadable files.
+WalReadResult read_log_file(const std::string& path);
+
+/// Serializes the kRefine payload.
+std::string encode_assignment(const Assignment& assignment);
+Assignment decode_assignment(const std::string& payload);
+
+/// Cumulative durability counters for one session (scraped into
+/// SessionStats/ServiceStats and the soak JSON).
+struct WalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t append_retries = 0;  ///< transient I/O errors retried away
+  std::uint64_t fsyncs = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t compaction_failures = 0;  ///< kept the log; retried later
+  double last_compaction_seconds = 0.0;
+  std::uint64_t snapshot_epoch = 0;
+  std::uint64_t log_records = 0;
+  std::uint64_t log_bytes = 0;
+  std::int64_t log_damage = 0;
+};
+
+class SessionWal {
+ public:
+  /// Creates `dir` (parents included), writes the meta file and the initial
+  /// epoch-0 snapshot, and opens a fresh log: the session's opening state is
+  /// durable before open_session acknowledges.
+  static std::unique_ptr<SessionWal> create(std::string dir,
+                                            const DurabilityConfig& config,
+                                            PartId num_parts,
+                                            const FitnessParams& fitness,
+                                            const Graph& graph,
+                                            const Assignment& assignment);
+
+  /// Everything recovery needs from one session directory: the snapshot
+  /// state, the records to replay (epochs > snapshot_epoch, stale records
+  /// skipped), and the reopened WAL positioned after the last valid record.
+  struct Recovered {
+    std::unique_ptr<SessionWal> wal;
+    PartId num_parts = 2;
+    FitnessParams fitness;
+    Graph graph;
+    Assignment assignment;
+    std::uint64_t snapshot_epoch = 0;
+    std::vector<WalRecord> records;
+    bool torn_tail = false;
+  };
+  static Recovered recover(std::string dir, const DurabilityConfig& config);
+
+  ~SessionWal();
+  SessionWal(const SessionWal&) = delete;
+  SessionWal& operator=(const SessionWal&) = delete;
+
+  /// Appends one record (with retry/backoff on transient I/O errors) and
+  /// applies the fsync policy.  `damage` feeds the compaction accumulator.
+  /// Throws IoError once retries are exhausted — the caller must then treat
+  /// the session's log as broken (fail-stop) or surface the error.
+  void append(WalRecordType type, std::uint64_t epoch, std::uint32_t flags,
+              const std::string& payload, VertexId damage);
+
+  /// decide_compaction over the current log accumulators.
+  bool should_compact() const;
+
+  /// Checkpoints (graph, assignment) as the epoch-`epoch` snapshot and
+  /// truncates the log (see the crash-consistency argument above).  Throws
+  /// IoError on failure; the log is then still intact and the caller simply
+  /// retries at the next trigger.
+  void compact(std::uint64_t epoch, const Graph& graph,
+               const Assignment& assignment);
+
+  /// Forces an fsync of any unsynced appends (used at close).
+  void sync();
+
+  const std::string& dir() const { return dir_; }
+  WalStats stats() const { return stats_; }
+
+ private:
+  SessionWal(std::string dir, DurabilityConfig config);
+
+  void open_log(std::uint64_t resume_at, bool truncate_all);
+  void append_frame_once(const std::string& frame);
+  void fsync_log();
+  void write_snapshot_files(std::uint64_t epoch, const Graph& graph,
+                            const Assignment& assignment);
+
+  std::string dir_;
+  DurabilityConfig config_;
+  int fd_ = -1;
+  int records_since_fsync_ = 0;
+  WalStats stats_;
+};
+
+}  // namespace gapart

@@ -1,0 +1,138 @@
+// The deterministic fault injector: schedule reproducibility, nth-call mode,
+// counters, and the RAII scope guard.  The injector class itself is always
+// compiled; only the GAPART_FAULT_POINT seam is build-gated.
+#include "common/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace gapart {
+namespace {
+
+TEST(FaultInjection, DisarmedNeverFails) {
+  FaultInjector& inj = FaultInjector::instance();
+  inj.disarm();
+  inj.reset_counts();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.should_fail(FaultSite::kWalAppend));
+  }
+  // Disarmed checks are not counted: the fast path is one atomic load.
+  EXPECT_EQ(inj.total_checked(), 0u);
+  EXPECT_EQ(inj.total_injected(), 0u);
+}
+
+TEST(FaultInjection, ScheduleIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    ScopedFaultInjection scope(seed, 0.3);
+    std::vector<bool> verdicts;
+    FaultInjector& inj = FaultInjector::instance();
+    for (int i = 0; i < 200; ++i) {
+      verdicts.push_back(inj.should_fail(FaultSite::kWalFsync));
+    }
+    return verdicts;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // a different seed is a different schedule
+}
+
+TEST(FaultInjection, SitesHaveIndependentSchedules) {
+  ScopedFaultInjection scope(7, 0.5);
+  FaultInjector& inj = FaultInjector::instance();
+  std::vector<bool> append;
+  std::vector<bool> fsync;
+  for (int i = 0; i < 100; ++i) {
+    append.push_back(inj.should_fail(FaultSite::kWalAppend));
+    fsync.push_back(inj.should_fail(FaultSite::kWalFsync));
+  }
+  EXPECT_NE(append, fsync);
+}
+
+TEST(FaultInjection, ProbabilityRoughlyHonored) {
+  ScopedFaultInjection scope(123, 0.3);
+  FaultInjector& inj = FaultInjector::instance();
+  for (int i = 0; i < 2000; ++i) {
+    inj.should_fail(FaultSite::kFileWrite);
+  }
+  const auto counts = inj.counts(FaultSite::kFileWrite);
+  EXPECT_EQ(counts.checked, 2000u);
+  // Deterministic for this seed; the band just documents "about 30%".
+  EXPECT_GT(counts.injected, 450u);
+  EXPECT_LT(counts.injected, 750u);
+}
+
+TEST(FaultInjection, ExtremeProbabilities) {
+  {
+    ScopedFaultInjection scope(1, 0.0);
+    FaultInjector& inj = FaultInjector::instance();
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_FALSE(inj.should_fail(FaultSite::kDeltaAlloc));
+    }
+  }
+  {
+    ScopedFaultInjection scope(1, 1.0);
+    FaultInjector& inj = FaultInjector::instance();
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(inj.should_fail(FaultSite::kDeltaAlloc));
+    }
+  }
+}
+
+TEST(FaultInjection, NthCallModeFailsExactlyOnce) {
+  ScopedFaultInjection scope(FaultSite::kWalAppend, 3);
+  FaultInjector& inj = FaultInjector::instance();
+  std::vector<bool> verdicts;
+  for (int i = 0; i < 6; ++i) {
+    verdicts.push_back(inj.should_fail(FaultSite::kWalAppend));
+  }
+  EXPECT_EQ(verdicts, (std::vector<bool>{false, false, true, false, false,
+                                         false}));
+  // Other sites are untouched in nth mode.
+  EXPECT_FALSE(inj.should_fail(FaultSite::kWalFsync));
+  EXPECT_FALSE(inj.should_fail(FaultSite::kWalFsync));
+  EXPECT_FALSE(inj.should_fail(FaultSite::kWalFsync));
+
+  const auto counts = inj.counts(FaultSite::kWalAppend);
+  EXPECT_EQ(counts.checked, 6u);
+  EXPECT_EQ(counts.injected, 1u);
+}
+
+TEST(FaultInjection, ScopeRestoresDisarmedAndClearsCounts) {
+  FaultInjector& inj = FaultInjector::instance();
+  {
+    ScopedFaultInjection scope(9, 1.0);
+    EXPECT_TRUE(inj.armed());
+    EXPECT_TRUE(inj.should_fail(FaultSite::kTaskStart));
+    EXPECT_GT(inj.total_injected(), 0u);
+  }
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(inj.total_checked(), 0u);
+  EXPECT_EQ(inj.total_injected(), 0u);
+  EXPECT_FALSE(inj.should_fail(FaultSite::kTaskStart));
+}
+
+TEST(FaultInjection, SiteNamesAreStable) {
+  EXPECT_STREQ(fault_site_name(FaultSite::kWalAppend), "wal_append");
+  EXPECT_STREQ(fault_site_name(FaultSite::kWalFsync), "wal_fsync");
+  EXPECT_STREQ(fault_site_name(FaultSite::kFileWrite), "file_write");
+  EXPECT_STREQ(fault_site_name(FaultSite::kDeltaAlloc), "delta_alloc");
+  EXPECT_STREQ(fault_site_name(FaultSite::kTaskStart), "task_start");
+}
+
+TEST(FaultInjection, CompiledSeamMatchesBuildFlag) {
+#ifdef GAPART_FAULT_INJECTION
+  // The macro must consult the injector in instrumented builds.
+  ScopedFaultInjection scope(5, 1.0);
+  EXPECT_TRUE(GAPART_FAULT_POINT(FaultSite::kWalAppend));
+#else
+  // And fold to constant false when compiled out.
+  EXPECT_FALSE(GAPART_FAULT_POINT(FaultSite::kWalAppend));
+#endif
+}
+
+}  // namespace
+}  // namespace gapart

@@ -456,7 +456,9 @@ TEST(PartitionSession, SnapshotRestoreRoundTripViaStreams) {
 TEST(PartitionService, SaveAndReopenSessionThroughFiles) {
   const PartId k = 2;
   const std::string prefix = ::testing::TempDir() + "/gapart_service_ckpt";
-  PartitionService service({.num_threads = 1});
+  ServiceConfig service_config;
+  service_config.num_threads = 1;
+  PartitionService service(service_config);
   auto g = shared_grid(8, 8);
   const SessionId id =
       service.open_session(g, block_partition(64, k), basic_config(k));
@@ -478,7 +480,9 @@ TEST(PartitionService, SaveAndReopenSessionThroughFiles) {
 
 TEST(PartitionService, BackgroundRefinementPublishesBetterSnapshots) {
   const PartId k = 4;
-  PartitionService service({.num_threads = 2});
+  ServiceConfig service_config;
+  service_config.num_threads = 2;
+  PartitionService service(service_config);
   SessionConfig cfg = basic_config(k);
   cfg.repair_budget_seconds = 0.0;
   cfg.policy.damage_threshold = 1;  // refine after every update
@@ -540,7 +544,9 @@ TEST(PartitionService, ConcurrentSessionsWithConcurrentReaders) {
   constexpr int kUpdates = 12;
   constexpr VertexId kCols = 10;
 
-  PartitionService service({.num_threads = 4});
+  ServiceConfig service_config;
+  service_config.num_threads = 4;
+  PartitionService service(service_config);
   SessionConfig cfg = basic_config(k);
   cfg.policy.damage_threshold = 16;  // refinements race the stream
   cfg.policy.allow_deep = false;
@@ -609,7 +615,9 @@ TEST(PartitionService, ConcurrentSessionsWithConcurrentReaders) {
 
 TEST(PartitionService, PollTicksIdleSessionsIntoRefinement) {
   const PartId k = 4;
-  PartitionService service({.num_threads = 2});
+  ServiceConfig service_config;
+  service_config.num_threads = 2;
+  PartitionService service(service_config);
   SessionConfig cfg = basic_config(k);
   cfg.repair_budget_seconds = 0.0;
   // Fire on any damage: the job planned at update 1 races update 2 (or
@@ -655,7 +663,9 @@ TEST(PartitionService, PollTicksIdleSessionsIntoRefinement) {
 
 TEST(PartitionService, CloseSessionIsSafeWithRefinementInFlight) {
   const PartId k = 2;
-  PartitionService service({.num_threads = 2});
+  ServiceConfig service_config;
+  service_config.num_threads = 2;
+  PartitionService service(service_config);
   SessionConfig cfg = basic_config(k);
   cfg.policy.damage_threshold = 1;
 
@@ -674,7 +684,9 @@ TEST(PartitionService, CloseSessionIsSafeWithRefinementInFlight) {
 }
 
 TEST(PartitionService, UnknownSessionIdsThrow) {
-  PartitionService service({.num_threads = 1});
+  ServiceConfig service_config;
+  service_config.num_threads = 1;
+  PartitionService service(service_config);
   auto g = shared_grid(4, 4);
   EXPECT_THROW(service.submit_update(99, g, appended_delta(*g, 16)), Error);
   EXPECT_THROW(service.snapshot(99), Error);

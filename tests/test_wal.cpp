@@ -1,0 +1,449 @@
+// Durability building blocks: CRC framing, the delta codec round-trip, log
+// read/append (torn tails vs mid-log corruption), the compaction and
+// admission policies, and the retry/backoff loop.
+#include "service/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/checksum.hpp"
+#include "core/graph_delta.hpp"
+#include "graph/delta_codec.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "service/refine_policy.hpp"
+
+namespace gapart {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// CRC32 (the frame checksum).
+
+TEST(WalChecksum, KnownVector) {
+  // The IEEE 802.3 reference value for the ASCII digits "123456789".
+  const std::string digits = "123456789";
+  EXPECT_EQ(crc32(digits.data(), digits.size()), 0xCBF43926u);
+}
+
+TEST(WalChecksum, ChainableAcrossSplits) {
+  const std::string bytes = "write-ahead logs never lie";
+  const std::uint32_t whole = crc32(bytes.data(), bytes.size());
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    const std::uint32_t head = crc32(bytes.data(), split);
+    const std::uint32_t chained =
+        crc32(bytes.data() + split, bytes.size() - split, head);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(WalChecksum, SensitiveToEveryByte) {
+  std::string bytes = "sensitive";
+  const std::uint32_t base = crc32(bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(crc32(mutated.data(), mutated.size()), base) << "byte " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta codec: damage-proportional record bytes -> exact graph rebuild.
+
+void expect_graphs_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(a.vertex_weight(v), b.vertex_weight(v)) << "vertex " << v;
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << v;
+    const auto wa = a.edge_weights(v);
+    const auto wb = b.edge_weights(v);
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i], nb[i]) << "vertex " << v << " slot " << i;
+      EXPECT_DOUBLE_EQ(wa[i], wb[i]) << "vertex " << v << " slot " << i;
+    }
+  }
+}
+
+TEST(WalCodec, PureGrowthRoundTrip) {
+  const Graph prev = make_grid(8, 8);
+  const Graph grown = make_grid(10, 8);
+  const GraphDelta delta = diff_graphs(prev, grown);
+
+  const std::string bytes = encode_delta(grown, delta);
+  // Damage-proportional: two new rows touch far fewer than |V| vertices, so
+  // the record must be much smaller than a full snapshot would be.
+  EXPECT_LT(bytes.size(), 2000u);
+
+  const DecodedDelta decoded = decode_delta(prev, bytes);
+  expect_graphs_equal(decoded.grown, grown);
+  EXPECT_EQ(decoded.delta.old_num_vertices, delta.old_num_vertices);
+  EXPECT_EQ(decoded.delta.touched_old, delta.touched_old);
+}
+
+TEST(WalCodec, ChurnRoundTripWithWeights) {
+  // Same vertex set, rewired + reweighted interior: every change must come
+  // through touched_old rows.
+  const auto build = [](bool churned) {
+    GraphBuilder b(12);
+    for (VertexId v = 0; v + 1 < 12; ++v) {
+      b.add_edge(v, v + 1, churned && v == 5 ? 3.5 : 1.0);
+    }
+    b.add_edge(0, 11, 2.0);
+    if (churned) b.add_edge(2, 9, 0.75);
+    b.set_vertex_weight(3, churned ? 4.0 : 1.0);
+    return b.build();
+  };
+  const Graph prev = build(false);
+  const Graph grown = build(true);
+  const GraphDelta delta = diff_graphs(prev, grown);
+  ASSERT_GT(delta.touched_old.size(), 0u);
+
+  const DecodedDelta decoded = decode_delta(prev, encode_delta(grown, delta));
+  expect_graphs_equal(decoded.grown, grown);
+  EXPECT_EQ(decoded.delta.touched_old, delta.touched_old);
+}
+
+TEST(WalCodec, GrowthPlusChurnRoundTrip) {
+  // New vertices AND old-old rewiring in one delta.
+  GraphBuilder pb(6);
+  for (VertexId v = 0; v + 1 < 6; ++v) pb.add_edge(v, v + 1);
+  const Graph prev = pb.build();
+
+  GraphBuilder gb(9);
+  for (VertexId v = 0; v + 1 < 6; ++v) gb.add_edge(v, v + 1);
+  gb.add_edge(1, 4, 2.0);   // old-old churn
+  gb.add_edge(5, 6);        // growth attaching to a touched survivor
+  gb.add_edge(6, 7);
+  gb.add_edge(7, 8);
+  gb.add_edge(8, 2, 1.5);   // growth attaching back into the interior
+  const Graph grown = gb.build();
+
+  const GraphDelta delta = diff_graphs(prev, grown);
+  const DecodedDelta decoded = decode_delta(prev, encode_delta(grown, delta));
+  expect_graphs_equal(decoded.grown, grown);
+  EXPECT_EQ(decoded.delta.touched_old, delta.touched_old);
+}
+
+TEST(WalCodec, RejectsTruncatedAndCorruptBytes) {
+  const Graph prev = make_grid(6, 6);
+  const Graph grown = make_grid(7, 6);
+  const std::string bytes = encode_delta(grown, diff_graphs(prev, grown));
+
+  EXPECT_THROW(decode_delta(prev, std::string_view(bytes).substr(
+                                      0, bytes.size() - 4)),
+               Error);
+  EXPECT_THROW(decode_delta(prev, std::string_view(bytes).substr(1)), Error);
+  EXPECT_THROW(decode_delta(prev, ""), Error);
+  // Decoding against the wrong previous snapshot must fail the seam checks,
+  // not fabricate a graph.
+  EXPECT_THROW(decode_delta(make_grid(5, 5), bytes), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Log file framing.
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/gapart_wal_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::unique_ptr<SessionWal> make_wal(const std::string& dir,
+                                     DurabilityConfig cfg = {}) {
+  cfg.dir = dir;
+  const Graph g = make_grid(4, 4);
+  Assignment a(16, 0);
+  for (std::size_t i = 8; i < 16; ++i) a[i] = 1;
+  return SessionWal::create(dir, cfg, 2, FitnessParams{}, g, a);
+}
+
+std::uint64_t file_size(const std::string& path) {
+  return static_cast<std::uint64_t>(fs::file_size(path));
+}
+
+TEST(WalLog, AppendReadRoundTrip) {
+  const std::string dir = fresh_dir("roundtrip");
+  {
+    auto wal = make_wal(dir);
+    wal->append(WalRecordType::kDelta, 1, 2, "first-delta", 5);
+    wal->append(WalRecordType::kDelta, 2, 0, "second-delta", 3);
+    wal->append(WalRecordType::kRefine, 2, 0, std::string("a\0b", 3), 0);
+    const WalStats st = wal->stats();
+    EXPECT_EQ(st.appends, 3u);
+    EXPECT_EQ(st.log_records, 3u);
+    EXPECT_EQ(st.log_damage, 8);
+    EXPECT_GE(st.fsyncs, 3u);  // default policy: every record
+  }
+  const WalReadResult read = read_log_file(dir + "/wal.log");
+  EXPECT_FALSE(read.torn_tail);
+  ASSERT_EQ(read.records.size(), 3u);
+  EXPECT_EQ(read.records[0].type, WalRecordType::kDelta);
+  EXPECT_EQ(read.records[0].epoch, 1u);
+  EXPECT_EQ(read.records[0].flags, 2u);
+  EXPECT_EQ(read.records[0].payload, "first-delta");
+  EXPECT_EQ(read.records[1].payload, "second-delta");
+  EXPECT_EQ(read.records[2].type, WalRecordType::kRefine);
+  EXPECT_EQ(read.records[2].payload, std::string("a\0b", 3));
+  EXPECT_EQ(read.valid_bytes, file_size(dir + "/wal.log"));
+}
+
+TEST(WalLog, TornTailIsDroppedNotFatal) {
+  const std::string dir = fresh_dir("torn");
+  std::uint64_t after_two = 0;
+  {
+    auto wal = make_wal(dir);
+    wal->append(WalRecordType::kDelta, 1, 0, "one", 1);
+    wal->append(WalRecordType::kDelta, 2, 0, "two", 1);
+    after_two = file_size(dir + "/wal.log");
+    wal->append(WalRecordType::kDelta, 3, 0, "three-longer-payload", 1);
+  }
+  // Chop bytes off the final record at several depths: partial payload,
+  // partial header, a single stray byte.
+  for (const std::uint64_t keep :
+       {after_two + 30, after_two + 10, after_two + 1}) {
+    fs::resize_file(dir + "/wal.log", keep);
+    const WalReadResult read = read_log_file(dir + "/wal.log");
+    EXPECT_TRUE(read.torn_tail) << "keep=" << keep;
+    ASSERT_EQ(read.records.size(), 2u) << "keep=" << keep;
+    EXPECT_EQ(read.records[1].payload, "two");
+    EXPECT_EQ(read.valid_bytes, after_two);
+  }
+  // Truncated exactly at a record boundary: clean, no torn tail.
+  fs::resize_file(dir + "/wal.log", after_two);
+  const WalReadResult read = read_log_file(dir + "/wal.log");
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.records.size(), 2u);
+}
+
+TEST(WalLog, CorruptionBeforeValidRecordsIsFatal) {
+  const std::string dir = fresh_dir("midlog");
+  std::uint64_t after_one = 0;
+  {
+    auto wal = make_wal(dir);
+    wal->append(WalRecordType::kDelta, 1, 0, "payload-number-one", 1);
+    after_one = file_size(dir + "/wal.log");
+    wal->append(WalRecordType::kDelta, 2, 0, "payload-number-two", 1);
+  }
+  // Flip one payload byte of record 1: its CRC fails, and because record 2
+  // still parses, this is mid-log corruption — reading must refuse.
+  {
+    std::fstream f(dir + "/wal.log",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(after_one) - 4);
+    f.put('X');
+  }
+  EXPECT_THROW(read_log_file(dir + "/wal.log"), WalCorruptError);
+}
+
+TEST(WalLog, MissingAndHeaderOnlyFilesReadEmpty) {
+  const std::string dir = fresh_dir("empty");
+  const WalReadResult missing = read_log_file(dir + "/wal.log");
+  EXPECT_FALSE(missing.torn_tail);
+  EXPECT_TRUE(missing.records.empty());
+
+  { auto wal = make_wal(dir); }  // create writes the header, no records
+  const WalReadResult header_only = read_log_file(dir + "/wal.log");
+  EXPECT_FALSE(header_only.torn_tail);
+  EXPECT_TRUE(header_only.records.empty());
+  EXPECT_EQ(header_only.valid_bytes, file_size(dir + "/wal.log"));
+}
+
+TEST(WalLog, ForeignFileIsRejected) {
+  const std::string dir = fresh_dir("foreign");
+  fs::create_directories(dir);
+  {
+    std::ofstream f(dir + "/wal.log", std::ios::binary);
+    f << "this is not a write-ahead log at all";
+  }
+  EXPECT_THROW(read_log_file(dir + "/wal.log"), WalCorruptError);
+}
+
+TEST(WalLog, CompactTruncatesAndAppendsResume) {
+  const std::string dir = fresh_dir("compact");
+  DurabilityConfig cfg;
+  auto wal = make_wal(dir, cfg);
+  wal->append(WalRecordType::kDelta, 1, 0, "aaa", 4);
+  wal->append(WalRecordType::kDelta, 2, 0, "bbb", 4);
+
+  const Graph g = make_grid(4, 4);
+  const Assignment a(16, 1);
+  wal->compact(2, g, a);
+  WalStats st = wal->stats();
+  EXPECT_EQ(st.compactions, 1u);
+  EXPECT_EQ(st.snapshot_epoch, 2u);
+  EXPECT_EQ(st.log_records, 0u);
+  EXPECT_EQ(st.log_damage, 0);
+
+  // The log is empty again and appends pick up after the checkpoint.
+  EXPECT_TRUE(read_log_file(dir + "/wal.log").records.empty());
+  wal->append(WalRecordType::kDelta, 3, 1, "ccc", 4);
+  const WalReadResult read = read_log_file(dir + "/wal.log");
+  ASSERT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.records[0].epoch, 3u);
+
+  // CURRENT names the new checkpoint; the stale epoch-0 snapshot is gone.
+  std::ifstream cur(dir + "/CURRENT");
+  std::uint64_t epoch = 99;
+  cur >> epoch;
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_FALSE(fs::exists(dir + "/snap-0.graph"));
+  EXPECT_TRUE(fs::exists(dir + "/snap-2.graph"));
+}
+
+TEST(WalLog, FsyncPolicyGovernsSyncCount) {
+  DurabilityConfig every_n;
+  every_n.fsync = FsyncPolicy::kEveryN;
+  every_n.fsync_interval = 3;
+  const std::string dir_n = fresh_dir("fsync_n");
+  {
+    auto wal = make_wal(dir_n, every_n);
+    const std::uint64_t base = wal->stats().fsyncs;  // creation syncs
+    for (int i = 1; i <= 7; ++i) {
+      wal->append(WalRecordType::kDelta, static_cast<std::uint64_t>(i), 0,
+                  "x", 1);
+    }
+    EXPECT_EQ(wal->stats().fsyncs - base, 2u);  // after records 3 and 6
+    wal->sync();                                // flushes the 7th
+    EXPECT_EQ(wal->stats().fsyncs - base, 3u);
+    wal->sync();  // nothing unsynced: no-op
+    EXPECT_EQ(wal->stats().fsyncs - base, 3u);
+  }
+
+  DurabilityConfig never;
+  never.fsync = FsyncPolicy::kNever;
+  const std::string dir_never = fresh_dir("fsync_never");
+  {
+    auto wal = make_wal(dir_never, never);
+    const std::uint64_t base = wal->stats().fsyncs;
+    wal->append(WalRecordType::kDelta, 1, 0, "x", 1);
+    wal->append(WalRecordType::kDelta, 2, 0, "x", 1);
+    EXPECT_EQ(wal->stats().fsyncs - base, 0u);
+  }
+
+  EXPECT_STREQ(fsync_policy_name(FsyncPolicy::kNever), "never");
+  EXPECT_STREQ(fsync_policy_name(FsyncPolicy::kEveryRecord), "every_record");
+  EXPECT_STREQ(fsync_policy_name(FsyncPolicy::kEveryN), "every_n");
+}
+
+TEST(WalLog, AssignmentPayloadRoundTrip) {
+  const Assignment a = {0, 3, 1, 2, 2, 0, 1};
+  const std::string payload = encode_assignment(a);
+  EXPECT_EQ(decode_assignment(payload), a);
+  EXPECT_THROW(decode_assignment(payload.substr(0, payload.size() - 1)),
+               Error);
+  EXPECT_THROW(decode_assignment(""), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction + admission policies (pure).
+
+TEST(WalCompactionPolicy, TriggersOnDamageOrBytesAboveFloor) {
+  CompactionPolicy p;
+  p.damage_threshold = 100;
+  p.bytes_threshold = 1000;
+  p.min_records = 4;
+
+  EXPECT_FALSE(decide_compaction(p, {1000, 10000, 3}));  // below min_records
+  EXPECT_FALSE(decide_compaction(p, {99, 999, 10}));     // nothing fired
+  EXPECT_TRUE(decide_compaction(p, {100, 0, 4}));        // damage fired
+  EXPECT_TRUE(decide_compaction(p, {0, 1000, 4}));       // bytes fired
+}
+
+TEST(WalCompactionPolicy, ZeroThresholdsDisable) {
+  CompactionPolicy p;
+  p.damage_threshold = 0;
+  p.bytes_threshold = 0;
+  p.min_records = 1;
+  EXPECT_FALSE(decide_compaction(p, {1 << 30, 1u << 30, 1000}));
+}
+
+TEST(WalAdmissionPolicy, DegradationLadder) {
+  OverloadConfig c;
+  c.max_inflight_repairs = 4;
+  c.shed_verification_backlog = 8;
+
+  EXPECT_EQ(decide_admission(c, {1, 0}), AdmitDecision::kAdmit);
+  EXPECT_EQ(decide_admission(c, {4, 7}), AdmitDecision::kAdmit);
+  EXPECT_EQ(decide_admission(c, {4, 8}), AdmitDecision::kShedVerification);
+  EXPECT_EQ(decide_admission(c, {5, 0}), AdmitDecision::kReject);
+  // Reject outranks shed.
+  EXPECT_EQ(decide_admission(c, {5, 100}), AdmitDecision::kReject);
+}
+
+TEST(WalAdmissionPolicy, ZeroThresholdsDisable) {
+  const OverloadConfig c;  // all zeros
+  EXPECT_EQ(decide_admission(c, {1000, 1000}), AdmitDecision::kAdmit);
+  EXPECT_FALSE(defer_refinement(c, 1000));
+
+  OverloadConfig defer;
+  defer.defer_refinement_backlog = 5;
+  EXPECT_FALSE(defer_refinement(defer, 4));
+  EXPECT_TRUE(defer_refinement(defer, 5));
+
+  EXPECT_STREQ(admit_decision_name(AdmitDecision::kAdmit), "admit");
+  EXPECT_STREQ(admit_decision_name(AdmitDecision::kShedVerification),
+               "shed_verification");
+  EXPECT_STREQ(admit_decision_name(AdmitDecision::kReject), "reject");
+}
+
+// ---------------------------------------------------------------------------
+// Retry with exponential backoff.
+
+TEST(WalBackoff, RetriesTransientFailuresWithExponentialSchedule) {
+  BackoffPolicy p;
+  p.max_attempts = 5;
+  p.initial_seconds = 0.001;
+  p.multiplier = 2.0;
+  p.max_seconds = 0.003;
+
+  int calls = 0;
+  std::vector<double> slept;
+  const int retries = retry_with_backoff(
+      p,
+      [&] {
+        if (++calls < 4) throw IoError("transient");
+      },
+      [&](double s) { slept.push_back(s); });
+  EXPECT_EQ(retries, 3);
+  EXPECT_EQ(calls, 4);
+  // 0.001, 0.002, then capped at 0.003.
+  ASSERT_EQ(slept.size(), 3u);
+  EXPECT_DOUBLE_EQ(slept[0], 0.001);
+  EXPECT_DOUBLE_EQ(slept[1], 0.002);
+  EXPECT_DOUBLE_EQ(slept[2], 0.003);
+}
+
+TEST(WalBackoff, ExhaustionRethrowsAndNonTransientPropagates) {
+  BackoffPolicy p;
+  p.max_attempts = 3;
+  int io_calls = 0;
+  EXPECT_THROW(retry_with_backoff(
+                   p, [&] { ++io_calls; throw IoError("down"); },
+                   [](double) {}),
+               IoError);
+  EXPECT_EQ(io_calls, 3);
+
+  // Contract violations are not transient: no retry may paper over a bug.
+  int logic_calls = 0;
+  EXPECT_THROW(retry_with_backoff(
+                   p, [&] { ++logic_calls; throw Error("bug"); },
+                   [](double) {}),
+               Error);
+  EXPECT_EQ(logic_calls, 1);
+
+  int ok_calls = 0;
+  EXPECT_EQ(retry_with_backoff(p, [&] { ++ok_calls; }, [](double) {}), 0);
+  EXPECT_EQ(ok_calls, 1);
+}
+
+}  // namespace
+}  // namespace gapart
