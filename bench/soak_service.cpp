@@ -33,9 +33,20 @@
 //             --faults the experiment still runs fault-free, so the JSON
 //             schema is stable.
 //
+//   replication  leader + follower over an in-process loopback link: every
+//             update is shipped, acked, and applied by a follower service in
+//             continuous tail-replay; the leader is then killed mid-flight
+//             and the follower promoted.  Reports per-update ack latency
+//             (ship lag) p50/p99 in ms, resume/resync counts, failover time,
+//             and whether every promoted session's content digest equals a
+//             never-crashed reference replay (replicated_consistent).
+//             --replicate additionally arms a 10% transport+I/O fault storm
+//             for this experiment (drop/dup/reorder/truncate/send plus WAL
+//             fsync faults), exercising the full failure matrix.
+//
 //   ./bench/soak_service [--sessions=32] [--updates=40] [--threads=0]
-//                        [--faults=<seed>] [--fault-rate=0.1] [--quick]
-//                        > BENCH_service.json
+//                        [--faults=<seed>] [--fault-rate=0.1] [--replicate]
+//                        [--quick] > BENCH_service.json
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -58,7 +69,9 @@
 #include "core/presets.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
+#include "service/replication.hpp"
 #include "service/service.hpp"
+#include "service/transport.hpp"
 
 namespace {
 
@@ -613,10 +626,182 @@ DurabilityResult run_durability(int num_sessions, int updates, VertexId n,
 }
 
 // ---------------------------------------------------------------------------
+// Experiment 5: replication over a loopback link + failover.
+
+struct ReplicationResult {
+  int sessions = 0;
+  int updates = 0;
+  double fault_rate = 0.0;
+  double seconds = 0.0;
+  double ack_ms_p50 = 0.0;  ///< submit -> follower-acked, per update
+  double ack_ms_p99 = 0.0;
+  std::int64_t client_retries = 0;
+  ShipperStats ship;
+  FollowerStats follower;
+  double failover_ms = 0.0;
+  std::uint64_t promoted_generation = 0;
+  int promoted_sessions = 0;
+  std::int64_t lost_acked_deltas = 0;
+  bool replicated_consistent = true;
+};
+
+ReplicationResult run_replication(int num_sessions, int updates, VertexId n,
+                                  PartId k, std::uint64_t fault_seed,
+                                  double fault_rate) {
+  namespace fs = std::filesystem;
+  const std::string base =
+      (fs::temp_directory_path() / "gapart_soak_rep").string();
+  fs::remove_all(base + "_leader");
+  fs::remove_all(base + "_follower");
+
+  ReplicationResult out;
+  out.sessions = num_sessions;
+  out.updates = updates;
+  out.fault_rate = fault_rate;
+
+  SessionConfig cfg;
+  cfg.num_parts = k;
+  // A large budget makes the admitted verification rounds a pure function
+  // of the trace, so leader, follower, and reference replays are bit-equal.
+  cfg.repair_budget_seconds = 60.0;
+
+  // Never-crashed reference: per session, the content digest at every epoch
+  // of the same deterministic trace.
+  std::vector<std::vector<std::uint64_t>> reference;
+  for (int s = 0; s < num_sessions; ++s) {
+    const auto seed = 0x4e9bULL + static_cast<std::uint64_t>(s) * 419;
+    const VertexId window = 4 + 2 * (s % 3);
+    auto prev = std::make_shared<const Graph>(
+        trace_graph(TraceKind::kChurn, n, window, 0, seed));
+    PartitionSession session(prev, column_bands(n, n, k), cfg);
+    std::vector<std::uint64_t> digests{session.state_digest()};
+    for (int u = 1; u <= updates; ++u) {
+      auto next = std::make_shared<const Graph>(
+          trace_graph(TraceKind::kChurn, n, window, u, seed));
+      session.apply_update(next, diff_graphs(*prev, *next));
+      prev = std::move(next);
+      digests.push_back(session.state_digest());
+    }
+    reference.push_back(std::move(digests));
+  }
+
+  ServiceConfig lsc;
+  lsc.num_threads = 2;
+  lsc.background_refinement = false;  // determinism: the delta plane only
+  lsc.durability.dir = base + "_leader";
+  lsc.durability.ship_retain_bytes = 0;  // strict lockstep compaction
+  lsc.durability.io_retry.max_attempts = 12;
+  lsc.durability.io_retry.initial_seconds = 1e-5;
+  lsc.durability.io_retry.max_seconds = 1e-3;
+  ServiceConfig fsc = lsc;
+  fsc.durability.dir = base + "_follower";
+  fsc.durability.compaction.damage_threshold = 0;  // lockstep only
+  fsc.durability.compaction.bytes_threshold = 0;
+
+  auto link = LoopbackTransport::create_pair();
+  auto leader = std::make_unique<PartitionService>(lsc);
+  PartitionService follower_svc(fsc);
+  ShipperConfig ship_cfg;
+  ship_cfg.resume_after_stalled_pumps = 2;
+  auto shipper =
+      std::make_unique<ReplicationShipper>(*leader, *link.first, ship_cfg);
+  FollowerConfig fcfg;
+  fcfg.base = cfg;
+  ReplicationFollower follower(follower_svc, *link.second, fcfg);
+  follower.start_follower();
+
+  std::vector<SessionId> ids;
+  std::vector<std::shared_ptr<const Graph>> prevs;
+  for (int s = 0; s < num_sessions; ++s) {
+    const auto seed = 0x4e9bULL + static_cast<std::uint64_t>(s) * 419;
+    const VertexId window = 4 + 2 * (s % 3);
+    auto g0 = std::make_shared<const Graph>(
+        trace_graph(TraceKind::kChurn, n, window, 0, seed));
+    ids.push_back(leader->open_session(g0, column_bands(n, n, k), cfg));
+    prevs.push_back(std::move(g0));
+  }
+  shipper->pump();  // attach every session at epoch 0
+  follower.pump();
+
+  // Arm AFTER the sessions exist (their epoch-0 checkpoints are not under a
+  // retry loop), stream the trace, and track per-update ack latency.
+  {
+    std::unique_ptr<ScopedFaultInjection> scope;
+    if (fault_rate > 0.0) {
+      scope = std::make_unique<ScopedFaultInjection>(fault_seed, fault_rate);
+    }
+    WallTimer run_timer;
+    std::vector<double> ack_seconds;
+    for (int u = 1; u <= updates; ++u) {
+      for (int s = 0; s < num_sessions; ++s) {
+        const auto seed = 0x4e9bULL + static_cast<std::uint64_t>(s) * 419;
+        const VertexId window = 4 + 2 * (s % 3);
+        auto next = std::make_shared<const Graph>(
+            trace_graph(TraceKind::kChurn, n, window, u, seed));
+        const GraphDelta delta = diff_graphs(*prevs[s], *next);
+        std::uint64_t epoch = 0;
+        for (;;) {
+          try {
+            epoch = leader->submit_update(ids[s], next, delta).update_epoch;
+            break;
+          } catch (const std::bad_alloc&) {
+            ++out.client_retries;  // injected pre-mutation: resubmit
+          }
+        }
+        prevs[s] = std::move(next);
+        WallTimer ack_timer;
+        for (int pump = 0; pump < 400; ++pump) {
+          shipper->pump();
+          follower.pump();
+          if (shipper->acked_epoch(ids[s]) >= epoch) break;
+        }
+        ack_seconds.push_back(ack_timer.seconds());
+      }
+    }
+    out.seconds = run_timer.seconds();
+    out.ack_ms_p50 = quantile(ack_seconds, 0.50) * 1e3;
+    out.ack_ms_p99 = quantile(ack_seconds, 0.99) * 1e3;
+  }  // the storm disarms; in-flight damage stays for failover to absorb
+
+  // Record what the replicated system acknowledged, then kill the leader
+  // WITHOUT an orderly close and promote the follower.
+  std::vector<std::uint64_t> acked;
+  for (const SessionId id : ids) acked.push_back(shipper->acked_epoch(id));
+  out.ship = shipper->stats();
+  shipper.reset();
+  leader.reset();
+
+  const PromotionReport report = follower.promote();
+  out.follower = follower.stats();
+  out.failover_ms = report.seconds * 1e3;
+  out.promoted_generation = report.generation;
+  out.promoted_sessions = static_cast<int>(report.sessions.size());
+  for (const PromotedSession& promoted : report.sessions) {
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      if (ids[s] != promoted.id) continue;
+      if (acked[s] > promoted.epoch) {
+        out.lost_acked_deltas +=
+            static_cast<std::int64_t>(acked[s] - promoted.epoch);
+      }
+      if (promoted.epoch >= reference[s].size() ||
+          promoted.digest != reference[s][promoted.epoch]) {
+        out.replicated_consistent = false;
+      }
+    }
+  }
+  if (report.sessions.size() != ids.size()) out.replicated_consistent = false;
+
+  fs::remove_all(base + "_leader");
+  fs::remove_all(base + "_follower");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 
 void emit_json(const SoakResult& soak, const std::vector<LatencyRow>& latency,
                const std::vector<RecoveryRow>& recovery,
-               const DurabilityResult& durability) {
+               const DurabilityResult& durability,
+               const ReplicationResult& replication) {
   std::printf("{\n");
   std::printf("  \"bench\": \"soak_service\",\n");
   std::printf(
@@ -722,6 +907,52 @@ void emit_json(const SoakResult& soak, const std::vector<LatencyRow>& latency,
       d.recovery_seconds, d.sessions_recovered, d.records_replayed,
       static_cast<long long>(d.lost_acked_deltas),
       d.recovered_consistent ? "true" : "false", ds.failed_sessions);
+  std::printf("  },\n");
+
+  const ReplicationResult& rep = replication;
+  std::printf("  \"replication\": {\n");
+  std::printf(
+      "    \"sessions\": %d, \"updates_per_session\": %d, "
+      "\"fault_rate\": %.3f, \"seconds\": %.3f, \"client_retries\": %lld,\n",
+      rep.sessions, rep.updates, rep.fault_rate, rep.seconds,
+      static_cast<long long>(rep.client_retries));
+  std::printf(
+      "    \"ack_ms_p50\": %.4f, \"ack_ms_p99\": %.4f, "
+      "\"lag_epochs_p50\": %.2f, \"lag_epochs_p99\": %.2f,\n",
+      rep.ack_ms_p50, rep.ack_ms_p99, rep.ship.lag_epochs_p50,
+      rep.ship.lag_epochs_p99);
+  std::printf(
+      "    \"frames_sent\": %llu, \"acks_received\": %llu, "
+      "\"send_failures\": %llu, \"resumes\": %llu, "
+      "\"snapshot_resyncs\": %llu, \"backpressure_stalls\": %llu,\n",
+      static_cast<unsigned long long>(rep.ship.frames_sent),
+      static_cast<unsigned long long>(rep.ship.acks_received),
+      static_cast<unsigned long long>(rep.ship.send_failures),
+      static_cast<unsigned long long>(rep.ship.resumes),
+      static_cast<unsigned long long>(rep.ship.snapshot_resyncs),
+      static_cast<unsigned long long>(rep.ship.backpressure_stalls));
+  std::printf(
+      "    \"records_applied\": %llu, \"compacts_applied\": %llu, "
+      "\"digests_verified\": %llu, \"duplicates_dropped\": %llu, "
+      "\"gaps_dropped\": %llu, \"corrupt_rejected\": %llu, "
+      "\"fenced_rejected\": %llu, \"apply_failures\": %llu,\n",
+      static_cast<unsigned long long>(rep.follower.records_applied),
+      static_cast<unsigned long long>(rep.follower.compacts_applied),
+      static_cast<unsigned long long>(rep.follower.digests_verified),
+      static_cast<unsigned long long>(rep.follower.duplicates_dropped),
+      static_cast<unsigned long long>(rep.follower.gaps_dropped),
+      static_cast<unsigned long long>(rep.follower.corrupt_rejected),
+      static_cast<unsigned long long>(rep.follower.fenced_rejected),
+      static_cast<unsigned long long>(rep.follower.apply_failures));
+  std::printf(
+      "    \"failover_ms\": %.3f, \"promoted_generation\": %llu, "
+      "\"promoted_sessions\": %d, \"lost_acked_deltas\": %lld, "
+      "\"diverged\": %s, \"replicated_consistent\": %s\n",
+      rep.failover_ms,
+      static_cast<unsigned long long>(rep.promoted_generation),
+      rep.promoted_sessions, static_cast<long long>(rep.lost_acked_deltas),
+      rep.follower.diverged ? "true" : "false",
+      rep.replicated_consistent ? "true" : "false");
   std::printf("  }\n}\n");
 }
 
@@ -770,6 +1001,16 @@ int main(int argc, char** argv) {
       quick ? 4 : 8, quick ? 12 : 24, quick ? 16 : 24, /*k=*/4, pool_threads,
       fault_seed, fault_rate);
 
-  emit_json(soak, latency, recovery, durability);
+  // The replication experiment always runs (fault-free it is the baseline
+  // ship-lag measurement); --replicate arms a 10% transport + I/O fault
+  // storm over the same trace, sharing the --faults seed when given.
+  const bool replicate = args.flag("replicate");
+  const std::uint64_t rep_seed =
+      replicate ? (fault_seed != 0 ? fault_seed : 2026) : 0;
+  const ReplicationResult replication = run_replication(
+      quick ? 2 : 4, quick ? 8 : 16, quick ? 12 : 16, /*k=*/3, rep_seed,
+      replicate ? args.real("fault-rate", 0.10) : 0.0);
+
+  emit_json(soak, latency, recovery, durability, replication);
   return 0;
 }

@@ -9,11 +9,21 @@
 # it was printed, so the recovered epoch must never be smaller than the last
 # printed ACK — a torn final record can only ever be an UNacknowledged delta.
 #
-#   scripts/chaos_kill_recover.sh <example_durable_service binary> [cycles]
+# With a replicated_service binary as the third argument, each cycle also
+# runs a leader/follower pair over a Unix socket, kill -9s the LEADER
+# mid-stream, and waits for the follower to promote itself.  The replication
+# contract: "ACK <e>" is printed only after the follower acknowledged epoch
+# e, so the promoted epoch must never be smaller than the last printed ACK,
+# and the promoted content digest must equal the never-crashed --reference
+# replay at the same epoch (bit-identical failover, zero lost acked deltas).
+#
+#   scripts/chaos_kill_recover.sh <example_durable_service binary> [cycles] \
+#       [example_replicated_service binary]
 set -euo pipefail
 
-BIN=${1:?usage: chaos_kill_recover.sh <example_durable_service binary> [cycles]}
+BIN=${1:?usage: chaos_kill_recover.sh <example_durable_service binary> [cycles] [example_replicated_service binary]}
 CYCLES=${2:-5}
+REPBIN=${3:-}
 
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
@@ -44,3 +54,55 @@ for i in $(seq 1 "$CYCLES"); do
 done
 
 echo "PASS: $CYCLES kill -9 cycles, zero lost acknowledged deltas"
+
+[ -n "$REPBIN" ] || exit 0
+
+# ---------------------------------------------------------------- failover --
+# The reference digests are a pure function of the trace; compute them once.
+REF="$WORK/reference.txt"
+"$REPBIN" --reference --updates=2000 >"$REF"
+
+for i in $(seq 1 "$CYCLES"); do
+  SOCK="$WORK/rep-$i.sock"
+  LDIR="$WORK/leader-$i"
+  FDIR="$WORK/follower-$i"
+  LLOG="$WORK/lead-$i.log"
+  FLOG="$WORK/follow-$i.log"
+
+  "$REPBIN" --follow --socket="$SOCK" --dir="$FDIR" >"$FLOG" 2>&1 &
+  fpid=$!
+  sleep 0.2
+  "$REPBIN" --lead --socket="$SOCK" --dir="$LDIR" --updates=2000 \
+      --interval-ms=1 >"$LLOG" 2>&1 &
+  lpid=$!
+  # 0.3s..0.9s of replicated streaming, then SIGKILL the leader mid-flight.
+  sleep "0.$((RANDOM % 7 + 3))"
+  kill -9 "$lpid" 2>/dev/null || true
+  wait "$lpid" 2>/dev/null || true
+  # EOF on the socket makes the follower drain, promote, and exit on its own.
+  if ! wait "$fpid"; then
+    echo "FAIL: follower exited non-zero (divergence or error)"
+    cat "$FLOG"
+    exit 1
+  fi
+
+  ack=$(grep -oE 'ACK [0-9]+' "$LLOG" | tail -1 | cut -d' ' -f2 || true)
+  ack=${ack:-0}
+  promoted=$(grep PROMOTED "$FLOG" | head -1)
+  epoch=$(sed -n 's/.*epoch=\([0-9]*\).*/\1/p' <<<"$promoted" | head -1)
+  digest=$(sed -n 's/.*digest=\([0-9]*\).*/\1/p' <<<"$promoted" | head -1)
+  epoch=${epoch:-0}
+  echo "failover cycle $i: last follower-acked=$ack, ${promoted:-NO PROMOTION}"
+
+  if [ -z "$promoted" ] || [ "$epoch" -lt "$ack" ]; then
+    echo "FAIL: promoted epoch ${epoch} < acknowledged epoch $ack (lost acked delta)"
+    exit 1
+  fi
+  want=$(awk -v e="$epoch" '$2 == e { print $3 }' "$REF")
+  if [ "$digest" != "$want" ]; then
+    echo "FAIL: promoted digest $digest != reference $want at epoch $epoch (diverged)"
+    exit 1
+  fi
+done
+
+echo "PASS: $CYCLES leader kill -9 failovers, promoted replicas bit-identical to reference"

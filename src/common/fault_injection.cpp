@@ -17,6 +17,16 @@ const char* fault_site_name(FaultSite site) {
       return "delta_alloc";
     case FaultSite::kTaskStart:
       return "task_start";
+    case FaultSite::kTransportSend:
+      return "transport_send";
+    case FaultSite::kTransportDrop:
+      return "transport_drop";
+    case FaultSite::kTransportDup:
+      return "transport_dup";
+    case FaultSite::kTransportReorder:
+      return "transport_reorder";
+    case FaultSite::kTransportTruncate:
+      return "transport_truncate";
     case FaultSite::kCount_:
       break;
   }

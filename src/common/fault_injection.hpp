@@ -24,12 +24,17 @@
 namespace gapart {
 
 enum class FaultSite : int {
-  kWalAppend = 0,  ///< WAL record write()
-  kWalFsync,       ///< WAL / checkpoint fsync
-  kFileWrite,      ///< graph/partition/checkpoint stream writes (io.cpp)
-  kDeltaAlloc,     ///< allocations on the synchronous delta path
-  kTaskStart,      ///< background refinement task start
-  kCount_,         ///< sentinel, keep last
+  kWalAppend = 0,     ///< WAL record write()
+  kWalFsync,          ///< WAL / checkpoint fsync
+  kFileWrite,         ///< graph/partition/checkpoint stream writes (io.cpp)
+  kDeltaAlloc,        ///< allocations on the synchronous delta path
+  kTaskStart,         ///< background refinement task start
+  kTransportSend,     ///< replication link down: send fails (partition)
+  kTransportDrop,     ///< replication frame silently dropped in flight
+  kTransportDup,      ///< replication frame delivered twice
+  kTransportReorder,  ///< replication frame overtakes its predecessor
+  kTransportTruncate, ///< replication frame cut short (CRC must catch it)
+  kCount_,            ///< sentinel, keep last
 };
 
 constexpr int kNumFaultSites = static_cast<int>(FaultSite::kCount_);

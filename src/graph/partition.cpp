@@ -2,10 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/assert.hpp"
+#include "common/checksum.hpp"
 
 namespace gapart {
+
+namespace {
+
+// One content-hash item: two differently-seeded CRC32s over the item's raw
+// bytes widened to 64 bits, then scrambled through a SplitMix64-style
+// finalizer.  CRC alone is linear over GF(2); the finalizer breaks that
+// linearity so the commutative (wrapping-add) combination below cannot be
+// cancelled by a second coordinated change.
+std::uint64_t hash_item(const void* data, std::size_t len) {
+  const auto lo = static_cast<std::uint64_t>(crc32(data, len, 0x9e3779b9u));
+  const auto hi = static_cast<std::uint64_t>(crc32(data, len, 0x85ebca6bu));
+  std::uint64_t z = (hi << 32) | lo;
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+std::uint64_t hash_vertex_part(VertexId v, PartId p) {
+  char buf[sizeof(std::uint64_t) + sizeof(std::int32_t)];
+  const auto v64 = static_cast<std::uint64_t>(v);
+  const auto p32 = static_cast<std::int32_t>(p);
+  std::memcpy(buf, &v64, sizeof(v64));
+  std::memcpy(buf + sizeof(v64), &p32, sizeof(p32));
+  return hash_item(buf, sizeof(buf));
+}
+
+std::uint64_t hash_part_weight(PartId q, double w) {
+  char buf[sizeof(std::int32_t) + sizeof(double)];
+  const auto q32 = static_cast<std::int32_t>(q);
+  std::memcpy(buf, &q32, sizeof(q32));
+  std::memcpy(buf + sizeof(q32), &w, sizeof(w));
+  return hash_item(buf, sizeof(buf));
+}
+
+std::uint64_t hash_shape(VertexId n, PartId k) {
+  char buf[sizeof(std::uint64_t) + sizeof(std::int32_t)];
+  const auto n64 = static_cast<std::uint64_t>(n);
+  const auto k32 = static_cast<std::int32_t>(k);
+  std::memcpy(buf, &n64, sizeof(n64));
+  std::memcpy(buf + sizeof(n64), &k32, sizeof(k32));
+  return hash_item(buf, sizeof(buf));
+}
+
+}  // namespace
 
 const char* objective_name(Objective o) {
   switch (o) {
@@ -563,6 +612,36 @@ PartitionMetrics PartitionState::metrics() const {
   m.max_part_cut = max_part_cut();
   m.imbalance_sq = imbalance_sq_;
   return m;
+}
+
+std::uint64_t PartitionState::content_hash() const {
+  std::uint64_t h = hash_shape(g_->num_vertices(), num_parts_);
+  const VertexId n = g_->num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    h += hash_vertex_part(v, assign_[static_cast<std::size_t>(v)]);
+  }
+  for (PartId q = 0; q < num_parts_; ++q) {
+    h += hash_part_weight(q, part_weight_[static_cast<std::size_t>(q)]);
+  }
+  return h;
+}
+
+std::uint64_t assignment_content_hash(const Graph& g, const Assignment& a,
+                                      PartId num_parts) {
+  GAPART_REQUIRE(is_valid_assignment(g, a, num_parts),
+                 "invalid assignment for ", num_parts, " parts");
+  std::uint64_t h = hash_shape(g.num_vertices(), num_parts);
+  std::vector<double> weight(static_cast<std::size_t>(num_parts), 0.0);
+  const VertexId n = g.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const PartId p = a[static_cast<std::size_t>(v)];
+    h += hash_vertex_part(v, p);
+    weight[static_cast<std::size_t>(p)] += g.vertex_weight(v);
+  }
+  for (PartId q = 0; q < num_parts; ++q) {
+    h += hash_part_weight(q, weight[static_cast<std::size_t>(q)]);
+  }
+  return h;
 }
 
 }  // namespace gapart

@@ -65,6 +65,14 @@ double fitness_from_metrics(const PartitionMetrics& m,
 double evaluate_fitness(const Graph& g, const Assignment& a, PartId num_parts,
                         const FitnessParams& params);
 
+/// From-scratch counterpart of PartitionState::content_hash(): digests
+/// (assignment, part weights implied by `a`, n, k) without building a state.
+/// Equals the member function on the same state whenever the maintained part
+/// weights are exact (always true for integer vertex weights) — used by the
+/// replication layer to stamp shipped snapshots.
+std::uint64_t assignment_content_hash(const Graph& g, const Assignment& a,
+                                      PartId num_parts);
+
 /// Best candidate move for one vertex, as found by the single-scan gain
 /// kernel (PartitionState::best_move).
 struct BestMove {
@@ -240,6 +248,20 @@ class PartitionState {
 
   /// Snapshot of full metrics (recomputed from the maintained state).
   PartitionMetrics metrics() const;
+
+  /// Order-independent 64-bit digest of the partition content: the
+  /// (vertex, part) pairs, the maintained part weights, and (n, k).  Built
+  /// on common/checksum with a per-item mix and commutative combination, so
+  /// two states reached by different move orders hash equal iff their
+  /// assignments (and exact weight sums) are equal — the replication layer's
+  /// divergence-detection primitive.  O(V + k), touches no scratch.
+  ///
+  /// Part weights enter the digest as exact bit patterns; with integer
+  /// vertex weights the maintained sums are exact, so the digest is a pure
+  /// function of the assignment.  (Fractional weights could make two
+  /// equal assignments differ through summation order — the same caveat the
+  /// incremental fitness carries.)
+  std::uint64_t content_hash() const;
 
  private:
   /// Quantities shared by every candidate gain of one scanned vertex.

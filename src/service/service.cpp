@@ -64,7 +64,10 @@ SessionId PartitionService::open_session(std::shared_ptr<const Graph> graph,
     const auto snap = session->snapshot();
     session->attach_wal(SessionWal::create(
         session_dir(id), config_.durability, session->config().num_parts,
-        session->config().fitness, *snap->graph, snap->assignment));
+        session->config().fitness, *snap->graph, snap->assignment,
+        /*snapshot_epoch=*/0,
+        assignment_content_hash(*snap->graph, snap->assignment,
+                                session->config().num_parts)));
   }
   return id;
 }
@@ -78,7 +81,10 @@ SessionId PartitionService::open_session_from_files(const std::string& prefix,
     const auto snap = session->snapshot();
     session->attach_wal(SessionWal::create(
         session_dir(id), config_.durability, session->config().num_parts,
-        session->config().fitness, *snap->graph, snap->assignment));
+        session->config().fitness, *snap->graph, snap->assignment,
+        /*snapshot_epoch=*/0,
+        assignment_content_hash(*snap->graph, snap->assignment,
+                                session->config().num_parts)));
   }
   return id;
 }
@@ -119,20 +125,10 @@ std::vector<RecoveryReport> PartitionService::recover(
 
     // Replay: each kDelta re-runs the live repair pipeline with the logged
     // verification-round count (deterministic — no wall clock); each
-    // kRefine swaps in the adopted assignment.
+    // kRefine swaps in the adopted assignment.  The same replay core drives
+    // the replication follower (log_locally=true there).
     for (const WalRecord& record : rec.records) {
-      if (record.type == WalRecordType::kDelta) {
-        const auto prev = session->snapshot()->graph;
-        DecodedDelta decoded = decode_delta(*prev, record.payload);
-        ApplyOptions opts;
-        opts.replay_verify_rounds = static_cast<int>(record.flags);
-        opts.replaying = true;
-        session->apply_update(std::make_shared<Graph>(std::move(decoded.grown)),
-                              decoded.delta, opts);
-      } else {
-        session->force_assignment(decode_assignment(record.payload),
-                                  "recover");
-      }
+      replay_wal_record(*session, record, /*log_locally=*/false);
     }
     session->attach_wal(std::move(rec.wal));
 
@@ -340,6 +336,64 @@ void PartitionService::quiesce() { executor_->wait(); }
 int PartitionService::num_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(sessions_.size());
+}
+
+std::vector<SessionId> PartitionService::session_ids() const {
+  std::vector<SessionId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::shared_ptr<PartitionSession> PartitionService::session_handle(
+    SessionId id) const {
+  return find(id);
+}
+
+void PartitionService::open_replica_session(SessionId id,
+                                            std::shared_ptr<const Graph> graph,
+                                            Assignment initial,
+                                            SessionConfig config,
+                                            std::uint64_t start_epoch,
+                                            std::uint64_t digest) {
+  // Full-resync semantics: a second open frame for an id the follower
+  // already tracks replaces the session wholesale (the leader compacted
+  // past what this replica had, or the replica fell behind beyond resume).
+  // Build the replacement COMPLETELY before touching the session map: if
+  // the checkpoint write below throws, the old incarnation must survive so
+  // a failover promotes a stale-but-valid state instead of nothing.
+  auto session = std::make_shared<PartitionSession>(
+      std::move(graph), std::move(initial), std::move(config), "replicate");
+  session->begin_recovery(start_epoch);
+  if (config_.durability.enabled()) {
+    // A replica restarts from its own disk: checkpoint the streamed state at
+    // exactly the leader's epoch/digest, wiping any stale prior incarnation.
+    // (The old session's open file descriptors survive the wipe; it is about
+    // to be closed anyway.)
+    std::error_code ec;
+    std::filesystem::remove_all(session_dir(id), ec);
+    const auto snap = session->snapshot();
+    session->attach_wal(SessionWal::create(
+        session_dir(id), config_.durability, session->config().num_parts,
+        session->config().fitness, *snap->graph, snap->assignment, start_epoch,
+        digest));
+  }
+
+  std::shared_ptr<PartitionSession> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      old = std::move(it->second);
+      sessions_.erase(it);
+    }
+  }
+  if (old != nullptr) old->close();
+  insert_with_id(id, std::move(session));
 }
 
 }  // namespace gapart

@@ -185,6 +185,34 @@ class PartitionService {
 
   int num_sessions() const;
   Executor& executor() { return *executor_; }
+  const ServiceConfig& config() const { return config_; }
+
+  // --- Replication plumbing (see service/replication.hpp) -----------------
+  //
+  // The shipper tails session WAL directories directly and the follower
+  // rebuilds sessions from streamed open frames; both need slightly more
+  // access than regular clients.
+
+  /// All open session ids, ascending (a stable iteration order for the
+  /// shipper's attach scan).
+  std::vector<SessionId> session_ids() const;
+
+  /// Shared handle to one session (throws on unknown id).  Jobs holding the
+  /// handle keep the session alive across close_session.
+  std::shared_ptr<PartitionSession> session_handle(SessionId id) const;
+
+  /// Directory holding one session's WAL (`<durability.dir>/session-<id>`).
+  std::string session_wal_dir(SessionId id) const { return session_dir(id); }
+
+  /// Follower side of replication: (re)creates session `id` from a streamed
+  /// open frame — full graph + assignment at `start_epoch` with the leader's
+  /// content digest — replacing any existing session with that id.  The new
+  /// session is put in recovery mode (epochs continue from `start_epoch`)
+  /// and, when durability is enabled, gets a fresh WAL checkpointed at
+  /// exactly that epoch so a crashed follower restarts from its own disk.
+  void open_replica_session(SessionId id, std::shared_ptr<const Graph> graph,
+                            Assignment initial, SessionConfig config,
+                            std::uint64_t start_epoch, std::uint64_t digest);
 
  private:
   std::shared_ptr<PartitionSession> find(SessionId id) const;

@@ -269,7 +269,8 @@ RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
     }
     if (wal_->should_compact()) {
       try {
-        wal_->compact(update_epoch_, *graph_, state_.assignment());
+        wal_->compact(update_epoch_, *graph_, state_.assignment(),
+                      state_.content_hash());
       } catch (const IoError&) {
         // Snapshot writing failed; the log is still intact and complete, so
         // durability is unharmed — compaction simply retries at the next
@@ -381,19 +382,24 @@ bool PartitionSession::complete_refinement(const RefineJob& job,
     ++stats_.refinements_no_better;
     return false;
   }
-  state_ = std::move(*candidate);
-  ++stats_.refinements_applied;
-  // Log the adopted assignment so recovery lands on the refined partition,
-  // not just a delta-consistent one.  Best-effort: refinement is soft state
-  // (recovery without the record is merely lower quality, never wrong), so
-  // an I/O failure here costs the record, not the session.
+  // Log the adopted assignment BEFORE adopting it, so recovery lands on the
+  // refined partition and the log is always a superset of the state.  The
+  // old order (adopt, then log best-effort) could absorb a refinement the
+  // log never saw — harmless for single-node recovery quality, but fatal
+  // for replication, where the follower replays the log and the digests
+  // must match bit-for-bit.  On append failure the refinement is dropped:
+  // quality only, the session stays healthy.
   if (wal_ != nullptr) {
     try {
       wal_->append(WalRecordType::kRefine, update_epoch_, 0,
-                   encode_assignment(state_.assignment()), /*damage=*/0);
+                   encode_assignment(candidate->assignment()), /*damage=*/0);
     } catch (const IoError&) {
+      ++stats_.refinements_unlogged;
+      return false;
     }
   }
+  state_ = std::move(*candidate);
+  ++stats_.refinements_applied;
   publish("refine");
   return true;
 }
@@ -431,6 +437,65 @@ void PartitionSession::force_assignment(Assignment refined,
   ++stats_.full_evaluations;
   baseline_fitness_ = state_.fitness(config_.fitness);
   publish(source);
+}
+
+std::uint64_t PartitionSession::state_digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_.content_hash();
+}
+
+void PartitionSession::apply_replicated_refine(Assignment refined) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GAPART_REQUIRE(!closed_, "session is closed");
+  GAPART_REQUIRE(!wal_failed_,
+                 "session fail-stopped: its log already missed a record");
+  // Log first (same order as complete_refinement): the follower's own log
+  // must cover everything its state absorbed, or its next recovery replays
+  // to a diverged state.
+  if (wal_ != nullptr) {
+    try {
+      wal_->append(WalRecordType::kRefine, update_epoch_, 0,
+                   encode_assignment(refined), /*damage=*/0);
+    } catch (const IoError&) {
+      wal_failed_ = true;
+      throw;
+    }
+  }
+  state_ = PartitionState(*graph_, std::move(refined), config_.num_parts);
+  ++stats_.full_evaluations;
+  ++stats_.refinements_applied;
+  baseline_fitness_ = state_.fitness(config_.fitness);
+  publish("replicate");
+}
+
+void PartitionSession::set_ship_gate(std::shared_ptr<WalShipGate> gate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) wal_->set_ship_gate(std::move(gate));
+}
+
+bool PartitionSession::compact_now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr || wal_failed_) return false;
+  try {
+    wal_->compact(update_epoch_, *graph_, state_.assignment(),
+                  state_.content_hash());
+  } catch (const IoError&) {
+    return false;  // log intact; the next boundary retries
+  }
+  return true;
+}
+
+bool PartitionSession::poll_compaction() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || wal_ == nullptr || wal_failed_) return false;
+  if (!wal_->should_compact()) return false;
+  try {
+    wal_->compact(update_epoch_, *graph_, state_.assignment(),
+                  state_.content_hash());
+  } catch (const IoError&) {
+    return false;
+  }
+  return true;
 }
 
 void PartitionSession::close() {
@@ -572,6 +637,25 @@ RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
   out.full_evaluations += eval.full_evaluations();
   out.delta_evaluations += eval.delta_evaluations();
   return out;
+}
+
+void replay_wal_record(PartitionSession& session, const WalRecord& record,
+                       bool log_locally) {
+  if (record.type == WalRecordType::kDelta) {
+    const auto prev = session.snapshot()->graph;
+    DecodedDelta decoded = decode_delta(*prev, record.payload);
+    ApplyOptions opts;
+    // Replay the verification-round count the leader's live run admitted —
+    // the one wall-clock-dependent input — so the pipeline is deterministic.
+    opts.replay_verify_rounds = static_cast<int>(record.flags);
+    opts.replaying = !log_locally;
+    session.apply_update(std::make_shared<Graph>(std::move(decoded.grown)),
+                         decoded.delta, opts);
+  } else if (log_locally) {
+    session.apply_replicated_refine(decode_assignment(record.payload));
+  } else {
+    session.force_assignment(decode_assignment(record.payload), "recover");
+  }
 }
 
 }  // namespace gapart

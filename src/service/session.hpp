@@ -150,6 +150,10 @@ struct SessionStats {
   /// Completed cleanly but found nothing better — the live partition's
   /// quality was (re)certified instead of replaced.
   int refinements_no_better = 0;
+  /// Improved the fitness but its WAL record could not be written: the
+  /// refinement was dropped (quality only) so the log stays a superset of
+  /// the state — required for replication digests to be exact.
+  int refinements_unlogged = 0;
   double p50_repair_seconds = 0.0;
   double p99_repair_seconds = 0.0;
   double max_repair_seconds = 0.0;
@@ -234,7 +238,10 @@ class PartitionSession {
   /// Applies a finished refinement: adopted only when no delta raced it
   /// (job.update_epoch still current) AND it improved the fitness; always
   /// clears the in-flight mark and resets the policy accumulators on
-  /// adoption.  Returns true when adopted.
+  /// adoption.  On a durable session the kRefine record is appended BEFORE
+  /// the state is adopted; if the append fails the refinement is dropped
+  /// (refinements_unlogged) so log and state never diverge.  Returns true
+  /// when adopted.
   bool complete_refinement(const RefineJob& job, Assignment refined,
                            double refined_fitness,
                            std::int64_t full_evaluations,
@@ -261,6 +268,39 @@ class PartitionSession {
   /// live assignment (one O(V + E) state rebuild), without consulting the
   /// policy or the WAL.
   void force_assignment(Assignment refined, const char* source);
+
+  // --- Replication (service/replication.hpp) ------------------------------
+
+  /// PartitionState::content_hash() of the live state — the divergence-
+  /// detection digest leaders and followers exchange at snapshot boundaries.
+  std::uint64_t state_digest() const;
+
+  /// Follower-side kRefine application: logs the record to this session's
+  /// own WAL first, then adopts the assignment.  Unlike the leader's
+  /// best-effort refinement logging, a failed append here fail-stops the
+  /// session (wal_failed) — a follower whose log silently missed a shipped
+  /// record would replay to a diverged state after ITS next restart.
+  void apply_replicated_refine(Assignment refined);
+
+  /// Follower-side lockstep compaction, triggered by the leader's shipped
+  /// snapshot boundary rather than the local policy.  Checkpoints the
+  /// current state (with its digest) and truncates the local log.  Returns
+  /// false — keeping the log — when the snapshot write fails or the session
+  /// has no WAL.
+  bool compact_now();
+
+  /// Leader-side compaction liveness: apply_update only evaluates the
+  /// compaction policy right after an append, when the ship gate is
+  /// necessarily still behind the new record — so with a strict gate
+  /// (ship_retain_bytes == 0) the policy would never fire.  The shipper
+  /// calls this after consuming the log to run any compaction the gate
+  /// deferred.  Returns true when a compaction ran.
+  bool poll_compaction();
+
+  /// Leader-side: hands the WAL the shipper's consumed-offset gate so
+  /// compaction defers (bounded by ship_retain_bytes) while the shipper is
+  /// behind.  No-op on a non-durable session.
+  void set_ship_gate(std::shared_ptr<WalShipGate> gate);
 
   /// Drains the session for teardown: marks it closed (further updates and
   /// refinement plans are refused), signals an in-flight refinement to
@@ -347,5 +387,16 @@ struct RefineOutcome {
 RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
                              const SessionConfig& config, Rng rng,
                              Executor* executor);
+
+/// Applies one WAL record to a session through the same deterministic repair
+/// pipeline the live run used — the shared core of PartitionService::recover
+/// (log_locally = false: the record is being read FROM this session's log)
+/// and the replication follower's continuous tail-replay (log_locally =
+/// true: the record arrived from the leader and must enter the follower's
+/// own log).  kDelta records rebuild the grown graph from the session's
+/// current one and replay the logged verification-round count; kRefine
+/// records swap in the logged assignment.
+void replay_wal_record(PartitionSession& session, const WalRecord& record,
+                       bool log_locally);
 
 }  // namespace gapart

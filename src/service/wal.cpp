@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -24,6 +25,8 @@ constexpr std::uint32_t kFileMagic = 0x4c574147u;    // "GAWL"
 constexpr std::uint32_t kFileVersion = 1u;
 constexpr std::uint32_t kRecordMagic = 0x524c4157u;  // "WALR"
 constexpr std::size_t kFileHeaderSize = 8;
+static_assert(kFileHeaderSize == kWalLogHeaderBytes,
+              "kWalLogHeaderBytes (wal.hpp) must match the file header");
 // magic u32 + type u8 + flags u32 + epoch u64 + payload_len u32 + crc u32
 constexpr std::size_t kFrameHeaderSize = 25;
 constexpr std::uint32_t kMaxPayload = 1u << 30;
@@ -229,6 +232,39 @@ WalReadResult read_log_file(const std::string& path) {
   return out;
 }
 
+WalTail read_log_tail(const std::string& path, std::uint64_t offset,
+                      std::uint64_t limit_bytes) {
+  GAPART_REQUIRE(offset >= kWalLogHeaderBytes,
+                 "tail reads start at or after the log header, got offset ",
+                 offset);
+  WalTail out;
+  out.end_offset = offset;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return out;
+
+  const std::string bytes = read_small_file(path);
+  if (bytes.size() < kFileHeaderSize || offset > bytes.size()) return out;
+  if (get_at<std::uint32_t>(bytes, 0) != kFileMagic ||
+      get_at<std::uint32_t>(bytes, 4) != kFileVersion) {
+    throw WalCorruptError("'" + path + "' is not a gapart WAL (bad header)");
+  }
+
+  const std::size_t limit =
+      static_cast<std::size_t>(std::min<std::uint64_t>(limit_bytes,
+                                                       bytes.size()));
+  std::size_t pos = static_cast<std::size_t>(offset);
+  while (pos < limit) {
+    std::size_t next = pos;
+    auto rec = try_parse_frame(bytes, next);
+    if (!rec.has_value() || next > limit) break;
+    out.records.push_back(std::move(*rec));
+    out.ends.push_back(next);
+    pos = next;
+  }
+  out.end_offset = pos;
+  return out;
+}
+
 std::string encode_assignment(const Assignment& assignment) {
   std::string out;
   out.reserve(8 + assignment.size() * 4);
@@ -258,7 +294,20 @@ SessionWal::SessionWal(std::string dir, DurabilityConfig config)
     : dir_(std::move(dir)), config_(std::move(config)) {}
 
 SessionWal::~SessionWal() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    // Flush-on-close: under kEveryN (or kNever) a clean shutdown must not
+    // leave acknowledged tail records behind the durable offset the
+    // replication shipper trusts.  Best effort only — a destructor cannot
+    // throw, and a crash-path destructor never runs at all (that loss window
+    // is the policy's documented contract).
+    if (records_since_fsync_ > 0) {
+      try {
+        fsync_log();
+      } catch (...) {
+      }
+    }
+    ::close(fd_);
+  }
 }
 
 void SessionWal::open_log(std::uint64_t resume_at, bool truncate_all) {
@@ -279,6 +328,9 @@ void SessionWal::open_log(std::uint64_t resume_at, bool truncate_all) {
     append_frame_once(header);
     posix_fsync_fd(fd_, "log header");
   }
+  file_bytes_ = keep == 0 ? kFileHeaderSize : keep;
+  // Whatever the file holds now *is* what survived — by definition durable.
+  stats_.durable_bytes = file_bytes_;
 }
 
 void SessionWal::append_frame_once(const std::string& frame) {
@@ -306,6 +358,7 @@ void SessionWal::fsync_log() {
   posix_fsync_fd(fd_, "wal");
   ++stats_.fsyncs;
   records_since_fsync_ = 0;
+  stats_.durable_bytes = file_bytes_;
 }
 
 void SessionWal::append(WalRecordType type, std::uint64_t epoch,
@@ -314,6 +367,7 @@ void SessionWal::append(WalRecordType type, std::uint64_t epoch,
   const std::string frame = build_frame(type, epoch, flags, payload);
   stats_.append_retries += static_cast<std::uint64_t>(retry_with_backoff(
       config_.io_retry, [&] { append_frame_once(frame); }));
+  file_bytes_ += frame.size();
   ++records_since_fsync_;
   const bool want_fsync =
       config_.fsync == FsyncPolicy::kEveryRecord ||
@@ -335,11 +389,23 @@ bool SessionWal::should_compact() const {
   signals.log_damage = stats_.log_damage;
   signals.log_bytes = stats_.log_bytes;
   signals.log_records = stats_.log_records;
-  return decide_compaction(config_.compaction, signals);
+  if (!decide_compaction(config_.compaction, signals)) return false;
+  // Replicated session: truncating the log would drop records the shipper
+  // has not streamed yet, forcing a snapshot resync.  Defer until the
+  // shipper consumed the log, up to the retention bound.
+  if (ship_gate_ != nullptr &&
+      (config_.ship_retain_bytes == 0 ||
+       stats_.log_bytes < config_.ship_retain_bytes) &&
+      ship_gate_->consumed_offset.load(std::memory_order_acquire) <
+          kFileHeaderSize + stats_.log_bytes) {
+    return false;
+  }
+  return true;
 }
 
 void SessionWal::write_snapshot_files(std::uint64_t epoch, const Graph& graph,
-                                      const Assignment& assignment) {
+                                      const Assignment& assignment,
+                                      std::uint64_t digest) {
   // Data files first (temp + rename + fsync), CURRENT last: CURRENT never
   // names an incomplete snapshot.
   {
@@ -352,15 +418,18 @@ void SessionWal::write_snapshot_files(std::uint64_t epoch, const Graph& graph,
     write_partition(pos, assignment);
     write_file_atomic(snap_part_path(dir_, epoch), pos.str(), dir_);
   }
-  write_file_atomic(dir_ + "/CURRENT", std::to_string(epoch) + "\n", dir_);
+  write_file_atomic(dir_ + "/CURRENT",
+                    std::to_string(epoch) + " " + std::to_string(digest) +
+                        "\n",
+                    dir_);
 }
 
 void SessionWal::compact(std::uint64_t epoch, const Graph& graph,
-                         const Assignment& assignment) {
+                         const Assignment& assignment, std::uint64_t digest) {
   WallTimer timer;
   const std::uint64_t old_epoch = stats_.snapshot_epoch;
   try {
-    write_snapshot_files(epoch, graph, assignment);
+    write_snapshot_files(epoch, graph, assignment, digest);
     // CURRENT now points at the new snapshot; the log's records are all
     // <= epoch and would be skipped on replay, so truncating is safe — and
     // a crash right here leaves a stale-prefix log, which replay skips.
@@ -374,10 +443,13 @@ void SessionWal::compact(std::uint64_t epoch, const Graph& graph,
     throw;
   }
   stats_.snapshot_epoch = epoch;
+  stats_.snapshot_digest = digest;
   stats_.log_records = 0;
   stats_.log_bytes = 0;
   stats_.log_damage = 0;
   records_since_fsync_ = 0;
+  file_bytes_ = kFileHeaderSize;
+  stats_.durable_bytes = kFileHeaderSize;
   ++stats_.compactions;
   stats_.last_compaction_seconds = timer.seconds();
 
@@ -400,7 +472,9 @@ std::unique_ptr<SessionWal> SessionWal::create(std::string dir,
                                                PartId num_parts,
                                                const FitnessParams& fitness,
                                                const Graph& graph,
-                                               const Assignment& assignment) {
+                                               const Assignment& assignment,
+                                               std::uint64_t snapshot_epoch,
+                                               std::uint64_t snapshot_digest) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -417,7 +491,10 @@ std::unique_ptr<SessionWal> SessionWal::create(std::string dir,
   meta << "lambda " << fitness.lambda << '\n';
   write_file_atomic(dir + "/meta", meta.str(), dir);
 
-  wal->write_snapshot_files(0, graph, assignment);
+  wal->write_snapshot_files(snapshot_epoch, graph, assignment,
+                            snapshot_digest);
+  wal->stats_.snapshot_epoch = snapshot_epoch;
+  wal->stats_.snapshot_digest = snapshot_digest;
   wal->open_log(0, /*truncate_all=*/true);
   return wal;
 }
@@ -457,6 +534,10 @@ SessionWal::Recovered SessionWal::recover(std::string dir,
     std::istringstream cur(read_small_file(dir + "/CURRENT"));
     cur >> out.snapshot_epoch;
     GAPART_REQUIRE(!cur.fail(), "'", dir, "/CURRENT' is malformed");
+    // The digest is a later addition; a CURRENT written before it carries
+    // only the epoch and reads back as digest 0 (= unknown).
+    cur >> out.snapshot_digest;
+    if (cur.fail()) out.snapshot_digest = 0;
   }
 
   out.graph = read_graph_file(snap_graph_path(dir, out.snapshot_epoch));
@@ -497,6 +578,7 @@ SessionWal::Recovered SessionWal::recover(std::string dir,
 
   out.wal = std::unique_ptr<SessionWal>(new SessionWal(dir, config));
   out.wal->stats_.snapshot_epoch = out.snapshot_epoch;
+  out.wal->stats_.snapshot_digest = out.snapshot_digest;
   out.wal->stats_.log_records = out.records.size();
   out.wal->stats_.log_bytes =
       log.valid_bytes > kFileHeaderSize ? log.valid_bytes - kFileHeaderSize

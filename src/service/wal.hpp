@@ -36,6 +36,7 @@
 // equal apply order, so this is not a restriction).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -76,6 +77,11 @@ struct DurabilityConfig {
   CompactionPolicy compaction;
   /// Retry schedule for transient log I/O failures.
   BackoffPolicy io_retry;
+  /// Replicated sessions only (a WalShipGate is attached): how many log
+  /// bytes compaction may retain waiting for the shipper to catch up.  Past
+  /// this bound compaction proceeds anyway and the slow follower pays a
+  /// snapshot resync.  0 = wait for the shipper unconditionally.
+  std::uint64_t ship_retain_bytes = 32ull << 20;
 
   bool enabled() const { return !dir.empty(); }
 };
@@ -110,6 +116,41 @@ struct WalReadResult {
 /// IoError on unreadable files.
 WalReadResult read_log_file(const std::string& path);
 
+/// Byte offset of the first record frame in wal.log (the file header).
+constexpr std::uint64_t kWalLogHeaderBytes = 8;
+
+/// One replication-shipper read over a *live* log file.
+struct WalTail {
+  std::vector<WalRecord> records;
+  /// Absolute end offset of each record (aligned with `records`), so the
+  /// caller can resume — or stop mid-batch under backpressure — exactly at a
+  /// frame boundary.
+  std::vector<std::uint64_t> ends;
+  /// Where parsing stopped; equals `offset` when nothing was read.
+  std::uint64_t end_offset = 0;
+};
+
+/// Parses frames from byte `offset` (>= kWalLogHeaderBytes), stopping at the
+/// first frame whose end would exceed `limit_bytes` (the caller passes the
+/// durable offset so a follower never gets ahead of the leader's fsync) or at
+/// the first invalid frame.  Unlike read_log_file, an invalid frame is never
+/// fatal here: on a live log it is an append still in flight, picked up by
+/// the next poll.  A missing file — or `offset` past the current size, which
+/// happens when compaction truncated the log under the shipper — reads as
+/// empty and the caller resolves it via the snapshot epoch.
+WalTail read_log_tail(const std::string& path, std::uint64_t offset,
+                      std::uint64_t limit_bytes);
+
+/// Compaction/shipping coordination for a replicated session: the shipper
+/// publishes the log offset it has consumed, and compaction — which
+/// truncates the log — defers while the shipper is behind, bounded by
+/// DurabilityConfig::ship_retain_bytes.  Past the bound compaction proceeds
+/// and the slow follower pays a snapshot resync instead of the leader paying
+/// unbounded log retention.
+struct WalShipGate {
+  std::atomic<std::uint64_t> consumed_offset{0};
+};
+
 /// Serializes the kRefine payload.
 std::string encode_assignment(const Assignment& assignment);
 Assignment decode_assignment(const std::string& payload);
@@ -125,22 +166,34 @@ struct WalStats {
   std::uint64_t compaction_failures = 0;  ///< kept the log; retried later
   double last_compaction_seconds = 0.0;
   std::uint64_t snapshot_epoch = 0;
+  /// PartitionState::content_hash() of the snapshot state (persisted in
+  /// CURRENT) — what a follower must match when it compacts in lockstep.
+  std::uint64_t snapshot_digest = 0;
   std::uint64_t log_records = 0;
   std::uint64_t log_bytes = 0;
   std::int64_t log_damage = 0;
+  /// Absolute wal.log offset through which records are fsynced.  The
+  /// replication shipper caps its tail reads here: a follower must never
+  /// hold records the leader could still lose.
+  std::uint64_t durable_bytes = 0;
 };
 
 class SessionWal {
  public:
   /// Creates `dir` (parents included), writes the meta file and the initial
-  /// epoch-0 snapshot, and opens a fresh log: the session's opening state is
-  /// durable before open_session acknowledges.
+  /// snapshot, and opens a fresh log: the session's opening state is durable
+  /// before open_session acknowledges.  `snapshot_epoch` is 0 for a new
+  /// session; a replication follower bootstrapping from a mid-life leader
+  /// snapshot passes the leader's epoch (and its state digest) so its own
+  /// recovery resumes from the same point.
   static std::unique_ptr<SessionWal> create(std::string dir,
                                             const DurabilityConfig& config,
                                             PartId num_parts,
                                             const FitnessParams& fitness,
                                             const Graph& graph,
-                                            const Assignment& assignment);
+                                            const Assignment& assignment,
+                                            std::uint64_t snapshot_epoch = 0,
+                                            std::uint64_t snapshot_digest = 0);
 
   /// Everything recovery needs from one session directory: the snapshot
   /// state, the records to replay (epochs > snapshot_epoch, stale records
@@ -152,6 +205,7 @@ class SessionWal {
     Graph graph;
     Assignment assignment;
     std::uint64_t snapshot_epoch = 0;
+    std::uint64_t snapshot_digest = 0;
     std::vector<WalRecord> records;
     bool torn_tail = false;
   };
@@ -174,12 +228,20 @@ class SessionWal {
   /// Checkpoints (graph, assignment) as the epoch-`epoch` snapshot and
   /// truncates the log (see the crash-consistency argument above).  Throws
   /// IoError on failure; the log is then still intact and the caller simply
-  /// retries at the next trigger.
+  /// retries at the next trigger.  `digest` is the state's content hash,
+  /// persisted alongside the epoch and exchanged with replication followers
+  /// at this snapshot boundary.
   void compact(std::uint64_t epoch, const Graph& graph,
-               const Assignment& assignment);
+               const Assignment& assignment, std::uint64_t digest = 0);
 
   /// Forces an fsync of any unsynced appends (used at close).
   void sync();
+
+  /// Attaches the compaction/shipping gate for a replicated session (see
+  /// WalShipGate).  Pass nullptr to detach.
+  void set_ship_gate(std::shared_ptr<WalShipGate> gate) {
+    ship_gate_ = std::move(gate);
+  }
 
   const std::string& dir() const { return dir_; }
   WalStats stats() const { return stats_; }
@@ -191,12 +253,15 @@ class SessionWal {
   void append_frame_once(const std::string& frame);
   void fsync_log();
   void write_snapshot_files(std::uint64_t epoch, const Graph& graph,
-                            const Assignment& assignment);
+                            const Assignment& assignment,
+                            std::uint64_t digest);
 
   std::string dir_;
   DurabilityConfig config_;
   int fd_ = -1;
   int records_since_fsync_ = 0;
+  std::uint64_t file_bytes_ = 0;  ///< current wal.log size (header + frames)
+  std::shared_ptr<WalShipGate> ship_gate_;
   WalStats stats_;
 };
 

@@ -571,5 +571,72 @@ TEST(PartitionStateRebind, PreconditionsRejected) {
   EXPECT_THROW(big.rebind_grown(old_g, {}, {}), Error);
 }
 
+// ---------------------------------------------------------------------------
+// content_hash(): the replication divergence digest.  Commutative over
+// per-item hashes, so it must be independent of HOW a state was reached and
+// sensitive to WHAT the state is.
+
+TEST(PartitionStateContentHash, MoveOrderInvariant) {
+  Rng rng(0xd16e57);
+  const Graph g = make_grid(8, 8);
+  Assignment a(64);
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(4));
+  PartitionState forward(g, a, 4);
+  PartitionState backward(g, a, 4);
+
+  // The same set of moves, applied in opposite orders (with some vertices
+  // moved twice along the way on one side only — the end state is what
+  // counts, not the path).
+  const std::vector<std::pair<VertexId, PartId>> moves = {
+      {3, 1}, {17, 2}, {40, 0}, {63, 3}, {9, 2}};
+  for (const auto& [v, p] : moves) forward.move(v, p);
+  backward.move(17, 0);  // detour; overwritten below
+  for (auto it = moves.rbegin(); it != moves.rend(); ++it) {
+    backward.move(it->first, it->second);
+  }
+  EXPECT_EQ(forward.assignment(), backward.assignment());
+  EXPECT_EQ(forward.content_hash(), backward.content_hash());
+}
+
+TEST(PartitionStateContentHash, SingleReassignmentChangesTheDigest) {
+  const Graph g = make_grid(6, 6);
+  Assignment a(36, 0);
+  for (std::size_t v = 18; v < 36; ++v) a[v] = 1;
+  PartitionState state(g, a, 2);
+  const std::uint64_t before = state.content_hash();
+  state.move(0, 1);
+  EXPECT_NE(state.content_hash(), before);
+  state.move(0, 0);  // moving back restores the digest exactly
+  EXPECT_EQ(state.content_hash(), before);
+}
+
+TEST(PartitionStateContentHash, PartRelabelingIsVisible) {
+  // A wholesale 0<->1 relabel keeps the cut and the balance identical —
+  // exactly the tampering only a content digest can detect (the replication
+  // fail-stop relies on this).
+  const Graph g = make_grid(6, 6);
+  Assignment a(36, 0);
+  for (std::size_t v = 18; v < 36; ++v) a[v] = 1;
+  Assignment swapped = a;
+  for (auto& p : swapped) p = static_cast<PartId>(1 - p);
+  PartitionState original(g, a, 2);
+  PartitionState relabeled(g, swapped, 2);
+  EXPECT_NE(original.content_hash(), relabeled.content_hash());
+}
+
+TEST(PartitionStateContentHash, FreeFunctionAgreesWithMember) {
+  Rng rng(0x8a53d);
+  const Graph g = make_grid(7, 5);
+  Assignment a(35);
+  for (auto& p : a) p = static_cast<PartId>(rng.uniform_int(3));
+  PartitionState state(g, a, 3);
+  EXPECT_EQ(state.content_hash(), assignment_content_hash(g, a, 3));
+  // ... and stays in agreement after incremental moves.
+  state.move(12, 2);
+  state.move(30, 0);
+  EXPECT_EQ(state.content_hash(),
+            assignment_content_hash(g, state.assignment(), 3));
+}
+
 }  // namespace
 }  // namespace gapart

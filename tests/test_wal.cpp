@@ -17,6 +17,7 @@
 #include "graph/delta_codec.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/partition.hpp"
 #include "service/refine_policy.hpp"
 
 namespace gapart {
@@ -443,6 +444,149 @@ TEST(WalBackoff, ExhaustionRethrowsAndNonTransientPropagates) {
   int ok_calls = 0;
   EXPECT_EQ(retry_with_backoff(p, [&] { ++ok_calls; }, [](double) {}), 0);
   EXPECT_EQ(ok_calls, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Replication-era additions: close-time flush under kEveryN, the durable
+// offset the shipper reads up to, live tail reads, and snapshot digests in
+// CURRENT.
+
+TEST(WalLog, EveryNFlushesResidualRecordsOnClose) {
+  // Regression: with fsync=kEveryN a session closed between interval
+  // boundaries used to leave its last records unsynced — an orderly
+  // shutdown could lose acknowledged updates.  Destruction must flush.
+  DurabilityConfig every_n;
+  every_n.fsync = FsyncPolicy::kEveryN;
+  every_n.fsync_interval = 100;  // far larger than the appends below
+  const std::string dir = fresh_dir("close_flush");
+  std::uint64_t synced_before_close = 0;
+  std::uint64_t synced_after_appends = 0;
+  {
+    auto wal = make_wal(dir, every_n);
+    synced_before_close = wal->stats().fsyncs;
+    wal->append(WalRecordType::kDelta, 1, 0, "only-record", 1);
+    wal->append(WalRecordType::kDelta, 2, 0, "still-buffered", 1);
+    synced_after_appends = wal->stats().fsyncs;
+    EXPECT_EQ(wal->stats().durable_bytes, kWalLogHeaderBytes)
+        << "interval not reached: nothing past the header is durable yet";
+  }
+  EXPECT_EQ(synced_after_appends, synced_before_close)
+      << "sanity: the interval must not have fired during the test";
+  // After close, recovery sees both records — the destructor synced them.
+  const auto rec = SessionWal::recover(dir, every_n);
+  ASSERT_EQ(rec.records.size(), 2u);
+  EXPECT_EQ(rec.records[1].payload, "still-buffered");
+}
+
+TEST(WalLog, DurableBytesTracksTheFsyncFrontier) {
+  DurabilityConfig every_n;
+  every_n.fsync = FsyncPolicy::kEveryN;
+  every_n.fsync_interval = 2;
+  const std::string dir = fresh_dir("durable_bytes");
+  auto wal = make_wal(dir, every_n);
+  EXPECT_EQ(wal->stats().durable_bytes, kWalLogHeaderBytes);
+  wal->append(WalRecordType::kDelta, 1, 0, "a", 1);
+  // One record appended, none synced: the frontier holds at the header.
+  EXPECT_EQ(wal->stats().durable_bytes, kWalLogHeaderBytes);
+  EXPECT_GT(wal->stats().log_bytes, 0u);
+  wal->append(WalRecordType::kDelta, 2, 0, "b", 1);
+  // Interval hit: everything written is now durable.
+  EXPECT_EQ(wal->stats().durable_bytes,
+            kWalLogHeaderBytes + wal->stats().log_bytes);
+  wal->append(WalRecordType::kDelta, 3, 0, "c", 1);
+  EXPECT_LT(wal->stats().durable_bytes,
+            kWalLogHeaderBytes + wal->stats().log_bytes);
+  wal->sync();
+  EXPECT_EQ(wal->stats().durable_bytes,
+            kWalLogHeaderBytes + wal->stats().log_bytes);
+}
+
+TEST(WalLog, TailReadResumesAtFrameBoundaries) {
+  const std::string dir = fresh_dir("tail");
+  auto wal = make_wal(dir);
+  wal->append(WalRecordType::kDelta, 1, 0, "one", 1);
+  wal->append(WalRecordType::kDelta, 2, 0, "two", 1);
+  wal->append(WalRecordType::kRefine, 2, 0, "ref", 0);
+  const std::string path = dir + "/wal.log";
+  const std::uint64_t end = kWalLogHeaderBytes + wal->stats().log_bytes;
+
+  // Full read from the header.
+  const WalTail all = read_log_tail(path, kWalLogHeaderBytes, end);
+  ASSERT_EQ(all.records.size(), 3u);
+  EXPECT_EQ(all.records[0].payload, "one");
+  EXPECT_EQ(all.records[2].type, WalRecordType::kRefine);
+  EXPECT_EQ(all.end_offset, end);
+  ASSERT_EQ(all.ends.size(), 3u);
+  EXPECT_EQ(all.ends[2], end);
+
+  // Resume from a recorded boundary: exactly the remaining records.
+  const WalTail rest = read_log_tail(path, all.ends[0], end);
+  ASSERT_EQ(rest.records.size(), 2u);
+  EXPECT_EQ(rest.records[0].payload, "two");
+
+  // A limit strictly inside the second frame stops the read BEFORE it: the
+  // un-fsynced suffix must never be shipped.
+  const WalTail capped = read_log_tail(path, kWalLogHeaderBytes,
+                                       all.ends[1] - 1);
+  ASSERT_EQ(capped.records.size(), 1u);
+  EXPECT_EQ(capped.end_offset, all.ends[0]);
+
+  // Offset past the file (compaction truncated under the reader) and a
+  // missing file both read as empty, never throw.
+  EXPECT_TRUE(read_log_tail(path, end + 4096, end + 8192).records.empty());
+  EXPECT_TRUE(read_log_tail(dir + "/no-such.log", kWalLogHeaderBytes, end)
+                  .records.empty());
+}
+
+TEST(WalLog, TailReadTreatsInvalidFrameAsInFlightAppend) {
+  const std::string dir = fresh_dir("tail_torn");
+  auto wal = make_wal(dir);
+  wal->append(WalRecordType::kDelta, 1, 0, "whole", 1);
+  const std::string path = dir + "/wal.log";
+  const std::uint64_t whole_end = kWalLogHeaderBytes + wal->stats().log_bytes;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("\x55\x00\x33", 3);  // a torn append, mid-flight
+  }
+  // Unlike read_log_file on recovery, a live tail read reports the valid
+  // prefix and stops — the torn bytes are tomorrow's complete record.
+  const WalTail tail = read_log_tail(path, kWalLogHeaderBytes, whole_end + 3);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0].payload, "whole");
+  EXPECT_EQ(tail.end_offset, whole_end);
+}
+
+TEST(WalLog, SnapshotDigestPersistsThroughCurrentFile) {
+  const Graph g = make_grid(4, 4);
+  Assignment a(16, 0);
+  for (std::size_t i = 8; i < 16; ++i) a[i] = 1;
+  const std::uint64_t digest = assignment_content_hash(g, a, 2);
+
+  // A follower bootstrapping from a mid-life leader snapshot: epoch and
+  // digest land in CURRENT and survive recovery.
+  const std::string dir = fresh_dir("current_digest");
+  DurabilityConfig cfg;
+  cfg.dir = dir;
+  {
+    auto wal = SessionWal::create(dir, cfg, 2, FitnessParams{}, g, a,
+                                  /*snapshot_epoch=*/7, digest);
+    EXPECT_EQ(wal->stats().snapshot_epoch, 7u);
+    EXPECT_EQ(wal->stats().snapshot_digest, digest);
+  }
+  auto rec = SessionWal::recover(dir, cfg);
+  EXPECT_EQ(rec.snapshot_epoch, 7u);
+  EXPECT_EQ(rec.snapshot_digest, digest);
+  EXPECT_TRUE(rec.records.empty());
+
+  // compact() refreshes both.
+  auto wal = std::move(rec.wal);
+  wal->append(WalRecordType::kDelta, 8, 0, "x", 1);
+  wal->compact(8, g, a, digest ^ 0x1234u);
+  EXPECT_EQ(wal->stats().snapshot_epoch, 8u);
+  EXPECT_EQ(wal->stats().snapshot_digest, digest ^ 0x1234u);
+  const auto rec2 = SessionWal::recover(dir, cfg);
+  EXPECT_EQ(rec2.snapshot_epoch, 8u);
+  EXPECT_EQ(rec2.snapshot_digest, digest ^ 0x1234u);
 }
 
 }  // namespace
