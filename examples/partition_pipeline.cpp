@@ -10,8 +10,8 @@
 //   $ ./partition_pipeline --graph=mesh.graph --coords=mesh.xy
 //         --parts=4 --method=rsb --out=mesh.part
 //
-// Methods: ga | ga-seeded | contracted-ga | rsb | multilevel | rcb | rgb |
-//          ibp | ibp-hilbert
+// Methods: ga | ga-seeded | contracted-ga | vcycle | rsb | multilevel |
+//          rcb | rgb | ibp | ibp-hilbert
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
   if (args.has("help")) {
     std::printf(
         "usage: %s [--graph=FILE [--coords=FILE]] [--nodes=N] --parts=K\n"
-        "          --method=ga|ga-seeded|contracted-ga|rsb|multilevel|rcb|"
-        "rgb|ibp|ibp-hilbert\n"
+        "          --method=ga|ga-seeded|contracted-ga|vcycle|rsb|multilevel|"
+        "rcb|rgb|ibp|ibp-hilbert\n"
         "          [--objective=total|worst] [--gens=N] [--out=FILE]\n",
         args.program().c_str());
     return 0;
@@ -97,6 +97,17 @@ int main(int argc, char** argv) {
     assignment = res.best;
     std::printf("GA    : %d generations, %lld evaluations\n", res.generations,
                 static_cast<long long>(res.evaluations));
+  } else if (method == "vcycle") {
+    VcycleGaOptions opt;
+    opt.dpga = paper_dpga_config(parts, objective);
+    opt.dpga.ga.max_generations = args.integer("gens", 300);
+    const auto res = vcycle_ga_partition(g, opt, rng);
+    assignment = res.assignment;
+    std::printf("GA    : V-cycle %d -> %d vertices over %d levels "
+                "(%d evolved%s)\n",
+                g.num_vertices(), res.coarsest_vertices, res.levels,
+                res.evolved_levels,
+                res.adaptive_stop ? ", adaptive stop" : "");
   } else if (method == "contracted-ga") {
     ContractedGaOptions opt;
     opt.dpga = paper_dpga_config(parts, objective);

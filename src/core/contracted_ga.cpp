@@ -1,6 +1,7 @@
 #include "core/contracted_ga.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "baselines/kl.hpp"
 #include "common/assert.hpp"
@@ -23,26 +24,19 @@ ContractedGaResult contracted_ga_partition(const Graph& g,
 
   ContractedGaResult result;
   result.coarse_vertices = coarsest.num_vertices();
-  result.levels = static_cast<int>(hierarchy.levels.size());
+  result.levels = static_cast<int>(hierarchy.num_levels());
 
   auto initial = make_random_population(coarsest.num_vertices(), k,
                                         options.dpga.ga.population_size, rng);
   result.ga = run_dpga(coarsest, options.dpga, std::move(initial), rng.split());
-  Assignment assignment = result.ga.best;
 
   KlOptions kl;
   kl.fitness = options.dpga.ga.fitness;
   kl.max_passes = options.kl_passes_per_level;
-  for (std::size_t li = hierarchy.levels.size(); li-- > 0;) {
-    const auto& level = hierarchy.levels[li];
-    assignment = project_assignment(assignment, level.fine_to_coarse);
-    const Graph& fine = li == 0 ? g : hierarchy.levels[li - 1].graph;
-    PartitionState state(fine, assignment, k);
-    kl_refine(state, kl);
-    assignment = state.assignment();
-  }
-
-  result.assignment = std::move(assignment);
+  result.assignment = uncoarsen_with_refinement(
+      g, hierarchy, result.ga.best, k,
+      [&kl](PartitionState& state, std::size_t) { kl_refine(state, kl); },
+      /*refine_coarsest=*/false);
   return result;
 }
 

@@ -22,6 +22,8 @@ const char* crossover_name(CrossoverOp op) {
       return "KNUX";
     case CrossoverOp::kDknux:
       return "DKNUX";
+    case CrossoverOp::kCombine:
+      return "combine";
   }
   return "unknown";
 }
@@ -33,8 +35,9 @@ CrossoverOp parse_crossover(const std::string& name) {
   if (name == "ux" || name == "uniform") return CrossoverOp::kUniform;
   if (name == "knux") return CrossoverOp::kKnux;
   if (name == "dknux") return CrossoverOp::kDknux;
+  if (name == "combine") return CrossoverOp::kCombine;
   throw Error("unknown crossover operator '" + name +
-              "' (expected 1point|2point|kpoint|ux|knux|dknux)");
+              "' (expected 1point|2point|kpoint|ux|knux|dknux|combine)");
 }
 
 void k_point_crossover(const Assignment& a, const Assignment& b, int k,
@@ -164,6 +167,11 @@ void apply_crossover(CrossoverOp op, const CrossoverContext& ctx,
                      " needs a reference solution in the crossover context");
       knux_crossover(a, b, *ctx.graph, *ctx.reference, rng, child1, child2,
                      ctx.knux_complementary);
+      return;
+    case CrossoverOp::kCombine:
+      GAPART_REQUIRE(false,
+                     "kCombine is not a positional operator: the GA engine "
+                     "dispatches it to GaConfig::combine");
       return;
   }
   GAPART_ASSERT(false, "unhandled crossover op");

@@ -29,6 +29,11 @@ enum class CrossoverOp {
   kUniform,
   kKnux,
   kDknux,
+  /// Multilevel quotient-graph combine (KaFFPaE-style): not a positional
+  /// operator — the engine invokes GaConfig::combine, which overlays the two
+  /// parents' cuts, contracts the agreeing regions, re-partitions the small
+  /// quotient graph, and projects back (see core/vcycle_ga.hpp).
+  kCombine,
 };
 
 const char* crossover_name(CrossoverOp op);

@@ -24,6 +24,9 @@ GaEngine::GaEngine(const Graph& g, const GaConfig& config,
   GAPART_REQUIRE(config_.elite_count >= 0 &&
                      config_.elite_count < config_.population_size,
                  "elite count must be in [0, population)");
+  GAPART_REQUIRE(config_.crossover != CrossoverOp::kCombine ||
+                     static_cast<bool>(config_.combine),
+                 "crossover == kCombine needs a combine callback");
   GAPART_REQUIRE(!initial.empty(), "initial population must not be empty");
   for (const auto& genes : initial) {
     GAPART_REQUIRE(is_valid_assignment(g, genes, config_.num_parts),
@@ -189,8 +192,12 @@ void GaEngine::step() {
     std::int32_t src1 = -1;
     std::int32_t src2 = -1;
     if (rng_.bernoulli(config_.crossover_rate)) {
-      apply_crossover(config_.crossover, ctx, pa.genes, pb.genes, rng_,
-                      child1, child2);
+      if (config_.crossover == CrossoverOp::kCombine) {
+        config_.combine(pa.genes, pb.genes, rng_, child1, child2);
+      } else {
+        apply_crossover(config_.crossover, ctx, pa.genes, pb.genes, rng_,
+                        child1, child2);
+      }
     } else {
       child1 = pa.genes;
       child2 = pb.genes;

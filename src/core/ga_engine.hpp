@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -48,6 +49,17 @@ struct GaConfig {
   double mutation_rate = 0.01;  ///< paper: p_m = 0.01 (per gene)
   CrossoverOp crossover = CrossoverOp::kDknux;
   int k_points = 4;  ///< cut count when crossover == kKPoint
+  /// Recombination callback used when crossover == kCombine: produces both
+  /// children from the two parents (e.g. the multilevel quotient-graph
+  /// combine from core/vcycle_ga.hpp, which contracts the regions the
+  /// parents agree on and re-partitions the quotient).  Invoked serially in
+  /// the generate phase with the engine RNG, like the positional operators,
+  /// so pooled runs stay bit-identical to serial ones.  Required (non-null)
+  /// when crossover == kCombine; ignored otherwise.
+  using CombineFn =
+      std::function<void(const Assignment& a, const Assignment& b, Rng& rng,
+                         Assignment& child1, Assignment& child2)>;
+  CombineFn combine;
   /// KNUX/DKNUX sibling policy (see CrossoverContext::knux_complementary).
   bool knux_complementary = false;
   /// Optional explicit initial reference solution I for KNUX/DKNUX (§3.2:

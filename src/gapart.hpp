@@ -58,3 +58,4 @@
 #include "core/presets.hpp"        // IWYU pragma: export
 #include "core/selection.hpp"      // IWYU pragma: export
 #include "core/topology.hpp"       // IWYU pragma: export
+#include "core/vcycle_ga.hpp"      // IWYU pragma: export

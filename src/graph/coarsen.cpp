@@ -1,17 +1,78 @@
 #include "graph/coarsen.hpp"
 
 #include <numeric>
+#include <utility>
 
 #include "common/assert.hpp"
 
 namespace gapart {
 
-CoarseLevel coarsen_once(const Graph& g, Rng& rng) {
+CoarseLevel contract_clusters(const Graph& g,
+                              const std::vector<VertexId>& labels,
+                              VertexId num_clusters) {
   const VertexId n = g.num_vertices();
+  GAPART_REQUIRE(static_cast<VertexId>(labels.size()) == n,
+                 "cluster labels must cover every vertex");
+  GAPART_REQUIRE(num_clusters >= 1, "need at least one cluster");
+
+  CoarseLevel level;
+  level.fine_to_coarse = labels;
+
+  GraphBuilder b(num_clusters);
+  std::vector<double> cw(static_cast<std::size_t>(num_clusters), 0.0);
+  std::vector<double> cx(static_cast<std::size_t>(num_clusters), 0.0);
+  std::vector<double> cy(static_cast<std::size_t>(num_clusters), 0.0);
+  std::vector<int> members(static_cast<std::size_t>(num_clusters), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId label = labels[static_cast<std::size_t>(v)];
+    GAPART_REQUIRE(label >= 0 && label < num_clusters,
+                   "cluster label out of range: ", label);
+    const auto c = static_cast<std::size_t>(label);
+    cw[c] += g.vertex_weight(v);
+    if (g.has_coordinates()) {
+      cx[c] += g.coordinate(v).x;
+      cy[c] += g.coordinate(v).y;
+    }
+    ++members[c];
+  }
+  for (VertexId c = 0; c < num_clusters; ++c) {
+    GAPART_REQUIRE(members[static_cast<std::size_t>(c)] > 0,
+                   "empty cluster ", c);
+    b.set_vertex_weight(c, cw[static_cast<std::size_t>(c)]);
+    if (g.has_coordinates()) {
+      const auto m = static_cast<double>(members[static_cast<std::size_t>(c)]);
+      b.set_coordinate(c, {cx[static_cast<std::size_t>(c)] / m,
+                           cy[static_cast<std::size_t>(c)] / m});
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = labels[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId cu = labels[static_cast<std::size_t>(nbrs[i])];
+      // Add once per fine edge (v < nbr); builder merges parallels.
+      if (v < nbrs[i] && cv != cu) b.add_edge(cv, cu, wgts[i]);
+    }
+  }
+
+  level.graph = b.build();
+  return level;
+}
+
+CoarseLevel coarsen_once(const Graph& g, Rng& rng,
+                         const Assignment* respect) {
+  const VertexId n = g.num_vertices();
+  GAPART_REQUIRE(respect == nullptr ||
+                     static_cast<VertexId>(respect->size()) == n,
+                 "respected assignment must cover every vertex");
   std::vector<VertexId> match(static_cast<std::size_t>(n), -1);
 
   // Visit vertices in random order; match each unmatched vertex with its
-  // heaviest-edge unmatched neighbour (ties: first encountered).
+  // heaviest-edge unmatched neighbour (ties: first encountered).  With a
+  // respected assignment, only same-part neighbours are candidates, so the
+  // partition stays constant on every coarse vertex.
   std::vector<VertexId> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   rng.shuffle(order);
@@ -25,6 +86,11 @@ CoarseLevel coarsen_once(const Graph& g, Rng& rng) {
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId u = nbrs[i];
       if (match[static_cast<std::size_t>(u)] != -1) continue;
+      if (respect != nullptr &&
+          (*respect)[static_cast<std::size_t>(u)] !=
+              (*respect)[static_cast<std::size_t>(v)]) {
+        continue;
+      }
       if (wgts[i] > best_w) {
         best_w = wgts[i];
         best = u;
@@ -38,69 +104,80 @@ CoarseLevel coarsen_once(const Graph& g, Rng& rng) {
     }
   }
 
-  // Number coarse vertices.
-  CoarseLevel level;
-  level.fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  // Number coarse vertices and contract the matched pairs as clusters.
+  std::vector<VertexId> labels(static_cast<std::size_t>(n), -1);
   VertexId coarse_n = 0;
   for (VertexId v = 0; v < n; ++v) {
-    if (level.fine_to_coarse[static_cast<std::size_t>(v)] != -1) continue;
+    if (labels[static_cast<std::size_t>(v)] != -1) continue;
     const VertexId m = match[static_cast<std::size_t>(v)];
-    level.fine_to_coarse[static_cast<std::size_t>(v)] = coarse_n;
-    level.fine_to_coarse[static_cast<std::size_t>(m)] = coarse_n;
+    labels[static_cast<std::size_t>(v)] = coarse_n;
+    labels[static_cast<std::size_t>(m)] = coarse_n;
     ++coarse_n;
   }
+  return contract_clusters(g, labels, coarse_n);
+}
 
-  GraphBuilder b(coarse_n);
-  std::vector<double> cw(static_cast<std::size_t>(coarse_n), 0.0);
-  std::vector<double> cx(static_cast<std::size_t>(coarse_n), 0.0);
-  std::vector<double> cy(static_cast<std::size_t>(coarse_n), 0.0);
-  std::vector<int> members(static_cast<std::size_t>(coarse_n), 0);
-  for (VertexId v = 0; v < n; ++v) {
-    const auto c = static_cast<std::size_t>(
-        level.fine_to_coarse[static_cast<std::size_t>(v)]);
-    cw[c] += g.vertex_weight(v);
-    if (g.has_coordinates()) {
-      cx[c] += g.coordinate(v).x;
-      cy[c] += g.coordinate(v).y;
-    }
-    ++members[c];
+std::vector<VertexId> CoarsenHierarchy::flatten_map(
+    VertexId num_fine_vertices) const {
+  std::vector<VertexId> map(static_cast<std::size_t>(num_fine_vertices));
+  if (levels.empty()) {
+    std::iota(map.begin(), map.end(), 0);
+    return map;
   }
-  for (VertexId c = 0; c < coarse_n; ++c) {
-    b.set_vertex_weight(c, cw[static_cast<std::size_t>(c)]);
-    if (g.has_coordinates()) {
-      const auto m = static_cast<double>(members[static_cast<std::size_t>(c)]);
-      b.set_coordinate(c, {cx[static_cast<std::size_t>(c)] / m,
-                           cy[static_cast<std::size_t>(c)] / m});
-    }
+  GAPART_REQUIRE(levels.front().fine_to_coarse.size() ==
+                     static_cast<std::size_t>(num_fine_vertices),
+                 "hierarchy was built for a different graph");
+  map = levels.front().fine_to_coarse;
+  for (std::size_t li = 1; li < levels.size(); ++li) {
+    const auto& f2c = levels[li].fine_to_coarse;
+    for (auto& c : map) c = f2c[static_cast<std::size_t>(c)];
   }
+  return map;
+}
 
-  for (VertexId v = 0; v < n; ++v) {
-    const VertexId cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
-    const auto nbrs = g.neighbors(v);
-    const auto wgts = g.edge_weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const VertexId cu = level.fine_to_coarse[static_cast<std::size_t>(nbrs[i])];
-      // Add once per fine edge (v < nbr); builder merges parallels.
-      if (v < nbrs[i] && cv != cu) b.add_edge(cv, cu, wgts[i]);
-    }
+Assignment CoarsenHierarchy::project_to_finest(
+    const Assignment& coarse, VertexId num_fine_vertices) const {
+  if (levels.empty()) {
+    GAPART_REQUIRE(coarse.size() ==
+                       static_cast<std::size_t>(num_fine_vertices),
+                   "assignment does not cover the graph");
+    return coarse;
   }
-
-  level.graph = b.build();
-  return level;
+  return project_assignment(coarse, flatten_map(num_fine_vertices));
 }
 
 CoarsenHierarchy coarsen_to(const Graph& g, VertexId target_vertices,
-                            Rng& rng) {
+                            Rng& rng, const Assignment* respect) {
   GAPART_REQUIRE(target_vertices >= 2, "coarsen target must be >= 2");
   CoarsenHierarchy h;
+  // One draw from the caller, one independent stream per level: the level-j
+  // matching is a pure function of (entry rng state, j), so the hierarchy
+  // does not depend on its own depth or on the caller's later consumption.
+  const Rng base = rng.split();
   const Graph* current = &g;
+  Assignment respected;
+  if (respect != nullptr) respected = *respect;
+  std::uint64_t level_index = 0;
   while (current->num_vertices() > target_vertices) {
-    CoarseLevel level = coarsen_once(*current, rng);
+    Rng level_rng = base.fork(level_index++);
+    CoarseLevel level = coarsen_once(
+        *current, level_rng, respect != nullptr ? &respected : nullptr);
     const VertexId before = current->num_vertices();
     const VertexId after = level.graph.num_vertices();
     if (after >= before || static_cast<double>(after) >
                                0.9 * static_cast<double>(before)) {
       break;  // matching stalled (e.g. star-like graphs)
+    }
+    if (respect != nullptr) {
+      // Project the respected partition down: constant per coarse vertex by
+      // construction, so any member's label is THE label.
+      Assignment coarse_respect(static_cast<std::size_t>(after));
+      for (VertexId v = 0; v < before; ++v) {
+        coarse_respect[static_cast<std::size_t>(
+            level.fine_to_coarse[static_cast<std::size_t>(v)])] =
+            respected[static_cast<std::size_t>(v)];
+      }
+      respected = std::move(coarse_respect);
     }
     h.levels.push_back(std::move(level));
     current = &h.levels.back().graph;
@@ -117,6 +194,31 @@ Assignment project_assignment(const Assignment& coarse,
     fine[v] = coarse[c];
   }
   return fine;
+}
+
+Assignment uncoarsen_with_refinement(const Graph& g,
+                                     const CoarsenHierarchy& hierarchy,
+                                     Assignment coarse, PartId num_parts,
+                                     const LevelRefiner& refine,
+                                     bool refine_coarsest) {
+  Assignment assignment = std::move(coarse);
+  if (refine && refine_coarsest) {
+    PartitionState state(hierarchy.coarsest(g), std::move(assignment),
+                         num_parts);
+    refine(state, hierarchy.num_levels());
+    assignment = std::move(state).release_assignment();
+  }
+  for (std::size_t li = hierarchy.levels.size(); li-- > 0;) {
+    assignment =
+        project_assignment(assignment, hierarchy.levels[li].fine_to_coarse);
+    const Graph& fine = hierarchy.graph_at(g, li);
+    if (refine) {
+      PartitionState state(fine, std::move(assignment), num_parts);
+      refine(state, li);
+      assignment = std::move(state).release_assignment();
+    }
+  }
+  return assignment;
 }
 
 }  // namespace gapart

@@ -1,17 +1,38 @@
-// Graph contraction by heavy-edge matching.
+// Graph contraction: heavy-edge matching hierarchies and explicit cluster
+// quotients.
 //
 // The paper's conclusion prescribes "a prior graph contraction step" before
-// GA-partitioning very large graphs; this module implements it (and also
-// feeds the multilevel spectral partitioner).  A randomized heavy-edge
-// maximal matching collapses matched pairs into coarse vertices; vertex
-// weights add, parallel coarse edges merge with summed weights, so every
-// coarse cut equals the corresponding fine cut.
+// GA-partitioning very large graphs; this module implements it and is the
+// substrate shared by the multilevel spectral partitioner, the contracted GA,
+// and the V-cycle evolutionary engine (core/vcycle_ga.hpp).  Two contraction
+// primitives produce the same CoarseLevel shape:
+//
+//   coarsen_once       randomized heavy-edge maximal matching — collapses
+//                      matched pairs into coarse vertices;
+//   contract_clusters  an explicit cluster labelling — collapses whole
+//                      vertex groups at once (the quotient builder behind the
+//                      KaFFPaE-style combine crossover, which contracts the
+//                      regions where two parent partitions agree).
+//
+// Vertex weights add, parallel coarse edges merge with summed weights, and
+// intra-cluster edges vanish, so every coarse cut, every part weight, and
+// therefore every fitness value equals the corresponding fine quantity
+// EXACTLY (fuzz-tested): the FitnessParams a caller evaluates with need no
+// per-level adjustment.
+//
+// Hierarchies are deterministic under pool-width changes: coarsen_to draws
+// exactly one value from the caller's Rng and derives one independent stream
+// per level with Rng::fork, so the level-j matching never depends on how
+// deep the hierarchy grows or on what the caller interleaves (PR 1's
+// fork-per-task convention).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "graph/partition.hpp"
 #include "graph/types.hpp"
 
 namespace gapart {
@@ -22,25 +43,83 @@ struct CoarseLevel {
   std::vector<VertexId> fine_to_coarse;  ///< per fine vertex: coarse id
 };
 
-/// Contracts `g` once via randomized heavy-edge matching.
-CoarseLevel coarsen_once(const Graph& g, Rng& rng);
+/// Builds the quotient of `g` under an explicit cluster labelling: cluster c
+/// becomes coarse vertex c with the summed vertex weight (and mean
+/// coordinates) of its members; edges between clusters merge with summed
+/// weights; intra-cluster edges disappear.  `labels` maps every fine vertex
+/// into [0, num_clusters) and every cluster must be non-empty.  Any partition
+/// that is constant on each cluster has bitwise-equal part weights and cuts
+/// on both graphs.
+CoarseLevel contract_clusters(const Graph& g,
+                              const std::vector<VertexId>& labels,
+                              VertexId num_clusters);
+
+/// Contracts `g` once via randomized heavy-edge matching.  When `respect` is
+/// non-null (one part id per vertex), only vertices with equal labels are
+/// matched, so `respect` stays constant on every coarse vertex and projects
+/// onto the coarse graph with exactly its fine cut — the partition-respecting
+/// coarsening a V-cycle refinement pass is built on.
+CoarseLevel coarsen_once(const Graph& g, Rng& rng,
+                         const Assignment* respect = nullptr);
 
 /// A full coarsening hierarchy: levels[0] coarsens the input, levels.back()
-/// is the coarsest.  Stops when the coarse graph has <= target_vertices or
-/// shrinkage stalls (< 10% reduction).
+/// is the coarsest.
 struct CoarsenHierarchy {
   std::vector<CoarseLevel> levels;
+
+  std::size_t num_levels() const { return levels.size(); }
 
   const Graph& coarsest(const Graph& original) const {
     return levels.empty() ? original : levels.back().graph;
   }
+
+  /// Graph `level` prolongations above the finest: graph_at(original, 0) is
+  /// the original graph, graph_at(original, num_levels()) the coarsest.
+  const Graph& graph_at(const Graph& original, std::size_t level) const {
+    return level == 0 ? original : levels[level - 1].graph;
+  }
+
+  /// Composed finest-to-coarsest map: one lookup per fine vertex replaces a
+  /// chain of per-level projections.  Identity when the hierarchy is empty
+  /// (`num_fine_vertices` sizes that case).
+  std::vector<VertexId> flatten_map(VertexId num_fine_vertices) const;
+
+  /// Lifts an assignment of the coarsest graph to the finest in ONE pass
+  /// (via the composed map), skipping every intermediate assignment.  The
+  /// projected partition has exactly the coarse cut and part weights.
+  Assignment project_to_finest(const Assignment& coarse,
+                               VertexId num_fine_vertices) const;
 };
 
+/// Coarsens until the coarse graph has <= target_vertices or shrinkage
+/// stalls (< 10% reduction, e.g. star-like graphs).  Deterministic: consumes
+/// exactly one draw from `rng` and runs level j on rng-state-derived
+/// fork(j), so two calls from identically-positioned generators build
+/// identical hierarchies — and a deeper target extends a shallower one's
+/// levels rather than reshuffling them.  `respect` (optional) is threaded
+/// through every level's matching (see coarsen_once).
 CoarsenHierarchy coarsen_to(const Graph& g, VertexId target_vertices,
-                            Rng& rng);
+                            Rng& rng, const Assignment* respect = nullptr);
 
 /// Lifts an assignment of the coarse graph back to the fine graph.
 Assignment project_assignment(const Assignment& coarse,
                               const std::vector<VertexId>& fine_to_coarse);
+
+/// Per-level refinement hook for uncoarsen_with_refinement.  `level` counts
+/// the prolongations still below the state's graph: levels.size() on the
+/// coarsest graph, 0 on the finest.
+using LevelRefiner = std::function<void(PartitionState& state,
+                                        std::size_t level)>;
+
+/// The shared uncoarsening driver: refines `coarse` on the coarsest graph
+/// (unless refine_coarsest is false), then projects it down one level at a
+/// time, refining after every prolongation.  This is the projection loop
+/// contracted_ga, spectral/multilevel, and the V-cycle engine all share.
+/// `refine` may be null (pure projection).
+Assignment uncoarsen_with_refinement(const Graph& g,
+                                     const CoarsenHierarchy& hierarchy,
+                                     Assignment coarse, PartId num_parts,
+                                     const LevelRefiner& refine,
+                                     bool refine_coarsest = true);
 
 }  // namespace gapart

@@ -58,6 +58,12 @@ bool route_refinement_parallel(const RefinePolicyConfig& config,
          pool_threads > 1;
 }
 
+bool route_deep_vcycle(const RefinePolicyConfig& config,
+                       VertexId num_vertices) {
+  return config.vcycle_min_vertices > 0 &&
+         num_vertices >= config.vcycle_min_vertices;
+}
+
 bool decide_compaction(const CompactionPolicy& policy,
                        const CompactionSignals& signals) {
   if (signals.log_records < policy.min_records) return false;

@@ -67,6 +67,16 @@ struct RefinePolicyConfig {
   /// only pays for itself once the boundary is big enough to shard.  <= 0
   /// disables parallel routing entirely.
   VertexId parallel_refine_min_vertices = 1 << 16;
+
+  /// Route the kDeep tier of a session at least this large to the multilevel
+  /// V-cycle engine (core/vcycle_ga.hpp) instead of the flat DPGA burst: a
+  /// flat GA's search degrades with |V| (the paper's conclusion), while the
+  /// V-cycle evolves a coarse quotient and repairs upward at O(boundary)
+  /// cost per level — and its partition-respecting coarsening guarantees the
+  /// result is never worse than the session's current assignment.  Small
+  /// sessions keep the flat burst (coarsening overhead outweighs it).
+  /// <= 0 disables V-cycle routing entirely.
+  VertexId vcycle_min_vertices = 1 << 15;
 };
 
 /// What the session reports into the policy.  Fitnesses are the maximized
@@ -99,6 +109,12 @@ RefineDepth decide_refinement(const RefinePolicyConfig& config,
 /// one-thread pool would fall back to the serial climb anyway).
 bool route_refinement_parallel(const RefinePolicyConfig& config,
                                VertexId num_vertices, int pool_threads);
+
+/// Should a kDeep refinement of a `num_vertices`-vertex session run the
+/// multilevel V-cycle engine instead of the flat DPGA burst?  Pure: true iff
+/// routing is enabled and the session meets the size floor.
+bool route_deep_vcycle(const RefinePolicyConfig& config,
+                       VertexId num_vertices);
 
 // ---------------------------------------------------------------------------
 // WAL compaction policy.  Same shape as the refinement policy: the session

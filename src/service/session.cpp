@@ -39,6 +39,14 @@ SessionConfig::SessionConfig() : deep(paper_dpga_config(2, Objective::kTotalComm
   deep.ga.stall_generations = 15;
   deep.ga.hill_climb_offspring = true;
   deep.ga.hill_climb_fraction = 0.25;
+
+  // The V-cycle tier for big sessions: same burst discipline — the coarsest
+  // DPGA inherits the flat burst's budgets, and the ascending per-level GAs
+  // stay small (they only polish a seeded incumbent).
+  deep_vcycle.dpga = deep;
+  deep_vcycle.level_population = 24;
+  deep_vcycle.level_max_generations = 20;
+  deep_vcycle.level_stall = 5;
 }
 
 PartitionSession::PartitionSession(std::shared_ptr<const Graph> graph,
@@ -612,25 +620,43 @@ RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
   out.fitness = eval.adopt(state);
   out.assignment = std::move(state).release_assignment();
 
-  // Deep tier: DPGA burst seeded with the climbed solution (§3.5's
-  // incremental GA, running in the background instead of the caller's path).
-  // A cancelled job (its session is closing) skips the burst — the climbed
-  // result above is returned as-is and discarded by complete_refinement.
+  // Deep tier: seeded with the climbed solution, running in the background
+  // instead of the caller's path.  Large sessions route to the multilevel
+  // V-cycle (coarse quotient evolution + seeded-repair uncoarsening, never
+  // worse than its seed); the rest run the flat DPGA burst (§3.5's
+  // incremental GA).  A cancelled job (its session is closing) skips the
+  // burst — the climbed result above is returned as-is and discarded by
+  // complete_refinement.
   const bool cancel_requested =
       job.cancel != nullptr && job.cancel->load(std::memory_order_relaxed);
   if (job.depth == RefineDepth::kDeep && !cancel_requested) {
-    DpgaConfig dc = config.deep;
-    dc.ga.num_parts = config.num_parts;
-    dc.ga.fitness = config.fitness;
-    auto initial = make_seeded_population(
-        out.assignment, dc.ga.population_size, /*swap_fraction=*/0.08, rng);
-    const DpgaResult res =
-        run_dpga(g, dc, std::move(initial), rng.split(), executor);
-    out.full_evaluations += res.full_evaluations;
-    out.delta_evaluations += res.delta_evaluations;
-    if (res.best_fitness > out.fitness) {
-      out.assignment = res.best;
-      out.fitness = res.best_fitness;
+    if (route_deep_vcycle(config.policy, g.num_vertices())) {
+      VcycleGaOptions vo = config.deep_vcycle;
+      vo.dpga.ga.num_parts = config.num_parts;
+      vo.dpga.ga.fitness = config.fitness;
+      vo.cancel = job.cancel.get();
+      const VcycleGaResult res =
+          vcycle_ga_refine(g, out.assignment, vo, rng, executor);
+      out.full_evaluations += res.full_evaluations;
+      out.delta_evaluations += res.delta_evaluations;
+      if (res.fitness > out.fitness) {
+        out.assignment = res.assignment;
+        out.fitness = res.fitness;
+      }
+    } else {
+      DpgaConfig dc = config.deep;
+      dc.ga.num_parts = config.num_parts;
+      dc.ga.fitness = config.fitness;
+      auto initial = make_seeded_population(
+          out.assignment, dc.ga.population_size, /*swap_fraction=*/0.08, rng);
+      const DpgaResult res =
+          run_dpga(g, dc, std::move(initial), rng.split(), executor);
+      out.full_evaluations += res.full_evaluations;
+      out.delta_evaluations += res.delta_evaluations;
+      if (res.best_fitness > out.fitness) {
+        out.assignment = res.best;
+        out.fitness = res.best_fitness;
+      }
     }
   }
 

@@ -43,6 +43,7 @@
 #include "common/rng.hpp"
 #include "core/dpga.hpp"
 #include "core/graph_delta.hpp"
+#include "core/vcycle_ga.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
 #include "service/refine_policy.hpp"
@@ -82,6 +83,11 @@ struct SessionConfig {
   /// overwritten with the session's; keep the budgets modest — this runs on
   /// the shared pool next to other sessions' work.
   DpgaConfig deep;
+  /// kDeep refinement of sessions at/above policy.vcycle_min_vertices runs
+  /// the multilevel V-cycle engine instead of the flat burst (see
+  /// route_deep_vcycle).  dpga.ga.num_parts/fitness are overwritten with the
+  /// session's; the job's cancel token is threaded in per run.
+  VcycleGaOptions deep_vcycle;
 
   SessionConfig();
 };

@@ -17,32 +17,19 @@ Assignment multilevel_partition(const Graph& g, PartId num_parts, Rng& rng,
   const VertexId target = std::max<VertexId>(
       num_parts * options.coarse_vertices_per_part, num_parts);
   const auto hierarchy = coarsen_to(g, target, rng);
-  const Graph& coarsest = hierarchy.coarsest(g);
 
   Assignment assignment =
-      rsb_partition(coarsest, num_parts, rng, options.rsb);
+      rsb_partition(hierarchy.coarsest(g), num_parts, rng, options.rsb);
 
   KlOptions kl;
   kl.fitness = options.fitness;
   kl.max_passes = options.kl_passes_per_level;
 
   // Refine the coarsest solution, then project up through the hierarchy,
-  // refining after every prolongation.
-  {
-    PartitionState state(coarsest, assignment, num_parts);
-    kl_refine(state, kl);
-    assignment = state.assignment();
-  }
-  for (std::size_t li = hierarchy.levels.size(); li-- > 0;) {
-    const auto& level = hierarchy.levels[li];
-    assignment = project_assignment(assignment, level.fine_to_coarse);
-    const Graph& fine =
-        li == 0 ? g : hierarchy.levels[li - 1].graph;
-    PartitionState state(fine, assignment, num_parts);
-    kl_refine(state, kl);
-    assignment = state.assignment();
-  }
-  return assignment;
+  // refining after every prolongation (the shared uncoarsening driver).
+  return uncoarsen_with_refinement(
+      g, hierarchy, std::move(assignment), num_parts,
+      [&kl](PartitionState& state, std::size_t) { kl_refine(state, kl); });
 }
 
 }  // namespace gapart

@@ -147,5 +147,184 @@ TEST(Coarsen, TargetValidation) {
   EXPECT_THROW(coarsen_to(g, 1, rng), Error);
 }
 
+void expect_same_hierarchy(const CoarsenHierarchy& a,
+                           const CoarsenHierarchy& b) {
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t li = 0; li < a.levels.size(); ++li) {
+    EXPECT_EQ(a.levels[li].fine_to_coarse, b.levels[li].fine_to_coarse);
+    EXPECT_EQ(a.levels[li].graph.num_vertices(),
+              b.levels[li].graph.num_vertices());
+    EXPECT_EQ(a.levels[li].graph.num_edges(), b.levels[li].graph.num_edges());
+  }
+}
+
+TEST(Coarsen, SameSeedSameHierarchy) {
+  const Graph g = make_grid(14, 14);
+  Rng rng1(23);
+  Rng rng2(23);
+  expect_same_hierarchy(coarsen_to(g, 30, rng1), coarsen_to(g, 30, rng2));
+}
+
+TEST(Coarsen, ConsumesExactlyOneDraw) {
+  // coarsen_to takes ONE split() from the caller and forks per level, so the
+  // caller's stream position afterwards is independent of hierarchy depth —
+  // pool-width and depth changes cannot shift later draws.
+  const Graph g = make_grid(14, 14);
+  Rng a(42);
+  Rng b(42);
+  coarsen_to(g, 8, a);  // deep hierarchy
+  b.split();            // the one draw
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Coarsen, DeeperTargetExtendsShallowerAsPrefix) {
+  // Because level j's matching is a pure function of (entry state, j), a
+  // deeper target must reproduce the shallower hierarchy's levels verbatim
+  // and only append below them.
+  const Graph g = make_grid(16, 16);
+  Rng rng1(7);
+  Rng rng2(7);
+  const auto shallow = coarsen_to(g, 100, rng1);
+  const auto deep = coarsen_to(g, 10, rng2);
+  ASSERT_GT(deep.levels.size(), shallow.levels.size());
+  for (std::size_t li = 0; li < shallow.levels.size(); ++li) {
+    EXPECT_EQ(shallow.levels[li].fine_to_coarse,
+              deep.levels[li].fine_to_coarse);
+  }
+}
+
+TEST(Coarsen, ContractClustersSumsWeightsAndMergesEdges) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, 3.0);
+  b.add_edge(2, 3, 4.0);
+  b.add_edge(3, 4, 5.0);
+  b.add_edge(0, 4, 7.0);  // second inter-cluster edge, must merge with 1-2...
+  b.set_vertex_weight(0, 2.0);
+  b.set_vertex_weight(3, 6.0);
+  const Graph g = b.build();
+  // Clusters {0,1} and {2,3,4}: intra edges 0-1, 2-3, 3-4 vanish; the two
+  // crossing edges 1-2 (3.0) and 0-4 (7.0) merge into one of weight 10.
+  const auto level = contract_clusters(g, {0, 0, 1, 1, 1}, 2);
+  EXPECT_EQ(level.graph.num_vertices(), 2);
+  EXPECT_EQ(level.graph.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(level.graph.edge_weight(0, 1).value(), 10.0);
+  EXPECT_DOUBLE_EQ(level.graph.vertex_weight(0), 3.0);  // 2 + 1
+  EXPECT_DOUBLE_EQ(level.graph.vertex_weight(1), 8.0);  // 1 + 6 + 1
+}
+
+TEST(Coarsen, ContractClustersValidation) {
+  const Graph g = make_path(4);
+  EXPECT_THROW(contract_clusters(g, {0, 1}, 2), Error);  // wrong size
+  EXPECT_THROW(contract_clusters(g, {0, 1, 2, 3}, 3), Error);  // out of range
+  EXPECT_THROW(contract_clusters(g, {0, 0, 0, 0}, 2), Error);  // cluster 1 empty
+}
+
+TEST(Coarsen, RespectedPartitionStaysConstantPerCoarseVertex) {
+  const Graph g = make_grid(12, 12);
+  Assignment seed(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    seed[static_cast<std::size_t>(v)] = (v % 12) < 6 ? 0 : 1;
+  }
+  Rng rng(31);
+  const auto h = coarsen_to(g, 12, rng, &seed);
+  ASSERT_GE(h.levels.size(), 2u);
+  // Project the seed level by level; respecting matching means every coarse
+  // vertex's members agree, and the fitness is conserved exactly.
+  const auto fine_metrics = compute_metrics(g, seed, 2);
+  Assignment current = seed;
+  const Graph* fine = &g;
+  for (const auto& level : h.levels) {
+    Assignment coarse(static_cast<std::size_t>(level.graph.num_vertices()),
+                      -1);
+    for (VertexId v = 0; v < fine->num_vertices(); ++v) {
+      const auto c = static_cast<std::size_t>(
+          level.fine_to_coarse[static_cast<std::size_t>(v)]);
+      const PartId p = current[static_cast<std::size_t>(v)];
+      if (coarse[c] == -1) {
+        coarse[c] = p;
+      } else {
+        ASSERT_EQ(coarse[c], p) << "cluster mixes parts";
+      }
+    }
+    const auto mc = compute_metrics(level.graph, coarse, 2);
+    EXPECT_DOUBLE_EQ(mc.total_cut(), fine_metrics.total_cut());
+    EXPECT_DOUBLE_EQ(mc.imbalance_sq, fine_metrics.imbalance_sq);
+    current = std::move(coarse);
+    fine = &level.graph;
+  }
+}
+
+TEST(Coarsen, FlattenMapMatchesSequentialProjection) {
+  Rng rng(37);
+  const Graph g = make_grid(13, 13);
+  const auto h = coarsen_to(g, 20, rng);
+  ASSERT_GE(h.levels.size(), 2u);
+  Assignment coarse(static_cast<std::size_t>(h.coarsest(g).num_vertices()));
+  for (auto& p : coarse) p = static_cast<PartId>(rng.uniform_int(4));
+  const auto one_pass = h.project_to_finest(coarse, g.num_vertices());
+  Assignment sequential = coarse;
+  for (std::size_t li = h.levels.size(); li-- > 0;) {
+    sequential = project_assignment(sequential, h.levels[li].fine_to_coarse);
+  }
+  EXPECT_EQ(one_pass, sequential);
+}
+
+TEST(Coarsen, EmptyHierarchyProjectsIdentity) {
+  Rng rng(41);
+  const Graph g = make_path(6);
+  const auto h = coarsen_to(g, 100, rng);  // already below target
+  EXPECT_TRUE(h.levels.empty());
+  const Assignment a{0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(h.project_to_finest(a, 6), a);
+  const auto flat = h.flatten_map(6);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(flat[static_cast<std::size_t>(v)], v);
+  }
+}
+
+Graph random_weighted_graph(VertexId n, Rng& rng) {
+  const Graph base = make_connected_geometric(n, 0.25, rng);
+  GraphBuilder b(base.num_vertices());
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    b.set_vertex_weight(v, 1.0 + rng.uniform_int(4));
+    const auto nbrs = base.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (v < nbrs[i]) b.add_edge(v, nbrs[i], 1.0 + rng.uniform_int(8));
+    }
+  }
+  return b.build();
+}
+
+TEST(Coarsen, FuzzCutPreservedThroughMultilevelHierarchies) {
+  // The quotient invariant, fuzzed: for ANY assignment of the coarsest
+  // graph, the one-pass projection to the finest has bitwise-equal part
+  // weights, total cut, and max part cut — on unit-weight and on randomly
+  // weighted graphs alike (all sums are integer-exact).
+  Rng rng(97);
+  for (int trial = 0; trial < 12; ++trial) {
+    const VertexId n = 60 + 20 * (trial % 5);
+    const bool weighted = trial % 2 == 1;
+    const Graph g = weighted ? random_weighted_graph(n, rng)
+                             : make_connected_geometric(n, 0.25, rng);
+    const PartId k = 2 + trial % 3;
+    const auto h = coarsen_to(g, 12, rng);
+    ASSERT_GE(h.levels.size(), 2u) << "fuzz wants multi-level hierarchies";
+    Assignment coarse(
+        static_cast<std::size_t>(h.coarsest(g).num_vertices()));
+    for (auto& p : coarse) p = static_cast<PartId>(rng.uniform_int(k));
+    const auto fine = h.project_to_finest(coarse, g.num_vertices());
+    const auto mc = compute_metrics(h.coarsest(g), coarse, k);
+    const auto mf = compute_metrics(g, fine, k);
+    EXPECT_DOUBLE_EQ(mc.total_cut(), mf.total_cut());
+    EXPECT_DOUBLE_EQ(mc.max_part_cut, mf.max_part_cut);
+    EXPECT_DOUBLE_EQ(mc.imbalance_sq, mf.imbalance_sq);
+    for (PartId q = 0; q < k; ++q) {
+      EXPECT_DOUBLE_EQ(mc.part_weight[static_cast<std::size_t>(q)],
+                       mf.part_weight[static_cast<std::size_t>(q)]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gapart
