@@ -46,6 +46,8 @@
 //
 //   ./bench/soak_service [--sessions=32] [--updates=40] [--threads=0]
 //                        [--faults=<seed>] [--fault-rate=0.1] [--replicate]
+//                        [--telemetry] [--trace-out=soak_trace.json]
+//                        [--metrics-out=soak_metrics.json]
 //                        [--quick] > BENCH_service.json
 #include <algorithm>
 #include <atomic>
@@ -53,6 +55,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <new>
 #include <string>
@@ -64,6 +67,7 @@
 #include "common/fault_injection.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/graph_delta.hpp"
 #include "core/presets.hpp"
@@ -961,6 +965,16 @@ void emit_json(const SoakResult& soak, const std::vector<LatencyRow>& latency,
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const bool quick = args.flag("quick") || quick_mode_enabled();
+
+  // --telemetry traces the whole run: spans from every plane collect into
+  // per-thread rings, exported at exit as Chrome trace_event JSON (open in
+  // chrome://tracing or https://ui.perfetto.dev) alongside a metrics dump
+  // of the registry.  Requires a GAPART_TELEMETRY build; without it the
+  // files are still written but carry no span data.
+  const bool telemetry = args.flag("telemetry");
+  const std::string trace_out = args.str("trace-out", "soak_trace.json");
+  const std::string metrics_out = args.str("metrics-out", "soak_metrics.json");
+  if (telemetry) Tracer::instance().enable();
   const int sessions = args.integer("sessions", 32);
   const int updates = args.integer("updates", quick ? 10 : 40);
   const int pool_threads =
@@ -1012,5 +1026,22 @@ int main(int argc, char** argv) {
       replicate ? args.real("fault-rate", 0.10) : 0.0);
 
   emit_json(soak, latency, recovery, durability, replication);
+
+  if (telemetry) {
+    Tracer::instance().disable();
+    {
+      std::ofstream os(trace_out);
+      Tracer::instance().export_chrome_trace(os);
+    }
+    {
+      std::ofstream os(metrics_out);
+      TelemetryRegistry::instance().write_json(os);
+    }
+    std::fprintf(stderr,
+                 "telemetry: wrote trace %s (%zu events buffered) and "
+                 "metrics %s\n",
+                 trace_out.c_str(), Tracer::instance().buffered_events(),
+                 metrics_out.c_str());
+  }
   return 0;
 }

@@ -17,17 +17,25 @@
 //
 //   ./examples/example_durable_service --dir=/tmp/wal [--updates=100000]
 //                                      [--interval-ms=2] [--n=16] [--k=4]
+//                                      [--trace-out=durable_trace.json]
 //   ./examples/example_durable_service --dir=/tmp/wal --recover
+//
+// --trace-out enables span tracing for the run and writes Chrome trace_event
+// JSON on clean exit (open in chrome://tracing or https://ui.perfetto.dev to
+// see repair / WAL append / fsync spans interleaved per thread).  Needs a
+// GAPART_TELEMETRY build to carry span data.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "core/graph_delta.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -91,6 +99,8 @@ int main(int argc, char** argv) {
   const int interval_ms = args.integer("interval-ms", 2);
   const auto n = static_cast<VertexId>(args.integer("n", 16));
   const auto k = static_cast<PartId>(args.integer("k", 4));
+  const std::string trace_out = args.str("trace-out", "");
+  if (!trace_out.empty()) Tracer::instance().enable();
 
   ServiceConfig sc;
   sc.num_threads = 2;
@@ -167,6 +177,12 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+  if (!trace_out.empty()) {
+    Tracer::instance().disable();
+    std::ofstream os(trace_out);
+    Tracer::instance().export_chrome_trace(os);
+    std::fprintf(stderr, "telemetry: wrote trace %s\n", trace_out.c_str());
   }
   return 0;
 }

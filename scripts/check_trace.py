@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file emitted by the gapart tracer.
+
+Checks (all must pass, exit 0; any failure prints a reason and exits 1):
+
+  * the file parses as JSON with a non-empty ``traceEvents`` list;
+  * every event carries the complete-event schema chrome://tracing needs:
+    ``name`` (non-empty string), ``ph`` == "X", numeric ``ts`` >= 0,
+    numeric ``dur`` >= 0, integer ``pid`` and ``tid``;
+  * per tid, events nest properly: sorted by start time, every event either
+    contains the next one or is disjoint from it (no partially overlapping
+    spans on one thread — the invariant the flame-graph view requires).
+
+Usage:  scripts/check_trace.py trace.json [--min-events=N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_schema(events: list) -> None:
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object: {ev!r}")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"event {i} has no usable name: {ev!r}")
+        if ev.get("ph") != "X":
+            fail(f"event {i} ({name}) has ph={ev.get('ph')!r}, expected 'X'")
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(f"event {i} ({name}) has non-numeric {field}: {v!r}")
+            if v < 0:
+                fail(f"event {i} ({name}) has negative {field}: {v}")
+        for field in ("pid", "tid"):
+            v = ev.get(field)
+            if not isinstance(v, int) or isinstance(v, bool):
+                fail(f"event {i} ({name}) has non-integer {field}: {v!r}")
+
+
+def check_nesting(events: list) -> None:
+    """Spans on one thread must strictly nest (contain or be disjoint)."""
+    by_tid: dict = {}
+    for ev in events:
+        by_tid.setdefault(ev["tid"], []).append(ev)
+    eps = 1e-2  # 10ns in trace microseconds: covers the ns-grid rounding
+    # of the exporter's %.3f timestamps (each endpoint 0.5ns, both ends)
+    for tid, evs in sorted(by_tid.items()):
+        # Sort by start ascending, then by end descending so a parent
+        # precedes the children that start at the same timestamp.
+        evs.sort(key=lambda e: (e["ts"], -(e["ts"] + e["dur"])))
+        stack: list = []  # end timestamps of currently open spans
+        for ev in evs:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and stack[-1] <= start + eps:
+                stack.pop()
+            if stack and end > stack[-1] + eps:
+                fail(
+                    f"tid {tid}: span '{ev['name']}' "
+                    f"[{start}, {end}) overlaps an enclosing span ending at "
+                    f"{stack[-1]} without nesting inside it"
+                )
+            stack.append(end)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum number of traceEvents required (default 1)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents array")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} traceEvents, expected >= {args.min_events}")
+
+    check_schema(events)
+    check_nesting(events)
+
+    tids = {ev["tid"] for ev in events}
+    names = {ev["name"] for ev in events}
+    print(
+        f"check_trace: OK: {len(events)} events, {len(tids)} threads, "
+        f"{len(names)} span names"
+    )
+
+
+if __name__ == "__main__":
+    main()

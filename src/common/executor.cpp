@@ -1,6 +1,8 @@
 #include "common/executor.hpp"
 
 #include <algorithm>
+
+#include "common/telemetry.hpp"
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -120,6 +122,26 @@ bool Executor::run_one() {
 }
 
 void Executor::submit(std::function<void()> task) {
+#ifdef GAPART_TELEMETRY
+  // Wrap the closure so the queue wait (submit -> first instruction) and the
+  // run time land in the pool histograms.  The wrap is one extra allocation
+  // and three clock reads per task — noise against the millisecond-scale
+  // refinement jobs submit() carries (parallel_for helpers take enqueue()
+  // directly and stay unwrapped).
+  const double submitted_at = telemetry_now_seconds();
+  task = [inner = std::move(task), submitted_at]() {
+    const double started_at = telemetry_now_seconds();
+    GAPART_HISTOGRAM_RECORD("executor.queue_wait_seconds",
+                            started_at - submitted_at);
+    inner();
+    GAPART_HISTOGRAM_RECORD("executor.task_seconds",
+                            telemetry_now_seconds() - started_at);
+  };
+#endif
+  enqueue(std::move(task));
+}
+
+void Executor::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++outstanding_;
@@ -171,7 +193,7 @@ void Executor::parallel_for(
   const std::size_t helpers =
       std::min(workers_.size(), ranges > 0 ? ranges - 1 : 0);
   for (std::size_t h = 0; h < helpers; ++h) {
-    submit([state] { state->drain(); });
+    enqueue([state] { state->drain(); });
   }
 
   state->drain();  // the issuing thread always participates

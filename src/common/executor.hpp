@@ -76,7 +76,11 @@ class Executor {
   void run_tasks(const std::vector<std::function<void()>>& tasks);
 
   /// Fire-and-forget: enqueues `task` for some worker (or a later wait()er)
-  /// to execute.  Pair with wait().
+  /// to execute.  Pair with wait().  Telemetry builds record each submitted
+  /// task's queue wait and run time into the `executor.queue_wait_seconds` /
+  /// `executor.task_seconds` histograms (parallel_for's internal helper
+  /// tasks bypass the instrumentation — they are sub-slices of an already
+  /// measured caller, and per-helper clock reads would tax the hot loops).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.  The calling thread
@@ -93,6 +97,8 @@ class Executor {
   void worker_loop();
   /// Pops and runs one queued task if available; returns false when idle.
   bool run_one();
+  /// Raw enqueue without telemetry wrapping (parallel_for helpers).
+  void enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   mutable std::mutex mu_;

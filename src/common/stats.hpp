@@ -47,8 +47,11 @@ Summary summarize(const std::vector<double>& samples);
 double median(std::vector<double> samples);
 
 /// q-quantile of `samples` for q in [0, 1] (copies to sort), linearly
-/// interpolated between order statistics; 0 for an empty vector.  Drives the
-/// service's p50/p99 repair-latency reporting.
+/// interpolated between order statistics; 0 for an empty vector.  The exact
+/// (O(n log n), raw-sample) tool for bench harnesses and tests; the service
+/// layer reports its latency percentiles from the mergeable LogHistogram in
+/// common/telemetry.hpp instead (bounded memory, composable across sessions,
+/// relative error <= 12.5% — one log bucket).
 double quantile(std::vector<double> samples, double q);
 
 /// Element-wise mean of several equal-length series (e.g. best-fitness vs

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/eval.hpp"
 #include "core/ga_engine.hpp"
@@ -161,6 +162,7 @@ Assignment ascend(const Graph& g, const CoarsenHierarchy& hierarchy,
         options.cancel->load(std::memory_order_relaxed)) {
       return;
     }
+    GAPART_SPAN("vcycle.level");
     const Graph& lg = state.graph();
     const EvalContext eval(lg, k, params, executor);
     eval.count_full();  // the driver's O(V+E) state construction

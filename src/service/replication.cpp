@@ -11,6 +11,7 @@
 #include "common/assert.hpp"
 #include "common/checksum.hpp"
 #include "common/stats.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "graph/io.hpp"
 
@@ -336,6 +337,7 @@ int ReplicationShipper::send_pending(SessionShip& ship) {
       ++stats_.send_failures;
       break;  // link down or backpressured; retry next pump
     }
+    ship.queue[ship.sent_upto].sent_at = GAPART_TSTAMP();
     ++ship.sent_upto;
     ++sent;
     ++stats_.frames_sent;
@@ -368,6 +370,10 @@ void ReplicationShipper::drain_acks() {
     ship.acked_epoch = frame->epoch;
     ship.progressed = true;
     while (!ship.queue.empty() && ship.queue.front().seq <= ship.acked_seq) {
+      if (ship.queue.front().sent_at > 0.0) {
+        GAPART_HISTOGRAM_RECORD("replication.ack_rtt_seconds",
+                                GAPART_TSTAMP() - ship.queue.front().sent_at);
+      }
       ship.queue.pop_front();
       if (ship.sent_upto > 0) --ship.sent_upto;
     }
@@ -411,6 +417,10 @@ int ReplicationShipper::pump() {
         ship.sent_upto = 0;
         ship.stalled_pumps = 0;
         ++stats_.resumes;
+        GAPART_COUNTER_ADD("replication.resumes", 1);
+        // Every still-queued frame is about to go over the wire again.
+        GAPART_COUNTER_ADD("replication.redelivered_frames",
+                           ship.queue.size());
       }
     } else if (ship.progressed) {
       ship.stalled_pumps = 0;

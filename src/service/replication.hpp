@@ -213,6 +213,10 @@ class ReplicationShipper {
     struct Queued {
       std::uint64_t seq = 0;
       std::string wire;
+      /// Telemetry stamp of the most recent send (0 = never sent): acking
+      /// this frame records ship->ack RTT.  A resume re-send re-stamps, so
+      /// the RTT always measures the delivery that actually got acked.
+      double sent_at = 0.0;
     };
     std::deque<Queued> queue;
     std::size_t sent_upto = 0;  ///< queue index of the first unsent frame

@@ -238,8 +238,13 @@ void PartitionService::maybe_schedule_refinement(
   Rng rng(mix.next());
 
   Executor* pool = executor_;
+  const double scheduled_at = GAPART_TSTAMP();
   executor_->submit(
-      [session, job = std::move(*job), rng, pool]() mutable {
+      [session, job = std::move(*job), rng, pool, scheduled_at]() mutable {
+        // Schedule -> start queue wait: how long the job sat behind other
+        // sessions' refinements before the pool picked it up.
+        GAPART_HISTOGRAM_RECORD("refine.queue_wait_seconds",
+                                GAPART_TSTAMP() - scheduled_at);
         // A throwing task would terminate the worker; refinement failures
         // only ever cost the refinement.
         try {
@@ -285,12 +290,11 @@ ServiceStats PartitionService::stats() const {
 
   ServiceStats out;
   out.sessions = static_cast<int>(sessions.size());
-  std::vector<double> samples;
   for (const auto& s : sessions) {
     const SessionStats st = s->stats();
-    // Lifetime max survives the sessions' sliding sample windows.
     out.max_repair_seconds =
         std::max(out.max_repair_seconds, st.max_repair_seconds);
+    out.repair_latency.merge(st.repair_latency);
     out.updates += st.updates;
     out.total_damage += st.total_damage;
     out.repair_moves += st.repair_moves;
@@ -301,8 +305,6 @@ ServiceStats PartitionService::stats() const {
     out.refinements_applied += st.refinements_applied;
     out.refinements_stale += st.refinements_stale;
     out.refinements_no_better += st.refinements_no_better;
-    samples.insert(samples.end(), st.repair_seconds_samples.begin(),
-                   st.repair_seconds_samples.end());
     if (st.durable) {
       ++out.durable_sessions;
       out.failed_sessions += st.wal_failed ? 1 : 0;
@@ -314,9 +316,10 @@ ServiceStats PartitionService::stats() const {
       out.wal_compaction_failures += st.wal.compaction_failures;
     }
   }
-  out.p50_repair_seconds = quantile(samples, 0.50);
-  out.p99_repair_seconds = quantile(samples, 0.99);
+  out.p50_repair_seconds = out.repair_latency.quantile(0.50);
+  out.p99_repair_seconds = out.repair_latency.quantile(0.99);
   out.pool_backlog = executor_->pending();
+  GAPART_GAUGE_SET("executor.pending", out.pool_backlog);
   out.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
   out.verifications_shed = verifications_shed_.load(std::memory_order_relaxed);
   out.refinements_deferred =

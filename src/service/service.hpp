@@ -71,10 +71,14 @@ struct ServiceStats {
   int refinements_applied = 0;
   int refinements_stale = 0;
   int refinements_no_better = 0;
-  /// Merged over every session's raw samples (quantiles do not compose).
+  /// From `repair_latency` below: bucketed service-wide percentiles
+  /// (relative error <= 12.5%; see common/telemetry.hpp).
   double p50_repair_seconds = 0.0;
   double p99_repair_seconds = 0.0;
-  double max_repair_seconds = 0.0;
+  double max_repair_seconds = 0.0;  ///< exact
+  /// Every session's repair-latency histogram merged — exact composition
+  /// (histogram merge is associative), bounded memory, no raw samples.
+  LogHistogram repair_latency;
   /// Pool tasks queued or executing at sampling time (refinement backlog
   /// gauge; racy by nature).
   int pool_backlog = 0;

@@ -190,14 +190,22 @@ RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
                  "session graphs can only grow (got ", g.num_vertices(),
                  " after ", n_old, ")");
 
+  GAPART_SPAN("repair.apply");
   WallTimer timer;
   RepairReport rep;
   rep.damage = delta.damage(g);
 
   // Tier 1 + rebind: assign the new vertices against the pre-update state,
   // then absorb the new graph in O(damage * deg).
-  const auto new_parts = extend_parts(g, n_old);
-  state_.rebind_grown(g, delta.touched_old, new_parts);
+  std::vector<PartId> new_parts;
+  {
+    GAPART_SPAN("repair.extend");
+    new_parts = extend_parts(g, n_old);
+  }
+  {
+    GAPART_SPAN("repair.rebind");
+    state_.rebind_grown(g, delta.touched_old, new_parts);
+  }
   graph_ = std::move(grown);
   rep.extend_moves = static_cast<int>(new_parts.size());
 
@@ -210,10 +218,13 @@ RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
     opt.min_gain = config_.repair_min_gain;
     opt.gain_ordered = config_.gain_ordered_repair;
     opt.verify_fixed_point = false;
-    const auto res =
-        hill_climb_from(state_, repair_seeds(delta, *graph_), opt);
-    rep.repair_moves += res.moves;
-    rep.examined += res.examined;
+    {
+      GAPART_SPAN("repair.cascade");
+      const auto res =
+          hill_climb_from(state_, repair_seeds(delta, *graph_), opt);
+      rep.repair_moves += res.moves;
+      rep.examined += res.examined;
+    }
 
     opt.mode = HillClimbMode::kFrontier;  // unseeded: one full round + cascade
     // Replay runs exactly the round count the live run logged (the budget
@@ -225,14 +236,17 @@ RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
             ? std::min(opts.replay_verify_rounds,
                        config_.repair_max_verify_rounds)
             : (opts.shed_verification ? 0 : config_.repair_max_verify_rounds);
-    while (rep.verify_rounds < max_rounds &&
-           (opts.replay_verify_rounds >= 0 ||
-            timer.seconds() < config_.repair_budget_seconds)) {
-      const auto vres = hill_climb(state_, opt);
-      ++rep.verify_rounds;
-      rep.repair_moves += vres.moves;
-      rep.examined += vres.examined;
-      if (vres.moves == 0) break;  // verified fixed point
+    if (max_rounds > 0) {
+      GAPART_SPAN("repair.verify");
+      while (rep.verify_rounds < max_rounds &&
+             (opts.replay_verify_rounds >= 0 ||
+              timer.seconds() < config_.repair_budget_seconds)) {
+        const auto vres = hill_climb(state_, opt);
+        ++rep.verify_rounds;
+        rep.repair_moves += vres.moves;
+        rep.examined += vres.examined;
+        if (vres.moves == 0) break;  // verified fixed point
+      }
     }
   }
   rep.seconds = timer.seconds();
@@ -251,14 +265,10 @@ RepairReport PartitionSession::apply_update(std::shared_ptr<const Graph> grown,
   stats_.repair_moves += rep.repair_moves;
   stats_.examined += rep.examined;
   stats_.delta_evaluations += rep.repair_moves;  // one delta per move
-  max_repair_seconds_ = std::max(max_repair_seconds_, rep.seconds);
-  if (repair_seconds_.size() < SessionStats::kMaxHistory) {
-    repair_seconds_.push_back(rep.seconds);
-  } else {  // sliding window: overwrite the oldest sample
-    repair_seconds_[repair_seconds_next_] = rep.seconds;
-    repair_seconds_next_ =
-        (repair_seconds_next_ + 1) % SessionStats::kMaxHistory;
-  }
+  stats_.repair_latency.record(rep.seconds);
+  GAPART_COUNTER_ADD("repair.updates", 1);
+  GAPART_COUNTER_ADD("repair.damage", rep.damage);
+  GAPART_HISTOGRAM_RECORD("repair.latency_seconds", rep.seconds);
 
   // Write-ahead logging: the record — delta bytes plus the verification
   // round count the budget actually admitted — must be durable before this
@@ -531,10 +541,9 @@ bool PartitionSession::closed() const {
 SessionStats PartitionSession::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   SessionStats out = stats_;
-  out.p50_repair_seconds = quantile(repair_seconds_, 0.50);
-  out.p99_repair_seconds = quantile(repair_seconds_, 0.99);
-  out.max_repair_seconds = max_repair_seconds_;
-  out.repair_seconds_samples = repair_seconds_;
+  out.p50_repair_seconds = out.repair_latency.quantile(0.50);
+  out.p99_repair_seconds = out.repair_latency.quantile(0.99);
+  out.max_repair_seconds = out.repair_latency.max();
   // Unroll the trajectory ring into chronological order.
   out.cut_trajectory.clear();
   out.cut_trajectory.reserve(cut_trajectory_.size());
@@ -616,7 +625,10 @@ RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
     opt.mode = HillClimbMode::kParallelFrontier;
     opt.executor = executor;
   }
-  hill_climb(eval, state, opt);
+  {
+    GAPART_SPAN("refine.climb");
+    hill_climb(eval, state, opt);
+  }
   out.fitness = eval.adopt(state);
   out.assignment = std::move(state).release_assignment();
 
@@ -631,6 +643,7 @@ RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
       job.cancel != nullptr && job.cancel->load(std::memory_order_relaxed);
   if (job.depth == RefineDepth::kDeep && !cancel_requested) {
     if (route_deep_vcycle(config.policy, g.num_vertices())) {
+      GAPART_SPAN("refine.vcycle");
       VcycleGaOptions vo = config.deep_vcycle;
       vo.dpga.ga.num_parts = config.num_parts;
       vo.dpga.ga.fitness = config.fitness;
@@ -644,6 +657,7 @@ RefineOutcome run_refinement(const PartitionSession::RefineJob& job,
         out.fitness = res.fitness;
       }
     } else {
+      GAPART_SPAN("refine.dpga");
       DpgaConfig dc = config.deep;
       dc.ga.num_parts = config.num_parts;
       dc.ga.fitness = config.fitness;

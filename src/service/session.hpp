@@ -41,6 +41,7 @@
 
 #include "common/executor.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "core/dpga.hpp"
 #include "core/graph_delta.hpp"
 #include "core/vcycle_ga.hpp"
@@ -160,13 +161,16 @@ struct SessionStats {
   /// refinement was dropped (quality only) so the log stays a superset of
   /// the state — required for replication digests to be exact.
   int refinements_unlogged = 0;
+  /// Bucketed lifetime percentiles from `repair_latency` (relative error
+  /// <= 12.5% — one histogram bucket; see common/telemetry.hpp).
   double p50_repair_seconds = 0.0;
   double p99_repair_seconds = 0.0;
-  double max_repair_seconds = 0.0;
-  /// Raw per-update repair latencies (the last kMaxHistory updates), so the
-  /// service can merge sessions into honest service-wide percentiles
-  /// (quantiles do not compose).
-  std::vector<double> repair_seconds_samples;
+  double max_repair_seconds = 0.0;  ///< exact (histogram tracks true max)
+  /// Mergeable log-bucketed repair-latency histogram (lifetime, bounded
+  /// memory).  The service composes sessions into honest service-wide
+  /// percentiles by merging these — merge is exact and associative, unlike
+  /// merging quantiles, and replaces the old unbounded raw-sample vectors.
+  LogHistogram repair_latency;
   double current_fitness = 0.0;
   double current_total_cut = 0.0;
   /// (update_epoch, total_cut) at the last kMaxHistory publishes — the
@@ -181,10 +185,9 @@ struct SessionStats {
   bool wal_failed = false;
   WalStats wal;
 
-  /// History cap: latencies and trajectory are sliding windows of this many
-  /// entries (percentiles then cover the recent window; max_repair_seconds
-  /// stays lifetime).  Bounds both session memory and the O(window) copy a
-  /// stats() scrape performs under the session lock.
+  /// History cap: the cut trajectory is a sliding window of this many
+  /// entries.  (Latency percentiles moved to the fixed-size histogram above,
+  /// so they cover the session lifetime at bounded memory.)
   static constexpr std::size_t kMaxHistory = 4096;
 };
 
@@ -364,14 +367,11 @@ class PartitionSession {
   /// Signalled when refine_in_flight_ clears (close() drains on it).
   std::condition_variable refine_done_cv_;
 
-  // Statistics.  repair_seconds_ and cut_trajectory_ are rings of the last
-  // kMaxHistory entries (stats() unrolls the trajectory chronologically),
-  // so session memory and stats() scrapes stay bounded over an unbounded
-  // stream and publish() never shifts a full window.
+  // Statistics.  Repair latencies accumulate into a fixed-size log-bucketed
+  // histogram (stats_.repair_latency — bounded memory over an unbounded
+  // stream, O(buckets) to scrape); cut_trajectory_ is a ring of the last
+  // kMaxHistory entries (stats() unrolls it chronologically).
   SessionStats stats_;
-  std::vector<double> repair_seconds_;
-  std::size_t repair_seconds_next_ = 0;
-  double max_repair_seconds_ = 0.0;
   std::vector<std::pair<std::uint64_t, double>> cut_trajectory_;
   std::size_t cut_trajectory_next_ = 0;
 

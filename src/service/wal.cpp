@@ -12,6 +12,7 @@
 
 #include "common/checksum.hpp"
 #include "common/fault_injection.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "graph/io.hpp"
 
@@ -355,6 +356,7 @@ void SessionWal::append_frame_once(const std::string& frame) {
 }
 
 void SessionWal::fsync_log() {
+  GAPART_SPAN("wal.fsync");
   posix_fsync_fd(fd_, "wal");
   ++stats_.fsyncs;
   records_since_fsync_ = 0;
@@ -364,6 +366,7 @@ void SessionWal::fsync_log() {
 void SessionWal::append(WalRecordType type, std::uint64_t epoch,
                         std::uint32_t flags, const std::string& payload,
                         VertexId damage) {
+  GAPART_SPAN("wal.append");
   const std::string frame = build_frame(type, epoch, flags, payload);
   stats_.append_retries += static_cast<std::uint64_t>(retry_with_backoff(
       config_.io_retry, [&] { append_frame_once(frame); }));
@@ -379,6 +382,7 @@ void SessionWal::append(WalRecordType type, std::uint64_t epoch,
   }
   ++stats_.appends;
   stats_.bytes_appended += frame.size();
+  GAPART_COUNTER_ADD("wal.append_bytes", frame.size());
   ++stats_.log_records;
   stats_.log_bytes += frame.size();
   stats_.log_damage += damage;
@@ -426,6 +430,7 @@ void SessionWal::write_snapshot_files(std::uint64_t epoch, const Graph& graph,
 
 void SessionWal::compact(std::uint64_t epoch, const Graph& graph,
                          const Assignment& assignment, std::uint64_t digest) {
+  GAPART_SPAN("wal.compact");
   WallTimer timer;
   const std::uint64_t old_epoch = stats_.snapshot_epoch;
   try {

@@ -64,6 +64,33 @@ TEST(Median, RepeatedValues) {
   EXPECT_DOUBLE_EQ(median({5.0, 5.0, 5.0, 5.0}), 5.0);
 }
 
+TEST(Quantile, EmptyIsZero) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_EQ(quantile({}, 0.0), 0.0);
+  EXPECT_EQ(quantile({}, 1.0), 0.0);
+}
+
+TEST(Quantile, SingleSampleIsThatSampleAtEveryQ) {
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile({3.25}, q), 3.25) << "q=" << q;
+  }
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  // pos = 0.25 * 3 = 0.75 -> between the 1st and 2nd order statistic.
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Quantile, OutOfRangeQClamps) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 3.0);
+}
+
 TEST(Summarize, FullBreakdown) {
   const auto s = summarize({1.0, 2.0, 3.0, 4.0});
   EXPECT_EQ(s.count, 4u);
